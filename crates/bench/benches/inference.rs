@@ -1,0 +1,27 @@
+//! Criterion benches: surrogate forward pass (the "22 seconds" kernel).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use csurrogate::{SwinConfig, SwinSurrogate};
+use ctensor::prelude::*;
+
+fn bench_inference(c: &mut Criterion) {
+    let cfg = SwinConfig::tiny(16, 16, 4, 4);
+    let model = SwinSurrogate::new(cfg.clone(), 0);
+    let x3 = Tensor::zeros(&[1, 3, cfg.ny, cfg.nx, cfg.nz, cfg.t_in()]);
+    let x2 = Tensor::zeros(&[1, 1, cfg.ny, cfg.nx, cfg.t_in()]);
+    c.bench_function("swin_forward_16x16x4_t4", |b| {
+        b.iter(|| {
+            let mut g = Graph::inference();
+            let a = g.constant(x3.clone());
+            let z = g.constant(x2.clone());
+            std::hint::black_box(model.forward(&mut g, a, z))
+        })
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench_inference
+}
+criterion_main!(benches);

@@ -1,0 +1,37 @@
+//! Criterion micro-benchmarks: tensor/attention kernels.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use ctensor::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn bench_kernels(c: &mut Criterion) {
+    let mut rng = StdRng::seed_from_u64(0);
+    let a = ctensor::init::randn(&[64, 128], 1.0, &mut rng);
+    let b = ctensor::init::randn(&[128, 64], 1.0, &mut rng);
+    c.bench_function("matmul_64x128x64", |bch| {
+        bch.iter(|| std::hint::black_box(a.matmul(&b)))
+    });
+
+    let batch = ctensor::init::randn(&[32, 16, 16], 1.0, &mut rng);
+    c.bench_function("softmax_batched_32x16x16", |bch| {
+        bch.iter(|| std::hint::black_box(batch.softmax_last()))
+    });
+
+    let attn = MultiHeadAttention::new("bench", 24, 3, &mut rng);
+    let x = ctensor::init::randn(&[8, 32, 24], 0.5, &mut rng);
+    c.bench_function("attention_8x32x24", |bch| {
+        bch.iter(|| {
+            let mut g = Graph::inference();
+            let v = g.constant(x.clone());
+            std::hint::black_box(attn.forward(&mut g, v))
+        })
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(20);
+    targets = bench_kernels
+}
+criterion_main!(benches);

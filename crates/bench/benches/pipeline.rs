@@ -1,0 +1,36 @@
+//! Criterion benches: loader transfer modes and the mass-residual kernel.
+
+use cgrid::{EstuaryParams, Grid, GridParams};
+use cocean::{OceanConfig, Roms, TidalForcing};
+use cphysics::water_mass_residual;
+use criterion::{criterion_group, criterion_main, Criterion};
+use ctensor::f16::{compress, decompress};
+
+fn bench_pipeline(c: &mut Criterion) {
+    let grid = Grid::build(&GridParams {
+        estuary: EstuaryParams { ny: 32, nx: 24, ..Default::default() },
+        nz: 4,
+        ..Default::default()
+    });
+    let mut cfg = OceanConfig::for_grid(&grid);
+    cfg.forcing = TidalForcing::single(0.3, 12.0);
+    let mut model = Roms::new(&grid, cfg);
+    model.spinup(3600.0);
+    let snaps = model.record(2, model.cfg.dt_slow());
+
+    c.bench_function("mass_residual_32x24x4", |b| {
+        b.iter(|| std::hint::black_box(water_mass_residual(&grid, &snaps[0], &snaps[1])))
+    });
+
+    let payload: Vec<f32> = snaps[0].u.clone();
+    c.bench_function("f16_compress_decompress", |b| {
+        b.iter(|| std::hint::black_box(decompress(&compress(&payload))))
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(20);
+    targets = bench_pipeline
+}
+criterion_main!(benches);

@@ -1,0 +1,30 @@
+//! Criterion benches: simulator fast/slow steps (Table I cost model).
+
+use cgrid::{EstuaryParams, Grid, GridParams};
+use cocean::{OceanConfig, Roms, TidalForcing};
+use criterion::{criterion_group, criterion_main, Criterion};
+
+fn bench_simulator(c: &mut Criterion) {
+    let grid = Grid::build(&GridParams {
+        estuary: EstuaryParams { ny: 48, nx: 32, ..Default::default() },
+        nz: 4,
+        ..Default::default()
+    });
+    let mut cfg = OceanConfig::for_grid(&grid);
+    cfg.forcing = TidalForcing::single(0.3, 12.0);
+    let mut model = Roms::new(&grid, cfg);
+    model.spinup(3600.0);
+    c.bench_function("roms_slow_step_48x32x4", |b| {
+        b.iter(|| model.step_slow())
+    });
+    c.bench_function("roms_snapshot_48x32x4", |b| {
+        b.iter(|| std::hint::black_box(model.snapshot()))
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(20);
+    targets = bench_simulator
+}
+criterion_main!(benches);

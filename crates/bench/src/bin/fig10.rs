@@ -1,0 +1,54 @@
+//! Fig. 10: weak scaling of data-parallel training, with and without
+//! activation checkpointing.
+
+use cbench::{banner, write_csv};
+use ccore::Scenario;
+use cpipeline::{encode_episode, train_data_parallel, EncodeConfig, ParallelConfig};
+use csurrogate::CheckpointPolicy;
+use ctensor::prelude::*;
+
+fn main() {
+    banner("Fig. 10 — weak scaling of data-parallel training", "paper Fig. 10");
+    let sc = Scenario::small();
+    let grid = sc.grid();
+    let archive = sc.simulate_archive(&grid, 0, 30);
+    let mask_vec: Vec<f32> = (0..grid.ny)
+        .flat_map(|j| {
+            let m = &grid.mask_rho;
+            (0..grid.nx).map(move |i| m.get(j as isize, i as isize) as f32)
+        })
+        .collect();
+    let mask = Tensor::from_vec(mask_vec, &[grid.ny, grid.nx]);
+    let stats = cpipeline::NormStats::identity();
+    let episodes: Vec<_> = archive
+        .windows(sc.t_out + 1)
+        .step_by(3)
+        .map(|w| encode_episode(w, &stats, &EncodeConfig::default()))
+        .collect();
+
+    println!("\npaper: near-linear weak scaling 1→32 GPUs; ckpt (batch 2/GPU) above no-ckpt (batch 1/GPU)\n");
+    let mut rows = Vec::new();
+    for (label, ckpt, batch) in [
+        ("ckpt", CheckpointPolicy::DiscardWMsa, 2usize),
+        ("no-ckpt", CheckpointPolicy::None, 1usize),
+    ] {
+        for workers in [1usize, 2, 4, 8] {
+            let cfg = ParallelConfig {
+                model: sc.swin.clone(),
+                seed: 1,
+                lr: 1e-3,
+                grad_clip: 1.0,
+                checkpoint: ckpt,
+                per_worker_batch: batch,
+                steps: 2,
+            };
+            let s = train_data_parallel(&cfg, &episodes, &mask, workers);
+            println!(
+                "{label:<8} workers={workers:<3} {:>7.2} inst/s  ({} instances in {:.2}s)",
+                s.instances_per_sec, s.instances, s.wall_seconds
+            );
+            rows.push(format!("{label},{workers},{}", s.instances_per_sec));
+        }
+    }
+    write_csv("fig10.csv", "variant,workers,instances_per_sec", &rows);
+}

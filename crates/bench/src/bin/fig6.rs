@@ -1,0 +1,61 @@
+//! Fig. 6: ζ time series at three probe locations, ROMS vs surrogate.
+
+use cbench::{banner, write_csv, Context};
+
+fn main() {
+    banner("Fig. 6 — ζ time series at 3 locations", "paper Fig. 6");
+    let ctx = Context::small(30);
+    // Three wet probes: ocean, inlet, inner estuary (like the paper's
+    // spread across the domain).
+    let probes = pick_probes(&ctx);
+    println!("probes: {probes:?}");
+
+    // Episode-chained forecast across the test archive.
+    let mut pred = Vec::new();
+    let mut reference = Vec::new();
+    for w in ctx.test_windows() {
+        pred.extend(ctx.trained.predict_episode(w));
+        reference.extend(w[1..].iter().cloned());
+    }
+    let mut rows = Vec::new();
+    for (t, (r, p)) in reference.iter().zip(&pred).enumerate() {
+        let mut row = format!("{t}");
+        for &(j, i) in &probes {
+            row.push_str(&format!(",{},{}", r.zeta_at(j, i), p.zeta_at(j, i)));
+        }
+        rows.push(row);
+    }
+    write_csv(
+        "fig6_series.csv",
+        "t,roms1,ai1,roms2,ai2,roms3,ai3",
+        &rows,
+    );
+    for (n, &(j, i)) in probes.iter().enumerate() {
+        let rmse = (reference
+            .iter()
+            .zip(&pred)
+            .map(|(r, p)| {
+                let d = (r.zeta_at(j, i) - p.zeta_at(j, i)) as f64;
+                d * d
+            })
+            .sum::<f64>()
+            / reference.len() as f64)
+            .sqrt();
+        println!("location {} ({j},{i}): ζ RMSE = {rmse:.4} m over {} steps", n + 1, reference.len());
+    }
+}
+
+fn pick_probes(ctx: &cbench::Context) -> Vec<(usize, usize)> {
+    let g = &ctx.grid;
+    let mut out = Vec::new();
+    for frac in [0.15f64, 0.4, 0.7] {
+        let i = (g.nx as f64 * frac) as usize;
+        for j in (2..g.ny - 2).rev() {
+            if g.mask_rho.get(j as isize, i as isize) > 0.5 && g.h.get(j as isize, i as isize) > 1.0 {
+                out.push((j, i));
+                break;
+            }
+        }
+    }
+    out
+}

@@ -1,0 +1,42 @@
+//! Fig. 7: verification pass rate vs water-mass-residual threshold.
+
+use cbench::{banner, write_csv, Context};
+use cphysics::{pass_rate_curve, Verifier, VerifierConfig};
+
+fn main() {
+    banner("Fig. 7 — pass rate vs residual threshold", "paper Fig. 7");
+    let ctx = Context::small(30);
+    let verifier = Verifier::new(&ctx.grid, VerifierConfig::default());
+
+    // Residual of every AI-predicted transition over the test year.
+    let mut residuals = Vec::new();
+    for w in ctx.test_windows() {
+        let pred = ctx.trained.predict_episode(w);
+        let mut prev = w[0].clone();
+        for p in pred {
+            residuals.push(verifier.check_pair(&prev, &p).mean_residual);
+            prev = p;
+        }
+    }
+    residuals.sort_by(|a, b| a.partial_cmp(b).unwrap());
+    let median = residuals[residuals.len() / 2];
+    println!("\n{} transitions; residual median {median:.3e} m/s (paper's scale: 3e-4..5.5e-4)", residuals.len());
+
+    // Sweep thresholds spanning our residual distribution (same shape as
+    // the paper's sweep around its scale).
+    let thresholds: Vec<f64> = [0.5, 0.75, 1.0, 1.5, 2.0, 3.0]
+        .iter()
+        .map(|m| m * median)
+        .collect();
+    let curve = pass_rate_curve(&residuals, &thresholds);
+    let mut rows = Vec::new();
+    for (t, r) in &curve {
+        println!("threshold {t:.3e} m/s → pass rate {:.1}%", r * 100.0);
+        rows.push(format!("{t},{r}"));
+    }
+    write_csv("fig7.csv", "threshold,pass_rate", &rows);
+    // Shape: monotone increasing.
+    for w in curve.windows(2) {
+        assert!(w[1].1 >= w[0].1);
+    }
+}

@@ -1,0 +1,38 @@
+//! Table IV: sensitivity to patch size — parameters, time/instance, errors.
+
+use cbench::{banner, write_csv, Context};
+use ccore::{train_surrogate, ErrorTable};
+
+fn main() {
+    banner("Table IV — patch-size sensitivity", "paper Table IV");
+    let ctx = Context::small(20);
+    println!("\npaper: patch 5 → 3.39M params (3.08 enc + 0.31 dec), 0.888 s/inst, best MAE;");
+    println!("       patch 15/25 → fewer params, slightly slower, worse MAE\n");
+
+    let mut rows = Vec::new();
+    for patch_h in [2usize, 4, 8] {
+        let mut sc = ctx.scenario.clone();
+        sc.swin.patch = [patch_h, patch_h, sc.swin.patch[2]];
+        sc.epochs = 2;
+        let trained = train_surrogate(&sc, &ctx.grid, &ctx.train_archive);
+        let enc = trained.model.encoder_parameters();
+        let dec = trained.model.decoder_parameters();
+        // Inference time per instance.
+        let w0 = &ctx.test_archive[..sc.t_out + 1];
+        let t = trained.time_inference(&[w0]);
+        // Error on a few test episodes.
+        let mut refs = Vec::new();
+        let mut preds = Vec::new();
+        for w in ctx.test_archive.chunks_exact(sc.t_out + 1).take(3) {
+            preds.extend(trained.predict_episode(w));
+            refs.extend(w[1..].iter().cloned());
+        }
+        let e = ErrorTable::between(&ctx.grid, &refs, &preds);
+        println!(
+            "patch {patch_h:<2} params={:>8} ({enc} enc + {dec} dec)  time/inst={t:>7.3}s  MAE ζ={:.3e} u={:.3e}",
+            enc + dec, e.mae[3], e.mae[0]
+        );
+        rows.push(format!("{patch_h},{},{enc},{dec},{t:.4},{:.6},{:.6}", enc + dec, e.mae[0], e.mae[3]));
+    }
+    write_csv("table4.csv", "patch,params,enc_params,dec_params,time_s,mae_u,mae_z", &rows);
+}

@@ -1,0 +1,28 @@
+//! # coastal-core
+//!
+//! The top-level API of the reproduction: scenario configuration,
+//! end-to-end surrogate training ([`train`]), the hybrid AI+ROMS workflow
+//! with physics verification and fallback ([`workflow`]), dual-model
+//! long-horizon forecasting ([`forecast`]), and Table-III-style metrics
+//! ([`metrics`]).
+//!
+//! ```no_run
+//! use ccore::{Scenario, train_surrogate};
+//!
+//! let sc = Scenario::small();
+//! let grid = sc.grid();
+//! let archive = sc.simulate_archive(&grid, 0, 40);
+//! let trained = train_surrogate(&sc, &grid, &archive);
+//! let forecast = trained.predict_episode(&archive[..sc.t_out + 1]);
+//! assert_eq!(forecast.len(), sc.t_out);
+//! ```
+
+pub mod forecast;
+pub mod metrics;
+pub mod train;
+pub mod workflow;
+
+pub use forecast::DualModelForecaster;
+pub use metrics::ErrorTable;
+pub use train::{train_surrogate, Scenario, TrainedSurrogate};
+pub use workflow::{HybridForecaster, HybridOutcome};

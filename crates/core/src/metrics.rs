@@ -1,0 +1,147 @@
+//! Forecast quality metrics (paper Table III): per-variable MAE/RMSE over
+//! water cells between snapshot trajectories.
+
+use cgrid::Grid;
+use cocean::Snapshot;
+
+/// MAE/RMSE per variable, ordered `u, v, w, ζ`.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct ErrorTable {
+    pub mae: [f64; 4],
+    pub rmse: [f64; 4],
+}
+
+impl ErrorTable {
+    /// Compare two equal-length trajectories cell-by-cell (water only).
+    pub fn between(grid: &Grid, reference: &[Snapshot], predicted: &[Snapshot]) -> ErrorTable {
+        assert_eq!(reference.len(), predicted.len());
+        assert!(!reference.is_empty());
+        let mut abs = [0.0f64; 4];
+        let mut sq = [0.0f64; 4];
+        let mut n3 = 0usize;
+        let mut n2 = 0usize;
+        for (a, b) in reference.iter().zip(predicted) {
+            assert_eq!((a.ny, a.nx, a.nz), (b.ny, b.nx, b.nz));
+            for j in 0..a.ny {
+                for i in 0..a.nx {
+                    if grid.mask_rho.get(j as isize, i as isize) < 0.5 {
+                        continue;
+                    }
+                    for k in 0..a.nz {
+                        let idx = a.idx3(k, j, i);
+                        for (c, (fa, fb)) in [(&a.u, &b.u), (&a.v, &b.v), (&a.w, &b.w)]
+                            .into_iter()
+                            .enumerate()
+                        {
+                            let d = (fa[idx] - fb[idx]) as f64;
+                            abs[c] += d.abs();
+                            sq[c] += d * d;
+                        }
+                        n3 += 1;
+                    }
+                    let d = (a.zeta[a.idx2(j, i)] - b.zeta[b.idx2(j, i)]) as f64;
+                    abs[3] += d.abs();
+                    sq[3] += d * d;
+                    n2 += 1;
+                }
+            }
+        }
+        let mut out = ErrorTable::default();
+        for c in 0..3 {
+            out.mae[c] = abs[c] / n3.max(1) as f64;
+            out.rmse[c] = (sq[c] / n3.max(1) as f64).sqrt();
+        }
+        out.mae[3] = abs[3] / n2.max(1) as f64;
+        out.rmse[3] = (sq[3] / n2.max(1) as f64).sqrt();
+        out
+    }
+
+    /// Render like the paper's Table III row.
+    pub fn row(&self, label: &str) -> String {
+        format!(
+            "{label:<10} MAE  u={:.3e} v={:.3e} w={:.3e} ζ={:.3e} | RMSE u={:.3e} v={:.3e} w={:.3e} ζ={:.3e}",
+            self.mae[0], self.mae[1], self.mae[2], self.mae[3],
+            self.rmse[0], self.rmse[1], self.rmse[2], self.rmse[3],
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cgrid::{EstuaryParams, GridParams};
+
+    fn grid() -> Grid {
+        Grid::build(&GridParams {
+            estuary: EstuaryParams {
+                ny: 16,
+                nx: 16,
+                ..Default::default()
+            },
+            nz: 2,
+            ..Default::default()
+        })
+    }
+
+    fn zero_snap(g: &Grid, t: f64) -> Snapshot {
+        Snapshot {
+            time: t,
+            nz: 2,
+            ny: g.ny,
+            nx: g.nx,
+            zeta: vec![0.0; g.ny * g.nx],
+            u: vec![0.0; 2 * g.ny * g.nx],
+            v: vec![0.0; 2 * g.ny * g.nx],
+            w: vec![0.0; 2 * g.ny * g.nx],
+        }
+    }
+
+    #[test]
+    fn identical_trajectories_zero_error() {
+        let g = grid();
+        let t: Vec<Snapshot> = (0..3).map(|k| zero_snap(&g, k as f64)).collect();
+        let e = ErrorTable::between(&g, &t, &t);
+        assert_eq!(e.mae, [0.0; 4]);
+        assert_eq!(e.rmse, [0.0; 4]);
+    }
+
+    #[test]
+    fn constant_offset_gives_exact_mae() {
+        let g = grid();
+        let a: Vec<Snapshot> = (0..2).map(|k| zero_snap(&g, k as f64)).collect();
+        let mut b = a.clone();
+        for s in &mut b {
+            for v in s.zeta.iter_mut() {
+                *v = 0.25;
+            }
+            for v in s.u.iter_mut() {
+                *v = -0.5;
+            }
+        }
+        let e = ErrorTable::between(&g, &a, &b);
+        assert!((e.mae[3] - 0.25).abs() < 1e-9);
+        assert!((e.rmse[3] - 0.25).abs() < 1e-9);
+        assert!((e.mae[0] - 0.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn land_excluded() {
+        let g = grid();
+        let a = vec![zero_snap(&g, 0.0)];
+        let mut b = a.clone();
+        // Pollute a land cell only.
+        let mut land = None;
+        'f: for j in 0..g.ny {
+            for i in 0..g.nx {
+                if g.mask_rho.get(j as isize, i as isize) < 0.5 {
+                    land = Some((j, i));
+                    break 'f;
+                }
+            }
+        }
+        let (j, i) = land.expect("estuary has land");
+        b[0].zeta[j * g.nx + i] = 99.0;
+        let e = ErrorTable::between(&g, &a, &b);
+        assert_eq!(e.mae[3], 0.0);
+    }
+}

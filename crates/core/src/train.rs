@@ -1,0 +1,274 @@
+//! End-to-end convenience: simulate an archive, fit a surrogate, predict
+//! episodes — the glue used by examples and the benchmark harness.
+
+use cgrid::Grid;
+use cocean::{OceanConfig, Roms, Snapshot, TidalForcing};
+use cpipeline::{
+    decode_prediction, encode_episode, stack_episodes, DataLoader, EncodeConfig, Episode,
+    LoaderConfig, NormStats, SnapshotStore, TrainConfig, Trainer, WindowSpec,
+};
+use csurrogate::{SwinConfig, SwinSurrogate};
+use ctensor::prelude::*;
+use std::sync::Arc;
+
+/// Scenario: the mesh, forcing, episode shape and training budget used by
+/// an experiment.
+#[derive(Clone, Debug)]
+pub struct Scenario {
+    pub grid_params: cgrid::GridParams,
+    /// Snapshot interval (s) — the "half hour" of the paper, scaled.
+    pub snapshot_interval: f64,
+    /// Forecast steps per episode (paper: 24).
+    pub t_out: usize,
+    /// Snapshots in the training archive.
+    pub train_snapshots: usize,
+    /// Snapshots in the test archive (distinct forcing year).
+    pub test_snapshots: usize,
+    /// Spin-up seconds before recording.
+    pub spinup: f64,
+    pub swin: SwinConfig,
+    pub epochs: usize,
+    pub lr: f32,
+    pub seed: u64,
+}
+
+impl Scenario {
+    /// Small scenario that trains in seconds (tests/examples).
+    pub fn small() -> Scenario {
+        let grid_params = cgrid::GridParams {
+            estuary: cgrid::EstuaryParams {
+                ny: 24,
+                nx: 20,
+                ..Default::default()
+            },
+            nz: 3,
+            ..Default::default()
+        };
+        let swin = SwinConfig {
+            ny: 24,
+            nx: 20,
+            nz: 3,
+            t_out: 4,
+            patch: [4, 4, 3],
+            embed_dim: 12,
+            num_heads: vec![2, 4],
+            window_first: [2, 2, 2, 2],
+            window_rest: [2, 2, 2, 2],
+            mlp_ratio: 1.5,
+        };
+        Scenario {
+            grid_params,
+            snapshot_interval: 1800.0,
+            t_out: 4,
+            train_snapshots: 140,
+            test_snapshots: 30,
+            spinup: 6.0 * 3600.0,
+            swin,
+            epochs: 20,
+            lr: 2e-3,
+            seed: 0,
+        }
+    }
+
+    /// Medium scenario for the headline benchmarks.
+    pub fn medium() -> Scenario {
+        let mut s = Scenario::small();
+        s.grid_params.estuary.ny = 48;
+        s.grid_params.estuary.nx = 32;
+        s.grid_params.nz = 4;
+        s.swin.ny = 48;
+        s.swin.nx = 32;
+        s.swin.nz = 4;
+        s.swin.t_out = 6;
+        s.swin.patch = [4, 4, 2];
+        s.t_out = 6;
+        s.train_snapshots = 120;
+        s.test_snapshots = 60;
+        s
+    }
+
+    pub fn grid(&self) -> Grid {
+        Grid::build(&self.grid_params)
+    }
+
+    /// Ocean config with year-specific forcing.
+    pub fn ocean_config(&self, grid: &Grid, year: u32) -> OceanConfig {
+        let mut cfg = OceanConfig::for_grid(grid);
+        cfg.forcing = TidalForcing::for_year(year);
+        // Keep the slow step a divisor of the snapshot interval.
+        let per = (self.snapshot_interval / cfg.dt_slow()).round().max(1.0);
+        cfg.phys.dt_fast = self.snapshot_interval / per / cfg.ndtfast as f64;
+        cfg
+    }
+
+    /// Simulate one "year" (scaled) of archive data with the given forcing
+    /// year.
+    pub fn simulate_archive(&self, grid: &Grid, year: u32, n: usize) -> Vec<Snapshot> {
+        let cfg = self.ocean_config(grid, year);
+        let mut model = Roms::new(grid, cfg);
+        model.spinup(self.spinup);
+        model.record(n, self.snapshot_interval)
+    }
+}
+
+/// A trained surrogate bundle.
+pub struct TrainedSurrogate {
+    pub model: SwinSurrogate,
+    pub stats: NormStats,
+    pub mask: Tensor,
+    pub encode: EncodeConfig,
+    pub snapshot_interval: f64,
+    /// Final training-epoch statistics.
+    pub last_epoch: cpipeline::EpochStats,
+}
+
+/// Train a surrogate on a snapshot archive.
+pub fn train_surrogate(scenario: &Scenario, grid: &Grid, archive: &[Snapshot]) -> TrainedSurrogate {
+    let mask_vec: Vec<f64> = (0..grid.ny)
+        .flat_map(|j| (0..grid.nx).map(move |i| (j, i)))
+        .map(|(j, i)| grid.mask_rho.get(j as isize, i as isize))
+        .collect();
+    let stats = NormStats::from_snapshots(archive, &mask_vec);
+    let mask = Tensor::from_vec(
+        mask_vec.iter().map(|&v| v as f32).collect(),
+        &[grid.ny, grid.nx],
+    );
+
+    let store = Arc::new(SnapshotStore::build(archive));
+    let starts = WindowSpec::train(scenario.t_out).starts(archive.len());
+    let encode = EncodeConfig::default();
+    let loader = DataLoader::new(
+        store,
+        starts,
+        scenario.t_out,
+        stats,
+        encode.clone(),
+        LoaderConfig {
+            shuffle_seed: Some(scenario.seed),
+            ..Default::default()
+        },
+    );
+
+    let model = SwinSurrogate::new(scenario.swin.clone(), scenario.seed);
+    let mut trainer = Trainer::new(
+        model,
+        mask.clone(),
+        TrainConfig {
+            lr: scenario.lr,
+            ..Default::default()
+        },
+    );
+    let mut last = cpipeline::EpochStats::default();
+    for e in 0..scenario.epochs {
+        last = trainer.train_epoch(&loader, e as u64);
+    }
+    TrainedSurrogate {
+        model: trainer.model,
+        stats,
+        mask,
+        encode,
+        snapshot_interval: scenario.snapshot_interval,
+        last_epoch: last,
+    }
+}
+
+impl TrainedSurrogate {
+    /// Predict one episode: `window[0]` is the initial condition; the
+    /// boundary conditions are taken from `window[1..]` (as the paper
+    /// feeds future lateral BCs). Returns the predicted snapshots.
+    pub fn predict_episode(&self, window: &[Snapshot]) -> Vec<Snapshot> {
+        let ep = encode_episode(window, &self.stats, &self.encode);
+        self.predict_encoded(&ep)
+    }
+
+    /// Predict from an already-encoded episode.
+    pub fn predict_encoded(&self, ep: &Episode) -> Vec<Snapshot> {
+        let mut g = Graph::inference();
+        let x3 = g.constant(ep.x3d.clone());
+        let x2 = g.constant(ep.x2d.clone());
+        let (p3, p2) = self.model.forward(&mut g, x3, x2);
+        let mut snaps = decode_prediction(
+            g.value(p3),
+            g.value(p2),
+            &self.stats,
+            ep.t0,
+            self.snapshot_interval,
+        );
+        // Zero land cells (the model is only trained on water).
+        for s in &mut snaps {
+            for j in 0..s.ny {
+                for i in 0..s.nx {
+                    if self.mask.at(&[j, i]) < 0.5 {
+                        let i2 = s.idx2(j, i);
+                        s.zeta[i2] = 0.0;
+                        for k in 0..s.nz {
+                            let i3 = s.idx3(k, j, i);
+                            s.u[i3] = 0.0;
+                            s.v[i3] = 0.0;
+                            s.w[i3] = 0.0;
+                        }
+                    }
+                }
+            }
+        }
+        snaps
+    }
+
+    /// Wall-clock one batched inference (Table I / IV timing).
+    pub fn time_inference(&self, windows: &[&[Snapshot]]) -> f64 {
+        let eps: Vec<Episode> = windows
+            .iter()
+            .map(|w| encode_episode(w, &self.stats, &self.encode))
+            .collect();
+        let batch = stack_episodes(&eps);
+        let t0 = std::time::Instant::now();
+        let mut g = Graph::inference();
+        let x3 = g.constant(batch.x3d.clone());
+        let x2 = g.constant(batch.x2d.clone());
+        let _ = self.model.forward(&mut g, x3, x2);
+        t0.elapsed().as_secs_f64()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn small_scenario_end_to_end() {
+        let sc = Scenario::small();
+        let grid = sc.grid();
+        let archive = sc.simulate_archive(&grid, 0, 12);
+        assert_eq!(archive.len(), 12);
+        let mut sc2 = sc.clone();
+        sc2.epochs = 1;
+        let trained = train_surrogate(&sc2, &grid, &archive);
+        assert!(trained.last_epoch.mean_loss.is_finite());
+        assert!(trained.last_epoch.instances > 0);
+
+        // Predict the first episode and compare shapes.
+        let pred = trained.predict_episode(&archive[..sc.t_out + 1]);
+        assert_eq!(pred.len(), sc.t_out);
+        assert_eq!(pred[0].ny, grid.ny);
+        assert!(pred.iter().all(|s| s.zeta.iter().all(|v| v.is_finite())));
+    }
+
+    #[test]
+    fn training_reduces_loss_across_epochs() {
+        let sc = Scenario::small();
+        let grid = sc.grid();
+        let archive = sc.simulate_archive(&grid, 0, 20);
+        let mut sc1 = sc.clone();
+        sc1.epochs = 1;
+        let one = train_surrogate(&sc1, &grid, &archive);
+        let mut sc4 = sc;
+        sc4.epochs = 4;
+        let four = train_surrogate(&sc4, &grid, &archive);
+        assert!(
+            four.last_epoch.mean_loss < one.last_epoch.mean_loss,
+            "{} !< {}",
+            four.last_epoch.mean_loss,
+            one.last_epoch.mean_loss
+        );
+    }
+}

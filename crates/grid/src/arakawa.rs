@@ -1,0 +1,281 @@
+//! Arakawa-C staggered grid with non-uniform horizontal metrics.
+//!
+//! Variables live at staggered points:
+//! - rho points (cell centers): ζ, h, tracers — `(ny, nx)`
+//! - u points (west/east faces): u — `(ny, nx+1)`, face `i` between cells
+//!   `i-1` and `i`
+//! - v points (south/north faces): v — `(ny+1, nx)`, face `j` between cells
+//!   `j-1` and `j`
+//!
+//! Spacing is a tensor product `dx[i] × dy[j]`, refined near river channels
+//! and inlets exactly as the paper's Charlotte Harbor mesh concentrates
+//! resolution near land-water interfaces.
+
+use crate::bathymetry::{Bathymetry, EstuaryParams};
+use crate::field::Field2;
+use crate::sigma::SigmaCoords;
+
+/// The full model grid: bathymetry, masks at all staggered points,
+/// horizontal metrics and vertical coordinate.
+#[derive(Clone, Debug)]
+pub struct Grid {
+    /// Cells north-south.
+    pub ny: usize,
+    /// Cells east-west.
+    pub nx: usize,
+    /// Depth at rho points (m, positive down).
+    pub h: Field2,
+    /// Water mask at rho points (1 water, 0 land).
+    pub mask_rho: Field2,
+    /// Water mask at u faces, `(ny, nx+1)`.
+    pub mask_u: Field2,
+    /// Water mask at v faces, `(ny+1, nx)`.
+    pub mask_v: Field2,
+    /// Cell width (m) per column, length `nx`.
+    pub dx: Vec<f64>,
+    /// Cell height (m) per row, length `ny`.
+    pub dy: Vec<f64>,
+    /// Vertical coordinate.
+    pub sigma: SigmaCoords,
+    /// Coriolis parameter (1/s), f-plane.
+    pub coriolis: f64,
+}
+
+/// Grid construction parameters.
+#[derive(Clone, Debug)]
+pub struct GridParams {
+    pub estuary: EstuaryParams,
+    /// Base horizontal spacing (m).
+    pub base_spacing: f64,
+    /// Refinement factor near channels/inlets (cells shrink to
+    /// `base_spacing / refine_factor`).
+    pub refine_factor: f64,
+    pub nz: usize,
+    /// Latitude (deg) for the f-plane Coriolis parameter. Charlotte Harbor
+    /// is at ~26.8°N.
+    pub latitude_deg: f64,
+}
+
+impl Default for GridParams {
+    fn default() -> Self {
+        Self {
+            estuary: EstuaryParams::default(),
+            base_spacing: 500.0,
+            refine_factor: 2.0,
+            nz: 12,
+            latitude_deg: 26.8,
+        }
+    }
+}
+
+impl Grid {
+    /// Build the grid from parameters (deterministic).
+    pub fn build(p: &GridParams) -> Grid {
+        let Bathymetry { h, mask } = crate::bathymetry::generate(&p.estuary);
+        let (ny, nx) = (p.estuary.ny, p.estuary.nx);
+
+        // u-face mask: wet only if both adjacent rho cells are wet.
+        let mut mask_u = Field2::new(ny, nx + 1);
+        for j in 0..ny as isize {
+            for i in 0..=(nx as isize) {
+                let west = if i == 0 { mask.get(j, 0) } else { mask.get(j, i - 1) };
+                let east = if i == nx as isize {
+                    mask.get(j, nx as isize - 1)
+                } else {
+                    mask.get(j, i)
+                };
+                mask_u.set(j, i, if west == 1.0 && east == 1.0 { 1.0 } else { 0.0 });
+            }
+        }
+        // v-face mask.
+        let mut mask_v = Field2::new(ny + 1, nx);
+        for j in 0..=(ny as isize) {
+            for i in 0..nx as isize {
+                let south = if j == 0 { mask.get(0, i) } else { mask.get(j - 1, i) };
+                let north = if j == ny as isize {
+                    mask.get(ny as isize - 1, i)
+                } else {
+                    mask.get(j, i)
+                };
+                mask_v.set(j, i, if south == 1.0 && north == 1.0 { 1.0 } else { 0.0 });
+            }
+        }
+
+        // Non-uniform spacing: refine columns near the barrier/inlets and
+        // rows near river channels.
+        let barrier_i = ((nx as f64) * p.estuary.barrier_pos) as usize;
+        let channel_rows: Vec<usize> = (0..p.estuary.n_channels)
+            .map(|k| ((2 * k + 1) * ny) / (2 * p.estuary.n_channels))
+            .collect();
+        let dx: Vec<f64> = (0..nx)
+            .map(|i| {
+                let d = i.abs_diff(barrier_i) as f64;
+                let w = (-((d / 6.0).powi(2))).exp(); // 1 near barrier, 0 far
+                p.base_spacing * (1.0 - (1.0 - 1.0 / p.refine_factor) * w)
+            })
+            .collect();
+        let dy: Vec<f64> = (0..ny)
+            .map(|j| {
+                let d = channel_rows
+                    .iter()
+                    .map(|&c| j.abs_diff(c))
+                    .min()
+                    .unwrap_or(usize::MAX) as f64;
+                let w = (-((d / 4.0).powi(2))).exp();
+                p.base_spacing * (1.0 - (1.0 - 1.0 / p.refine_factor) * w)
+            })
+            .collect();
+
+        let omega = 7.2921e-5;
+        let coriolis = 2.0 * omega * p.latitude_deg.to_radians().sin();
+
+        Grid {
+            ny,
+            nx,
+            h,
+            mask_rho: mask,
+            mask_u,
+            mask_v,
+            dx,
+            dy,
+            sigma: SigmaCoords::new(p.nz, 3.0, 0.4),
+            coriolis,
+        }
+    }
+
+    /// Depth at a u face (average of adjacent rho cells, clamped at edges).
+    #[inline]
+    pub fn h_u(&self, j: isize, i: isize) -> f64 {
+        let west = if i == 0 { self.h.get(j, 0) } else { self.h.get(j, i - 1) };
+        let east = if i == self.nx as isize {
+            self.h.get(j, self.nx as isize - 1)
+        } else {
+            self.h.get(j, i)
+        };
+        0.5 * (west + east)
+    }
+
+    /// Depth at a v face.
+    #[inline]
+    pub fn h_v(&self, j: isize, i: isize) -> f64 {
+        let south = if j == 0 { self.h.get(0, i) } else { self.h.get(j - 1, i) };
+        let north = if j == self.ny as isize {
+            self.h.get(self.ny as isize - 1, i)
+        } else {
+            self.h.get(j, i)
+        };
+        0.5 * (south + north)
+    }
+
+    /// Cell horizontal area (m²).
+    #[inline]
+    pub fn cell_area(&self, j: usize, i: usize) -> f64 {
+        self.dx[i] * self.dy[j]
+    }
+
+    /// Total wet cell count.
+    pub fn wet_cells(&self) -> usize {
+        self.mask_rho.interior_sum() as usize
+    }
+
+    /// Smallest horizontal spacing (controls the CFL limit).
+    pub fn min_spacing(&self) -> f64 {
+        let mx = self.dx.iter().cloned().fold(f64::INFINITY, f64::min);
+        let my = self.dy.iter().cloned().fold(f64::INFINITY, f64::min);
+        mx.min(my)
+    }
+
+    /// Maximum depth (m).
+    pub fn max_depth(&self) -> f64 {
+        self.h.max_abs()
+    }
+
+    /// Barotropic CFL-stable time step (s) with safety factor `safety`.
+    pub fn barotropic_dt(&self, safety: f64) -> f64 {
+        let c = (9.81 * self.max_depth()).sqrt();
+        safety * self.min_spacing() / (c * std::f64::consts::SQRT_2)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn small() -> Grid {
+        Grid::build(&GridParams {
+            estuary: EstuaryParams {
+                ny: 32,
+                nx: 24,
+                ..Default::default()
+            },
+            nz: 4,
+            ..Default::default()
+        })
+    }
+
+    #[test]
+    fn mask_consistency_u_faces() {
+        let g = small();
+        for j in 0..g.ny as isize {
+            for i in 1..g.nx as isize {
+                let expect = g.mask_rho.get(j, i - 1) * g.mask_rho.get(j, i);
+                assert_eq!(g.mask_u.get(j, i), expect, "u mask at ({j},{i})");
+            }
+        }
+    }
+
+    #[test]
+    fn mask_consistency_v_faces() {
+        let g = small();
+        for j in 1..g.ny as isize {
+            for i in 0..g.nx as isize {
+                let expect = g.mask_rho.get(j - 1, i) * g.mask_rho.get(j, i);
+                assert_eq!(g.mask_v.get(j, i), expect, "v mask at ({j},{i})");
+            }
+        }
+    }
+
+    #[test]
+    fn refinement_near_barrier() {
+        let g = small();
+        let barrier_i = ((g.nx as f64) * EstuaryParams::default().barrier_pos) as usize;
+        let min_dx = g.dx.iter().cloned().fold(f64::INFINITY, f64::min);
+        assert!((g.dx[barrier_i] - min_dx).abs() < 1e-9, "finest at barrier");
+        assert!(g.dx[0] > 1.5 * min_dx, "coarse far from barrier");
+    }
+
+    #[test]
+    fn spacing_positive_and_bounded() {
+        let g = small();
+        let p = GridParams::default();
+        for &d in g.dx.iter().chain(g.dy.iter()) {
+            assert!(d > 0.0);
+            assert!(d <= p.base_spacing + 1e-9);
+            assert!(d >= p.base_spacing / p.refine_factor - 1e-9);
+        }
+    }
+
+    #[test]
+    fn face_depth_average() {
+        let g = small();
+        let j = (g.ny / 2) as isize;
+        let i = 5isize;
+        let expect = 0.5 * (g.h.get(j, i - 1) + g.h.get(j, i));
+        assert!((g.h_u(j, i) - expect).abs() < 1e-12);
+    }
+
+    #[test]
+    fn cfl_dt_reasonable() {
+        let g = small();
+        let dt = g.barotropic_dt(0.7);
+        // ~250 m spacing, ~12 m depth -> c ≈ 11 m/s -> dt ≈ 11 s
+        assert!(dt > 1.0 && dt < 60.0, "dt = {dt}");
+    }
+
+    #[test]
+    fn coriolis_northern_hemisphere() {
+        let g = small();
+        assert!(g.coriolis > 0.0);
+        assert!(g.coriolis < 1e-4 * 2.0);
+    }
+}

@@ -1,0 +1,269 @@
+//! Synthetic Charlotte-Harbor-like estuary bathymetry.
+//!
+//! The paper's dataset is a decade of ROMS runs over Charlotte Harbor, FL:
+//! an estuary sheltered by barrier islands, connected to the Gulf through
+//! inlets, fed by river channels, meshed non-uniformly with refinement near
+//! channels and inlets. This module generates a deterministic idealized
+//! version with the same structural features so the tidal co-oscillation
+//! the surrogate must learn (ocean wave entering through inlets, damping
+//! and phase lag inside the estuary) is present.
+//!
+//! Domain layout (i grows eastward, j northward):
+//!
+//! ```text
+//!   west (i=0)            barrier islands           east (i=nx-1)
+//!   open ocean  | inlet |  estuary  ... river channels ... land
+//!   deep, 8-16m | gaps  |  1.5-4m   (channels 6-8m)
+//! ```
+
+use crate::field::Field2;
+
+/// Parameters of the synthetic estuary.
+#[derive(Clone, Debug)]
+pub struct EstuaryParams {
+    /// Grid cells north-south.
+    pub ny: usize,
+    /// Grid cells east-west.
+    pub nx: usize,
+    /// Ocean depth at the west boundary (m).
+    pub ocean_depth: f64,
+    /// Typical estuary depth (m).
+    pub estuary_depth: f64,
+    /// Channel depth (m).
+    pub channel_depth: f64,
+    /// Fraction of `nx` where the barrier-island chain sits.
+    pub barrier_pos: f64,
+    /// Number of inlets through the barrier.
+    pub n_inlets: usize,
+    /// Inlet half-width in cells.
+    pub inlet_halfwidth: usize,
+    /// Number of river channels inside the estuary.
+    pub n_channels: usize,
+    /// Minimum wet depth (m) — cells shallower become land.
+    pub min_depth: f64,
+}
+
+impl Default for EstuaryParams {
+    fn default() -> Self {
+        Self {
+            ny: 96,
+            nx: 64,
+            ocean_depth: 12.0,
+            estuary_depth: 2.5,
+            channel_depth: 7.0,
+            barrier_pos: 0.35,
+            n_inlets: 3,
+            inlet_halfwidth: 3,
+            n_channels: 2,
+            min_depth: 0.3,
+        }
+    }
+}
+
+/// Generated bathymetry: depth at rho points plus the land/sea mask.
+#[derive(Clone, Debug)]
+pub struct Bathymetry {
+    /// Positive depth below the geoid (m) at rho points.
+    pub h: Field2,
+    /// 1.0 = water, 0.0 = land, at rho points.
+    pub mask: Field2,
+}
+
+/// Deterministic smooth pseudo-noise in [-1, 1] for bathymetric texture.
+fn texture(j: usize, i: usize) -> f64 {
+    let x = i as f64 * 0.37 + j as f64 * 0.61;
+    let y = i as f64 * 0.13 - j as f64 * 0.29;
+    (x.sin() * y.cos() + (0.5 * x).cos() * (0.7 * y).sin()) * 0.5
+}
+
+/// Build the synthetic estuary.
+pub fn generate(p: &EstuaryParams) -> Bathymetry {
+    let (ny, nx) = (p.ny, p.nx);
+    assert!(ny >= 16 && nx >= 16, "estuary needs at least 16x16 cells");
+    let barrier_i = ((nx as f64) * p.barrier_pos) as usize;
+    let mut h = Field2::new(ny, nx);
+    let mut mask = Field2::new(ny, nx);
+
+    // Inlet centers, spread evenly along the barrier.
+    let inlet_centers: Vec<usize> = (0..p.n_inlets)
+        .map(|k| ((k + 1) * ny) / (p.n_inlets + 1))
+        .collect();
+    // Channel rows: rivers run east-west at these j.
+    let channel_rows: Vec<usize> = (0..p.n_channels)
+        .map(|k| ((2 * k + 1) * ny) / (2 * p.n_channels))
+        .collect();
+
+    for j in 0..ny {
+        for i in 0..nx {
+            let (js, is_) = (j as isize, i as isize);
+            let depth;
+            let mut wet = true;
+
+            if i < barrier_i {
+                // Open ocean, shoaling toward the barrier.
+                let t = i as f64 / barrier_i.max(1) as f64;
+                depth = p.ocean_depth * (1.0 - 0.55 * t) + 0.4 * texture(j, i);
+            } else if i < barrier_i + 2 {
+                // Barrier island chain with inlets.
+                let in_inlet = inlet_centers
+                    .iter()
+                    .any(|&c| j.abs_diff(c) <= p.inlet_halfwidth);
+                if in_inlet {
+                    depth = p.channel_depth; // scoured inlet throat
+                } else {
+                    depth = 0.0;
+                    wet = false; // island
+                }
+            } else {
+                // Estuary interior.
+                let near_channel = channel_rows
+                    .iter()
+                    .map(|&c| j.abs_diff(c))
+                    .min()
+                    .unwrap_or(usize::MAX);
+                let east = (i - barrier_i) as f64 / (nx - barrier_i) as f64;
+                if near_channel <= 1 && i < nx - 2 {
+                    // River channel, shoaling gently upstream.
+                    depth = p.channel_depth * (1.0 - 0.4 * east);
+                } else {
+                    // Shallow flats shoaling toward the east shore.
+                    depth = p.estuary_depth * (1.0 - 0.7 * east) + 0.25 * texture(j, i);
+                }
+            }
+
+            // Lateral shores: top/bottom rows and east edge are land except
+            // where a channel exits.
+            let on_channel = channel_rows.iter().any(|&c| j.abs_diff(c) <= 1);
+            if j < 2 || j >= ny - 2 || (i >= nx - 2 && !on_channel) {
+                wet = false;
+            }
+            // West edge stays ocean (open boundary).
+            if i < 2 {
+                wet = true;
+            }
+
+            let d = if wet { depth.max(p.min_depth) } else { 0.0 };
+            h.set(js, is_, d);
+            mask.set(js, is_, if wet { 1.0 } else { 0.0 });
+        }
+    }
+
+    // Halo: replicate edge values so kernels can read one cell outside.
+    for j in -1..=(ny as isize) {
+        let jj = j.clamp(0, ny as isize - 1);
+        let hw = h.get(jj, 0);
+        let he = h.get(jj, nx as isize - 1);
+        h.set(j, -1, hw);
+        h.set(j, nx as isize, he);
+        mask.set(j, -1, mask.get(jj, 0));
+        mask.set(j, nx as isize, mask.get(jj, nx as isize - 1));
+    }
+    for i in -1..=(nx as isize) {
+        let ii = i.clamp(0, nx as isize - 1);
+        h.set(-1, i, h.get(0, ii));
+        h.set(ny as isize, i, h.get(ny as isize - 1, ii));
+        mask.set(-1, i, mask.get(0, ii));
+        mask.set(ny as isize, i, mask.get(ny as isize - 1, ii));
+    }
+
+    Bathymetry { h, mask }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_estuary_shape() {
+        let b = generate(&EstuaryParams::default());
+        assert_eq!(b.h.ny(), 96);
+        assert_eq!(b.h.nx(), 64);
+    }
+
+    #[test]
+    fn west_boundary_is_wet_ocean() {
+        let p = EstuaryParams::default();
+        let b = generate(&p);
+        for j in 0..p.ny as isize {
+            assert_eq!(b.mask.get(j, 0), 1.0, "west edge must be open ocean");
+            assert!(b.h.get(j, 0) > 4.0, "ocean should be deep");
+        }
+    }
+
+    #[test]
+    fn barrier_has_land_and_inlets() {
+        let p = EstuaryParams::default();
+        let b = generate(&p);
+        let bi = ((p.nx as f64) * p.barrier_pos) as isize;
+        let col: Vec<f64> = (0..p.ny as isize).map(|j| b.mask.get(j, bi)).collect();
+        let wet = col.iter().filter(|&&m| m == 1.0).count();
+        let dry = col.iter().filter(|&&m| m == 0.0).count();
+        assert!(dry > 0, "barrier must include land");
+        assert!(wet > 0, "barrier must include inlets");
+        // Roughly n_inlets * (2*halfwidth+1) wet cells.
+        assert!(wet <= p.n_inlets * (2 * p.inlet_halfwidth + 2) + 2);
+    }
+
+    #[test]
+    fn estuary_shallower_than_ocean() {
+        let p = EstuaryParams::default();
+        let b = generate(&p);
+        let bi = ((p.nx as f64) * p.barrier_pos) as isize;
+        // Average wet depth ocean side vs estuary side.
+        let mut ocean = (0.0, 0);
+        let mut est = (0.0, 0);
+        for j in 0..p.ny as isize {
+            for i in 0..p.nx as isize {
+                if b.mask.get(j, i) == 1.0 {
+                    if i < bi {
+                        ocean = (ocean.0 + b.h.get(j, i), ocean.1 + 1);
+                    } else if i > bi + 2 {
+                        est = (est.0 + b.h.get(j, i), est.1 + 1);
+                    }
+                }
+            }
+        }
+        let ocean_mean = ocean.0 / ocean.1 as f64;
+        let est_mean = est.0 / est.1 as f64;
+        assert!(
+            ocean_mean > 2.0 * est_mean,
+            "ocean {ocean_mean} should be much deeper than estuary {est_mean}"
+        );
+    }
+
+    #[test]
+    fn wet_cells_have_positive_depth() {
+        let b = generate(&EstuaryParams::default());
+        for j in 0..b.h.ny() as isize {
+            for i in 0..b.h.nx() as isize {
+                if b.mask.get(j, i) == 1.0 {
+                    assert!(b.h.get(j, i) > 0.0);
+                } else {
+                    assert_eq!(b.h.get(j, i), 0.0);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn deterministic() {
+        let a = generate(&EstuaryParams::default());
+        let b = generate(&EstuaryParams::default());
+        assert_eq!(a.h.max_abs_diff(&b.h), 0.0);
+        assert_eq!(a.mask.max_abs_diff(&b.mask), 0.0);
+    }
+
+    #[test]
+    fn scales_to_other_sizes() {
+        let p = EstuaryParams {
+            ny: 32,
+            nx: 24,
+            ..Default::default()
+        };
+        let b = generate(&p);
+        assert_eq!(b.h.ny(), 32);
+        assert_eq!(b.h.nx(), 24);
+        // Still has wet cells on both sides of the barrier.
+        assert!(b.mask.interior_sum() > 100.0);
+    }
+}

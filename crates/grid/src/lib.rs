@@ -1,0 +1,17 @@
+//! # coastal-grid
+//!
+//! Spatial discretization substrate for the coastal circulation simulator:
+//! Arakawa-C staggered grids, terrain-following sigma layers, land/sea
+//! masks, non-uniform metrics, and a deterministic synthetic
+//! Charlotte-Harbor-like estuary generator (barrier islands, inlets, river
+//! channels) standing in for the paper's proprietary mesh.
+
+pub mod arakawa;
+pub mod bathymetry;
+pub mod field;
+pub mod sigma;
+
+pub use arakawa::{Grid, GridParams};
+pub use bathymetry::{generate as generate_estuary, Bathymetry, EstuaryParams};
+pub use field::{Field2, Field3};
+pub use sigma::SigmaCoords;

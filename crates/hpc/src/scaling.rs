@@ -1,0 +1,102 @@
+//! Strong/weak scaling measurement helpers used by the benchmark harness.
+
+use std::time::Instant;
+
+/// One row of a scaling table.
+#[derive(Clone, Copy, Debug)]
+pub struct ScalingPoint {
+    pub workers: usize,
+    pub seconds: f64,
+    /// `t(1) / t(p)` for strong scaling; `throughput(p) / throughput(1)`
+    /// interpretation is the caller's for weak scaling.
+    pub speedup: f64,
+    /// `speedup / workers`.
+    pub efficiency: f64,
+}
+
+/// Wall-clock a closure.
+pub fn time_it<R>(f: impl FnOnce() -> R) -> (R, f64) {
+    let t0 = Instant::now();
+    let r = f();
+    (r, t0.elapsed().as_secs_f64())
+}
+
+/// Run `run(p)` (which returns wall seconds) for each worker count and
+/// derive speedup/efficiency against the first entry.
+pub fn strong_scaling(workers: &[usize], mut run: impl FnMut(usize) -> f64) -> Vec<ScalingPoint> {
+    assert!(!workers.is_empty());
+    let mut out = Vec::with_capacity(workers.len());
+    let mut t1 = None;
+    for &p in workers {
+        let secs = run(p);
+        let base = *t1.get_or_insert(secs * workers[0] as f64 / workers[0] as f64);
+        let speedup = base / secs * (workers[0] as f64);
+        out.push(ScalingPoint {
+            workers: p,
+            seconds: secs,
+            speedup,
+            efficiency: speedup / p as f64,
+        });
+    }
+    out
+}
+
+/// Weak scaling: `run(p)` returns achieved throughput (work-units/s).
+/// Speedup is throughput relative to the first entry.
+pub fn weak_scaling(workers: &[usize], mut run: impl FnMut(usize) -> f64) -> Vec<ScalingPoint> {
+    assert!(!workers.is_empty());
+    let mut out = Vec::with_capacity(workers.len());
+    let mut base = None;
+    for &p in workers {
+        let tput = run(p);
+        let b = *base.get_or_insert(tput);
+        let speedup = tput / b * (workers[0] as f64);
+        out.push(ScalingPoint {
+            workers: p,
+            seconds: tput, // throughput, reusing the field
+            speedup,
+            efficiency: speedup / p as f64,
+        });
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn strong_scaling_ideal() {
+        // Synthetic perfectly scaling runtime: t(p) = 8 / p.
+        let pts = strong_scaling(&[1, 2, 4], |p| 8.0 / p as f64);
+        assert!((pts[0].speedup - 1.0).abs() < 1e-9);
+        assert!((pts[1].speedup - 2.0).abs() < 1e-9);
+        assert!((pts[2].speedup - 4.0).abs() < 1e-9);
+        assert!((pts[2].efficiency - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn strong_scaling_with_serial_fraction() {
+        // Amdahl: t(p) = 1 + 4/p.
+        let pts = strong_scaling(&[1, 4], |p| 1.0 + 4.0 / p as f64);
+        assert!(pts[1].speedup > 1.0 && pts[1].speedup < 4.0);
+        assert!(pts[1].efficiency < 1.0);
+    }
+
+    #[test]
+    fn weak_scaling_linear_throughput() {
+        let pts = weak_scaling(&[1, 2, 8], |p| 10.0 * p as f64);
+        assert!((pts[2].speedup - 8.0).abs() < 1e-9);
+        assert!((pts[2].efficiency - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn time_it_measures() {
+        let (v, secs) = time_it(|| {
+            std::thread::sleep(std::time::Duration::from_millis(10));
+            42
+        });
+        assert_eq!(v, 42);
+        assert!(secs >= 0.009);
+    }
+}

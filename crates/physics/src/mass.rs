@@ -1,0 +1,300 @@
+//! Water-mass conservation residual (paper Eq. 4/5).
+//!
+//! For each horizontal cell Ω with contour Γ the conservation law reads
+//!
+//! ```text
+//!   ∂/∂t ∫_Ω (h + ζ) dΩ  =  ∮_Γ (h + ζ) u · n dΓ
+//! ```
+//!
+//! The residual is the absolute difference of the two sides, normalized by
+//! cell area — units m/s, matching the paper's thresholds (3e-4 … 5.5e-4
+//! m/s; "smaller than 5.0e-4 m/s is typically considered acceptable in
+//! oceanography").
+//!
+//! Inputs are *cell-centered* snapshots (the AI surrogate's output format):
+//! face values are reconstructed by averaging adjacent centers, exactly the
+//! information available when verifying a neural prediction.
+
+use cgrid::Grid;
+use cocean::Snapshot;
+use rayon::prelude::*;
+
+/// Residual field plus summary statistics for one snapshot pair.
+#[derive(Clone, Debug)]
+pub struct ResidualField {
+    pub ny: usize,
+    pub nx: usize,
+    /// Per-cell |residual| (m/s); land cells are NaN-free zeros but are
+    /// excluded from the statistics.
+    pub values: Vec<f64>,
+    /// Mean |residual| over wet cells (m/s) — the paper's pass metric.
+    pub mean: f64,
+    /// Max |residual| over wet cells.
+    pub max: f64,
+    /// Wet cell count.
+    pub wet_cells: usize,
+}
+
+/// Depth-average a cell-centered 3-D velocity using sigma thicknesses.
+fn depth_average(
+    grid: &Grid,
+    snap: &Snapshot,
+    field: &[f32],
+    j: usize,
+    i: usize,
+    zeta: f64,
+) -> f64 {
+    let h = grid.h.get(j as isize, i as isize);
+    let total = (h + zeta).max(1e-6);
+    let mut acc = 0.0;
+    for k in 0..snap.nz {
+        let dz = grid.sigma.dz(k, h, zeta);
+        acc += field[snap.idx3(k, j, i)] as f64 * dz;
+    }
+    acc / total
+}
+
+/// Compute the residual field between two consecutive snapshots.
+///
+/// The time derivative uses the forward difference of ζ; the boundary flux
+/// uses the time-mean of the two snapshots' depth-averaged velocities
+/// (second-order in the snapshot interval).
+pub fn water_mass_residual(grid: &Grid, before: &Snapshot, after: &Snapshot) -> ResidualField {
+    assert_eq!((before.ny, before.nx, before.nz), (after.ny, after.nx, after.nz));
+    assert!(
+        after.time > before.time,
+        "snapshots must be time-ordered: {} !> {}",
+        after.time,
+        before.time
+    );
+    let (ny, nx) = (before.ny, before.nx);
+    let dt = after.time - before.time;
+
+    // Pre-compute depth-averaged velocities at cell centers, time-averaged
+    // over the pair.
+    let wet = |j: usize, i: usize| grid.mask_rho.get(j as isize, i as isize) > 0.5;
+    let mut ubar = vec![0.0f64; ny * nx];
+    let mut vbar = vec![0.0f64; ny * nx];
+    ubar.par_chunks_mut(nx)
+        .zip(vbar.par_chunks_mut(nx))
+        .enumerate()
+        .for_each(|(j, (urow, vrow))| {
+            for i in 0..nx {
+                if !wet(j, i) {
+                    continue;
+                }
+                let z0 = before.zeta[before.idx2(j, i)] as f64;
+                let z1 = after.zeta[after.idx2(j, i)] as f64;
+                urow[i] = 0.5
+                    * (depth_average(grid, before, &before.u, j, i, z0)
+                        + depth_average(grid, after, &after.u, j, i, z1));
+                vrow[i] = 0.5
+                    * (depth_average(grid, before, &before.v, j, i, z0)
+                        + depth_average(grid, after, &after.v, j, i, z1));
+            }
+        });
+
+    // Time-mean total depth per cell.
+    let depth_at = |j: usize, i: usize| -> f64 {
+        let h = grid.h.get(j as isize, i as isize);
+        let z = 0.5 * (before.zeta[before.idx2(j, i)] + after.zeta[after.idx2(j, i)]) as f64;
+        h + z
+    };
+
+    let values: Vec<f64> = (0..ny * nx)
+        .into_par_iter()
+        .map(|cell| {
+            let (j, i) = (cell / nx, cell % nx);
+            if !wet(j, i) {
+                return 0.0;
+            }
+            let area = grid.cell_area(j, i);
+            let dzeta_dt = (after.zeta[after.idx2(j, i)] - before.zeta[before.idx2(j, i)]) as f64
+                / dt;
+            // Storage term per unit area: ∂ζ/∂t (h is constant in time).
+            let storage = dzeta_dt;
+
+            // Net inflow per unit area: -div[(h+ζ)ū]. Face values average
+            // the two adjacent centers; land neighbors contribute no flux.
+            let face = |ja: usize, ia: usize, jb: usize, ib: usize, vel: &[f64]| -> f64 {
+                if !wet(jb, ib) {
+                    return 0.0;
+                }
+                let d = 0.5 * (depth_at(ja, ia) + depth_at(jb, ib));
+                let v = 0.5 * (vel[ja * nx + ia] + vel[jb * nx + ib]);
+                d * v
+            };
+            let dx = grid.dx[i];
+            let dy = grid.dy[j];
+            let flux_e = if i + 1 < nx { face(j, i, j, i + 1, &ubar) * dy } else { 0.0 };
+            let flux_w = if i > 0 { face(j, i, j, i - 1, &ubar) * dy } else {
+                // Open west boundary: use the cell's own value.
+                depth_at(j, i) * ubar[j * nx + i] * dy
+            };
+            let flux_n = if j + 1 < ny { face(j, i, j + 1, i, &vbar) * dy_to_dx(dx) } else { 0.0 };
+            let flux_s = if j > 0 { face(j, i, j - 1, i, &vbar) * dy_to_dx(dx) } else { 0.0 };
+
+            let inflow = -(flux_e - flux_w + flux_n - flux_s) / area;
+            (storage - inflow).abs()
+        })
+        .collect();
+
+    let mut mean = 0.0;
+    let mut max = 0.0f64;
+    let mut wet_cells = 0usize;
+    for j in 0..ny {
+        for i in 0..nx {
+            if wet(j, i) {
+                let v = values[j * nx + i];
+                mean += v;
+                max = max.max(v);
+                wet_cells += 1;
+            }
+        }
+    }
+    mean /= wet_cells.max(1) as f64;
+
+    ResidualField {
+        ny,
+        nx,
+        values,
+        mean,
+        max,
+        wet_cells,
+    }
+}
+
+/// v-face flux length is dx (the face spans the cell width).
+#[inline]
+fn dy_to_dx(dx: f64) -> f64 {
+    dx
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cgrid::{EstuaryParams, GridParams};
+    use cocean::{OceanConfig, Roms, TidalForcing};
+
+    fn grid() -> Grid {
+        Grid::build(&GridParams {
+            estuary: EstuaryParams {
+                ny: 24,
+                nx: 20,
+                ..Default::default()
+            },
+            nz: 4,
+            ..Default::default()
+        })
+    }
+
+    fn simulated_pair(grid: &Grid) -> (Snapshot, Snapshot) {
+        let mut cfg = OceanConfig::for_grid(grid);
+        cfg.forcing = TidalForcing::single(0.3, 12.0);
+        let mut m = Roms::new(grid, cfg);
+        m.spinup(4.0 * 3600.0);
+        let interval = m.cfg.dt_slow();
+        let snaps = m.record(2, interval);
+        (snaps[0].clone(), snaps[1].clone())
+    }
+
+    #[test]
+    fn simulator_output_has_small_residual() {
+        let g = grid();
+        let (a, b) = simulated_pair(&g);
+        let r = water_mass_residual(&g, &a, &b);
+        assert!(r.wet_cells > 200);
+        assert!(
+            r.mean < 5.0e-4,
+            "simulator must pass the oceanographic threshold: mean {}",
+            r.mean
+        );
+    }
+
+    #[test]
+    fn corrupted_output_fails() {
+        let g = grid();
+        let (a, b) = simulated_pair(&g);
+        let r_clean = water_mass_residual(&g, &a, &b);
+        // Corrupt ζ with a large blob — mass appears from nowhere.
+        let mut bad = b.clone();
+        for j in 8..14 {
+            for i in 8..14 {
+                if g.mask_rho.get(j as isize, i as isize) > 0.5 {
+                    let idx = bad.idx2(j, i);
+                    bad.zeta[idx] += 2.0;
+                }
+            }
+        }
+        let r_bad = water_mass_residual(&g, &a, &bad);
+        assert!(
+            r_clean.mean <= crate::verify::ACCEPTED_THRESHOLD,
+            "clean simulation must pass: {}",
+            r_clean.mean
+        );
+        assert!(
+            r_bad.mean > crate::verify::ACCEPTED_THRESHOLD,
+            "corruption must fail the oceanographic threshold: {}",
+            r_bad.mean
+        );
+        assert!(
+            r_bad.mean > 3.0 * r_clean.mean,
+            "corruption must raise the residual: {} vs {}",
+            r_bad.mean,
+            r_clean.mean
+        );
+    }
+
+    #[test]
+    fn still_water_zero_residual() {
+        let g = grid();
+        let mk = |t: f64| {
+            let cfg = OceanConfig::for_grid(&g);
+            let m = Roms::new(&g, cfg);
+            let mut s = m.snapshot();
+            s.time = t;
+            s
+        };
+        let r = water_mass_residual(&g, &mk(0.0), &mk(1800.0));
+        assert!(r.mean < 1e-12);
+        assert!(r.max < 1e-12);
+    }
+
+    #[test]
+    fn residual_scales_with_violation() {
+        // The residual *increase* over the clean baseline scales linearly
+        // with a uniform spurious mass injection.
+        let g = grid();
+        let (a, b) = simulated_pair(&g);
+        let r_clean = water_mass_residual(&g, &a, &b);
+        let bump = |amount: f32| {
+            let mut s = b.clone();
+            for v in s.zeta.iter_mut() {
+                *v += amount;
+            }
+            water_mass_residual(&g, &a, &s).mean
+        };
+        let d_small = bump(0.05) - r_clean.mean;
+        let d_large = bump(0.5) - r_clean.mean;
+        assert!(d_small > 0.0);
+        assert!(
+            d_large > 5.0 * d_small,
+            "excess residual must scale: {d_small} vs {d_large}"
+        );
+    }
+
+    #[test]
+    fn land_cells_excluded() {
+        let g = grid();
+        let (a, b) = simulated_pair(&g);
+        let r = water_mass_residual(&g, &a, &b);
+        for j in 0..r.ny {
+            for i in 0..r.nx {
+                if g.mask_rho.get(j as isize, i as isize) < 0.5 {
+                    assert_eq!(r.values[j * r.nx + i], 0.0);
+                }
+            }
+        }
+        assert_eq!(r.wet_cells, g.wet_cells());
+    }
+}

@@ -1,0 +1,328 @@
+//! Episode construction: sliding windows over the simulation archive,
+//! initial/boundary-condition encoding, and target extraction
+//! (paper §III-A/B).
+//!
+//! An *episode* is `T+1` consecutive snapshots: the initial condition plus
+//! `T` forecast steps. The model input carries the IC as a full frame and
+//! the `T` future frames with only their lateral boundary ring populated;
+//! the target is the `T` full interior frames.
+
+use cocean::Snapshot;
+use ctensor::prelude::*;
+
+use crate::normalize::NormStats;
+
+/// Sliding-window episode indexing (paper: window 24, stride 6 over the
+/// training year; non-overlapping over the test year).
+#[derive(Clone, Debug)]
+pub struct WindowSpec {
+    /// Forecast steps per episode (T).
+    pub t_out: usize,
+    /// Start-to-start stride in snapshots.
+    pub stride: usize,
+}
+
+impl WindowSpec {
+    /// Paper training split: stride 6.
+    pub fn train(t_out: usize) -> Self {
+        Self { t_out, stride: 6 }
+    }
+
+    /// Paper test split: non-overlapping windows.
+    pub fn test(t_out: usize) -> Self {
+        Self {
+            t_out,
+            stride: t_out + 1,
+        }
+    }
+
+    /// Episode start indices available in an archive of `n` snapshots.
+    pub fn starts(&self, n: usize) -> Vec<usize> {
+        let len = self.t_out + 1;
+        if n < len {
+            return Vec::new();
+        }
+        (0..=(n - len)).step_by(self.stride).collect()
+    }
+}
+
+/// One training/evaluation instance as dense tensors.
+#[derive(Clone, Debug)]
+pub struct Episode {
+    /// `(1, 3, ny, nx, nz, T+1)` — IC frame + boundary frames (normalized).
+    pub x3d: Tensor,
+    /// `(1, 1, ny, nx, T+1)`.
+    pub x2d: Tensor,
+    /// `(1, 3, ny, nx, nz, T)` normalized targets.
+    pub target3: Tensor,
+    /// `(1, 1, ny, nx, T)`.
+    pub target2: Tensor,
+    /// Model time of the initial condition.
+    pub t0: f64,
+}
+
+impl Episode {
+    /// Payload bytes (Table II "training sample" accounting).
+    pub fn nbytes(&self) -> usize {
+        (self.x3d.numel() + self.x2d.numel() + self.target3.numel() + self.target2.numel()) * 4
+    }
+}
+
+/// Configuration for episode encoding.
+#[derive(Clone, Debug)]
+pub struct EncodeConfig {
+    /// Width (cells) of the lateral boundary ring carried by future frames.
+    pub boundary_ring: usize,
+}
+
+impl Default for EncodeConfig {
+    fn default() -> Self {
+        Self { boundary_ring: 2 }
+    }
+}
+
+/// Is cell (j, i) on the lateral boundary ring?
+#[inline]
+pub fn on_ring(j: usize, i: usize, ny: usize, nx: usize, ring: usize) -> bool {
+    j < ring || i < ring || j >= ny - ring || i >= nx - ring
+}
+
+/// Encode `T+1` consecutive snapshots into one episode.
+pub fn encode_episode(
+    snaps: &[Snapshot],
+    stats: &NormStats,
+    cfg: &EncodeConfig,
+) -> Episode {
+    assert!(snaps.len() >= 2, "episode needs at least IC + 1 step");
+    let t_out = snaps.len() - 1;
+    let (nz, ny, nx) = (snaps[0].nz, snaps[0].ny, snaps[0].nx);
+    let t_in = t_out + 1;
+    let ring = cfg.boundary_ring;
+
+    let mut x3d = vec![0.0f32; 3 * ny * nx * nz * t_in];
+    let mut x2d = vec![0.0f32; ny * nx * t_in];
+    let mut target3 = vec![0.0f32; 3 * ny * nx * nz * t_out];
+    let mut target2 = vec![0.0f32; ny * nx * t_out];
+
+    // Layout helpers for (C, H, W, D, T) / (C, H, W, T) row-major.
+    let i3 = |c: usize, j: usize, i: usize, k: usize, t: usize| {
+        (((c * ny + j) * nx + i) * nz + k) * t_in + t
+    };
+    let i2 = |j: usize, i: usize, t: usize| (j * nx + i) * t_in + t;
+    let o3 = |c: usize, j: usize, i: usize, k: usize, t: usize| {
+        (((c * ny + j) * nx + i) * nz + k) * t_out + t
+    };
+    let o2 = |j: usize, i: usize, t: usize| (j * nx + i) * t_out + t;
+
+    for (t, snap) in snaps.iter().enumerate() {
+        let full = t == 0;
+        for j in 0..ny {
+            for i in 0..nx {
+                let carry = full || on_ring(j, i, ny, nx, ring);
+                for k in 0..nz {
+                    let s3 = snap.idx3(k, j, i);
+                    let vals = [
+                        stats.normalize(0, snap.u[s3]),
+                        stats.normalize(1, snap.v[s3]),
+                        stats.normalize(2, snap.w[s3]),
+                    ];
+                    if carry {
+                        for (c, &v) in vals.iter().enumerate() {
+                            x3d[i3(c, j, i, k, t)] = v;
+                        }
+                    }
+                    if t > 0 {
+                        for (c, &v) in vals.iter().enumerate() {
+                            target3[o3(c, j, i, k, t - 1)] = v;
+                        }
+                    }
+                }
+                let z = stats.normalize(3, snap.zeta[snap.idx2(j, i)]);
+                if carry {
+                    x2d[i2(j, i, t)] = z;
+                }
+                if t > 0 {
+                    target2[o2(j, i, t - 1)] = z;
+                }
+            }
+        }
+    }
+
+    Episode {
+        x3d: Tensor::from_vec(x3d, &[1, 3, ny, nx, nz, t_in]),
+        x2d: Tensor::from_vec(x2d, &[1, 1, ny, nx, t_in]),
+        target3: Tensor::from_vec(target3, &[1, 3, ny, nx, nz, t_out]),
+        target2: Tensor::from_vec(target2, &[1, 1, ny, nx, t_out]),
+        t0: snaps[0].time,
+    }
+}
+
+/// Stack per-sample episodes into one batched episode along axis 0.
+pub fn stack_episodes(eps: &[Episode]) -> Episode {
+    assert!(!eps.is_empty());
+    let cat = |f: fn(&Episode) -> &Tensor| {
+        let parts: Vec<&Tensor> = eps.iter().map(f).collect();
+        Tensor::concat(&parts, 0)
+    };
+    Episode {
+        x3d: cat(|e| &e.x3d),
+        x2d: cat(|e| &e.x2d),
+        target3: cat(|e| &e.target3),
+        target2: cat(|e| &e.target2),
+        t0: eps[0].t0,
+    }
+}
+
+/// Decode a model prediction `(1,3,ny,nx,nz,T)/(1,1,ny,nx,T)` (normalized)
+/// back into physical-unit snapshots, one per forecast step.
+pub fn decode_prediction(
+    pred3: &Tensor,
+    pred2: &Tensor,
+    stats: &NormStats,
+    t0: f64,
+    dt: f64,
+) -> Vec<Snapshot> {
+    let s3 = pred3.shape().to_vec();
+    assert_eq!(s3[0], 1, "decode one sample at a time");
+    let (ny, nx, nz, t_out) = (s3[2], s3[3], s3[4], s3[5]);
+    let mut out = Vec::with_capacity(t_out);
+    for t in 0..t_out {
+        let mut snap = Snapshot {
+            time: t0 + (t + 1) as f64 * dt,
+            nz,
+            ny,
+            nx,
+            zeta: vec![0.0; ny * nx],
+            u: vec![0.0; nz * ny * nx],
+            v: vec![0.0; nz * ny * nx],
+            w: vec![0.0; nz * ny * nx],
+        };
+        for j in 0..ny {
+            for i in 0..nx {
+                for k in 0..nz {
+                    let dst = snap.idx3(k, j, i);
+                    snap.u[dst] = stats.denormalize(0, pred3.at(&[0, 0, j, i, k, t]));
+                    snap.v[dst] = stats.denormalize(1, pred3.at(&[0, 1, j, i, k, t]));
+                    snap.w[dst] = stats.denormalize(2, pred3.at(&[0, 2, j, i, k, t]));
+                }
+                snap.zeta[j * nx + i] = stats.denormalize(3, pred2.at(&[0, 0, j, i, t]));
+            }
+        }
+        out.push(snap);
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn snap(t: f64, ny: usize, nx: usize, nz: usize, fill: f32) -> Snapshot {
+        Snapshot {
+            time: t,
+            nz,
+            ny,
+            nx,
+            zeta: vec![fill; ny * nx],
+            u: vec![fill; nz * ny * nx],
+            v: vec![fill * 2.0; nz * ny * nx],
+            w: vec![fill * 3.0; nz * ny * nx],
+        }
+    }
+
+    #[test]
+    fn window_starts_paper_counts() {
+        // Sliding window of 24 steps, stride 6: from n snapshots we get
+        // floor((n - 25)/6) + 1 instances.
+        let spec = WindowSpec::train(24);
+        assert_eq!(spec.starts(25).len(), 1);
+        assert_eq!(spec.starts(31).len(), 2);
+        assert_eq!(spec.starts(24).len(), 0);
+        // Test windows do not overlap.
+        let t = WindowSpec::test(24);
+        let starts = t.starts(100);
+        for w in starts.windows(2) {
+            assert!(w[1] - w[0] >= 25);
+        }
+    }
+
+    #[test]
+    fn episode_shapes() {
+        let snaps: Vec<Snapshot> = (0..4).map(|t| snap(t as f64, 8, 6, 2, t as f32)).collect();
+        let ep = encode_episode(&snaps, &NormStats::identity(), &EncodeConfig::default());
+        assert_eq!(ep.x3d.shape(), &[1, 3, 8, 6, 2, 4]);
+        assert_eq!(ep.x2d.shape(), &[1, 1, 8, 6, 4]);
+        assert_eq!(ep.target3.shape(), &[1, 3, 8, 6, 2, 3]);
+        assert_eq!(ep.target2.shape(), &[1, 1, 8, 6, 3]);
+    }
+
+    #[test]
+    fn ic_full_future_frames_boundary_only() {
+        let snaps: Vec<Snapshot> = (0..3).map(|t| snap(t as f64, 8, 8, 1, 1.0)).collect();
+        let cfg = EncodeConfig { boundary_ring: 2 };
+        let ep = encode_episode(&snaps, &NormStats::identity(), &cfg);
+        // Frame 0: interior cell populated.
+        assert_eq!(ep.x2d.at(&[0, 0, 4, 4, 0]), 1.0);
+        // Frames 1..: interior zero, ring populated.
+        assert_eq!(ep.x2d.at(&[0, 0, 4, 4, 1]), 0.0);
+        assert_eq!(ep.x2d.at(&[0, 0, 0, 4, 1]), 1.0);
+        assert_eq!(ep.x2d.at(&[0, 0, 4, 1, 2]), 1.0);
+        assert_eq!(ep.x2d.at(&[0, 0, 7, 7, 2]), 1.0);
+    }
+
+    #[test]
+    fn targets_are_future_interiors() {
+        let snaps: Vec<Snapshot> = (0..3).map(|t| snap(t as f64, 8, 8, 1, t as f32)).collect();
+        let ep = encode_episode(&snaps, &NormStats::identity(), &EncodeConfig::default());
+        // target frame 0 = snapshot 1, frame 1 = snapshot 2.
+        assert_eq!(ep.target2.at(&[0, 0, 4, 4, 0]), 1.0);
+        assert_eq!(ep.target2.at(&[0, 0, 4, 4, 1]), 2.0);
+        // u channel of target carries snapshot u.
+        assert_eq!(ep.target3.at(&[0, 0, 4, 4, 0, 1]), 2.0);
+        // w channel = 3×fill.
+        assert_eq!(ep.target3.at(&[0, 2, 4, 4, 0, 1]), 6.0);
+    }
+
+    #[test]
+    fn normalization_applied() {
+        let snaps: Vec<Snapshot> = (0..2).map(|t| snap(t as f64, 6, 6, 1, 2.0)).collect();
+        let stats = NormStats {
+            mean: [1.0, 0.0, 0.0, 0.0],
+            std: [2.0, 1.0, 1.0, 4.0],
+        };
+        let ep = encode_episode(&snaps, &stats, &EncodeConfig::default());
+        // u = 2.0 → (2-1)/2 = 0.5 in the IC frame.
+        assert_eq!(ep.x3d.at(&[0, 0, 3, 3, 0, 0]), 0.5);
+        // ζ = 2.0 → 0.5 with std 4.
+        assert_eq!(ep.x2d.at(&[0, 0, 3, 3, 0]), 0.5);
+    }
+
+    #[test]
+    fn decode_inverts_encode_targets() {
+        let snaps: Vec<Snapshot> = (0..3).map(|t| snap(t as f64 * 10.0, 6, 6, 2, 1.5)).collect();
+        let stats = NormStats {
+            mean: [0.5, 0.0, -0.5, 0.1],
+            std: [2.0, 3.0, 0.25, 1.5],
+        };
+        let ep = encode_episode(&snaps, &stats, &EncodeConfig::default());
+        let decoded = decode_prediction(&ep.target3, &ep.target2, &stats, 0.0, 10.0);
+        assert_eq!(decoded.len(), 2);
+        for (d, orig) in decoded.iter().zip(&snaps[1..]) {
+            for (a, b) in d.u.iter().zip(&orig.u) {
+                assert!((a - b).abs() < 1e-5);
+            }
+            for (a, b) in d.zeta.iter().zip(&orig.zeta) {
+                assert!((a - b).abs() < 1e-5);
+            }
+        }
+    }
+
+    #[test]
+    fn stack_batches_episodes() {
+        let snaps: Vec<Snapshot> = (0..3).map(|t| snap(t as f64, 6, 6, 1, 1.0)).collect();
+        let ep = encode_episode(&snaps, &NormStats::identity(), &EncodeConfig::default());
+        let batch = stack_episodes(&[ep.clone(), ep]);
+        assert_eq!(batch.x3d.shape()[0], 2);
+        assert_eq!(batch.target2.shape()[0], 2);
+    }
+}

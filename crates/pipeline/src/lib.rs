@@ -1,0 +1,31 @@
+//! # coastal-pipeline
+//!
+//! The GPU-style training pipeline of the paper's §III-D, on CPU:
+//!
+//! - [`normalize`]: z-score statistics over the training year.
+//! - [`dataset`]: sliding-window episode construction — full initial
+//!   condition + boundary-ring future frames in, full interiors out.
+//! - [`store`]: FP16-compressed snapshot archive (the 2.6 TB store,
+//!   scaled), decompression-as-I/O.
+//! - [`loader`]: prefetch workers, pinned staging-buffer pool, and
+//!   deterministic batch ordering.
+//! - [`trainer`]: Adam training with activation-memory budgeting and
+//!   throughput metering.
+//! - [`parallel`]: data-parallel replicas with synchronous gradient
+//!   all-reduce (weak scaling, Fig. 10).
+
+pub mod dataset;
+pub mod loader;
+pub mod normalize;
+pub mod parallel;
+pub mod store;
+pub mod trainer;
+
+pub use dataset::{
+    decode_prediction, encode_episode, stack_episodes, EncodeConfig, Episode, WindowSpec,
+};
+pub use loader::{DataLoader, LoaderConfig};
+pub use normalize::NormStats;
+pub use parallel::{train_data_parallel, ParallelConfig, ParallelStats};
+pub use store::SnapshotStore;
+pub use trainer::{EpochStats, StepStats, TrainConfig, Trainer};

@@ -1,0 +1,169 @@
+//! U-Net-style decoder: transposed-conv upsampling with batch norm, GELU
+//! and encoder skip connections (paper §III-C "Decoder", Fig. 2).
+//!
+//! Each upsampling step doubles the three spatial token axes and halves
+//! the channels. A kernel-2/stride-2 transposed convolution over tokens is
+//! exactly "linear to 8·C_out channels + pixel shuffle" (DESIGN.md §4).
+
+use ctensor::prelude::*;
+use rand::rngs::StdRng;
+
+use crate::config::Win4;
+
+/// One decoder level: upsample ×2 spatially, fuse the encoder skip, then
+/// BatchNorm + GELU (transposed-conv block of the paper).
+#[derive(Clone)]
+pub struct UpsampleBlock {
+    pub expand: Linear,
+    pub bn: BatchNorm,
+    /// Linear applied after concatenating the skip connection
+    /// (`2·C_out → C_out`), fusing fine-grained encoder features.
+    pub fuse: Linear,
+    pub out_dim: usize,
+}
+
+impl UpsampleBlock {
+    pub fn new(name: &str, in_dim: usize, out_dim: usize, rng: &mut StdRng) -> Self {
+        Self {
+            expand: Linear::new(&format!("{name}.expand"), in_dim, 8 * out_dim, true, rng),
+            bn: BatchNorm::new(&format!("{name}.bn"), out_dim),
+            fuse: Linear::new(&format!("{name}.fuse"), 2 * out_dim, out_dim, true, rng),
+            out_dim,
+        }
+    }
+
+    /// `x`: coarse tokens `(B, H, W, D, T, C_in)`; `skip`: encoder tokens
+    /// `(B, H2, W2, D2, T, C_out)` at the target resolution (upsampled
+    /// output is cropped to the skip's extents before fusion).
+    pub fn forward(&self, g: &mut Graph, x: Var, skip: Var) -> Var {
+        let s = g.value(x).shape().to_vec();
+        assert_eq!(s.len(), 6);
+        let (b, h, w, d, t) = (s[0], s[1], s[2], s[3], s[4]);
+        let target = g.value(skip).shape().to_vec();
+        assert_eq!(target.len(), 6);
+        assert_eq!(target[5], self.out_dim, "skip channel mismatch");
+
+        // Transposed conv k=s=2 over the three spatial axes.
+        let x = self.expand.forward(g, x); // (B,H,W,D,T, 8*C)
+        let x = g.reshape(x, &[b, h, w, d, t, 2, 2, 2, self.out_dim]);
+        // -> (B, H,2, W,2, D,2, T, C)
+        let x = g.permute(x, &[0, 1, 5, 2, 6, 3, 7, 4, 8]);
+        let x = g.reshape(x, &[b, 2 * h, 2 * w, 2 * d, t, self.out_dim]);
+
+        // Crop to the skip's (possibly odd) extents.
+        let mut x = x;
+        for (axis, &dim) in target[1..5].iter().enumerate() {
+            let cur = g.value(x).shape()[axis + 1];
+            if cur != dim {
+                assert!(cur > dim, "upsample produced {cur} < target {dim}");
+                x = g.narrow(x, axis + 1, 0, dim);
+            }
+        }
+
+        // BatchNorm over channels (tokens are channels-last: fold
+        // everything else into the batch axis).
+        let n: usize = target[..5].iter().product();
+        let flat = g.reshape(x, &[n, self.out_dim]);
+        let normed = self.bn.forward(g, flat);
+        let act = g.gelu(normed);
+        let x = g.reshape(act, &target);
+
+        // Skip fusion: concat along channels, linear back to C_out.
+        let cat = g.concat(&[x, skip], 5);
+        self.fuse.forward(g, cat)
+    }
+}
+
+impl Module for UpsampleBlock {
+    fn forward(&self, _g: &mut Graph, _x: Var) -> Var {
+        panic!("UpsampleBlock requires a skip connection; call forward(g, x, skip)");
+    }
+
+    fn collect_params(&self, out: &mut Vec<Param>) {
+        self.expand.collect_params(out);
+        self.bn.collect_params(out);
+        self.fuse.collect_params(out);
+    }
+}
+
+/// Token extents after one ×2 spatial upsample cropped to `target`.
+pub fn upsampled_dims(coarse: Win4, target: Win4) -> Win4 {
+    [
+        (2 * coarse[0]).min(target[0]),
+        (2 * coarse[1]).min(target[1]),
+        (2 * coarse[2]).min(target[2]),
+        coarse[3],
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    #[test]
+    fn upsample_matches_skip_shape() {
+        let mut rng = StdRng::seed_from_u64(0);
+        let up = UpsampleBlock::new("u", 16, 8, &mut rng);
+        let mut g = Graph::inference();
+        let coarse = g.constant(ctensor::init::randn(&[2, 2, 3, 1, 4, 16], 0.5, &mut rng));
+        let skip = g.constant(ctensor::init::randn(&[2, 3, 5, 2, 4, 8], 0.5, &mut rng));
+        let y = up.forward(&mut g, coarse, skip);
+        assert_eq!(g.value(y).shape(), &[2, 3, 5, 2, 4, 8]);
+    }
+
+    #[test]
+    fn exact_double_no_crop() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let up = UpsampleBlock::new("u", 8, 4, &mut rng);
+        let mut g = Graph::inference();
+        let coarse = g.constant(ctensor::init::randn(&[1, 2, 2, 1, 3, 8], 0.5, &mut rng));
+        let skip = g.constant(ctensor::init::randn(&[1, 4, 4, 2, 3, 4], 0.5, &mut rng));
+        let y = up.forward(&mut g, coarse, skip);
+        assert_eq!(g.value(y).shape(), &[1, 4, 4, 2, 3, 4]);
+    }
+
+    #[test]
+    fn grads_reach_both_paths() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let up = UpsampleBlock::new("u", 8, 4, &mut rng);
+        let mut g = Graph::new();
+        g.training = true;
+        let coarse = g.leaf(ctensor::init::randn(&[1, 2, 2, 1, 2, 8], 0.5, &mut rng));
+        let skip = g.leaf(ctensor::init::randn(&[1, 4, 4, 2, 2, 4], 0.5, &mut rng));
+        let y = up.forward(&mut g, coarse, skip);
+        let sq = g.square(y);
+        let loss = g.mean_all(sq);
+        let grads = g.backward(loss);
+        assert!(grads.get(coarse).is_some(), "grad must reach coarse input");
+        assert!(grads.get(skip).is_some(), "grad must reach the skip");
+        for p in up.params() {
+            assert!(p.grad().is_some(), "missing grad: {}", p.name());
+        }
+    }
+
+    #[test]
+    fn skip_changes_output() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let up = UpsampleBlock::new("u", 8, 4, &mut rng);
+        let coarse0 = ctensor::init::randn(&[1, 2, 2, 1, 2, 8], 0.5, &mut rng);
+        let skip_a = ctensor::init::randn(&[1, 4, 4, 2, 2, 4], 0.5, &mut rng);
+        let skip_b = skip_a.add_scalar(1.0);
+        let run = |skip: Tensor| {
+            let mut g = Graph::inference();
+            let c = g.constant(coarse0.clone());
+            let s = g.constant(skip);
+            let y = up.forward(&mut g, c, s);
+            g.value(y).clone()
+        };
+        let ya = run(skip_a);
+        let yb = run(skip_b);
+        assert!(ya.max_abs_diff(&yb) > 1e-4, "skip must influence output");
+    }
+
+    #[test]
+    fn upsampled_dims_math() {
+        assert_eq!(upsampled_dims([2, 3, 1, 4], [3, 5, 2, 4]), [3, 5, 2, 4]);
+        assert_eq!(upsampled_dims([2, 2, 1, 4], [4, 4, 2, 4]), [4, 4, 2, 4]);
+    }
+}

@@ -1,0 +1,419 @@
+//! Patch embedding / recovery and positional encoding.
+//!
+//! All convolutions in this architecture have kernel == stride
+//! (non-overlapping), so each is *exactly* a reshape/permute plus a linear
+//! map — see DESIGN.md §4. Field tensors are `(B, C, H, W, D, T)`; token
+//! tensors are channels-last `(B, H', W', D', T, E)`.
+
+use ctensor::prelude::*;
+use rand::rngs::StdRng;
+
+/// Non-overlapping 3-D patch embedding: `(B, C, H, W, D, T)` →
+/// `(B, H/ph, W/pw, D/pd, T, E)`. Inputs are zero-padded up to patch
+/// multiples (the paper pads 898×598 → 900×600).
+#[derive(Clone)]
+pub struct PatchEmbed3d {
+    pub proj: Linear,
+    pub channels: usize,
+    pub patch: [usize; 3],
+}
+
+impl PatchEmbed3d {
+    pub fn new(
+        name: &str,
+        channels: usize,
+        patch: [usize; 3],
+        embed_dim: usize,
+        rng: &mut StdRng,
+    ) -> Self {
+        let in_features = channels * patch[0] * patch[1] * patch[2];
+        Self {
+            proj: Linear::new(&format!("{name}.proj"), in_features, embed_dim, true, rng),
+            channels,
+            patch,
+        }
+    }
+
+    pub fn forward(&self, g: &mut Graph, x: Var) -> Var {
+        let s = g.value(x).shape().to_vec();
+        assert_eq!(s.len(), 6, "expected (B,C,H,W,D,T), got {s:?}");
+        let (b, c, h, w, d, t) = (s[0], s[1], s[2], s[3], s[4], s[5]);
+        assert_eq!(c, self.channels);
+        let [ph, pw, pd] = self.patch;
+        let (hp, wp, dp) = (
+            h.div_ceil(ph) * ph,
+            w.div_ceil(pw) * pw,
+            d.div_ceil(pd) * pd,
+        );
+        let x = g.pad(
+            x,
+            &[
+                (0, 0),
+                (0, 0),
+                (0, hp - h),
+                (0, wp - w),
+                (0, dp - d),
+                (0, 0),
+            ],
+        );
+        let (nh, nw, nd) = (hp / ph, wp / pw, dp / pd);
+        let x = g.reshape(x, &[b, c, nh, ph, nw, pw, nd, pd, t]);
+        // -> (B, nh, nw, nd, T, C, ph, pw, pd)
+        let x = g.permute(x, &[0, 2, 4, 6, 8, 1, 3, 5, 7]);
+        let x = g.reshape(x, &[b, nh, nw, nd, t, c * ph * pw * pd]);
+        self.proj.forward(g, x)
+    }
+}
+
+impl Module for PatchEmbed3d {
+    fn forward(&self, g: &mut Graph, x: Var) -> Var {
+        PatchEmbed3d::forward(self, g, x)
+    }
+
+    fn collect_params(&self, out: &mut Vec<Param>) {
+        self.proj.collect_params(out);
+    }
+}
+
+/// Non-overlapping 2-D patch embedding for the surface variable:
+/// `(B, C, H, W, T)` → `(B, H/ph, W/pw, 1, T, E)` (a depth-1 token plane
+/// ready for concatenation under the 3-D planes).
+#[derive(Clone)]
+pub struct PatchEmbed2d {
+    pub proj: Linear,
+    pub channels: usize,
+    pub patch: [usize; 2],
+}
+
+impl PatchEmbed2d {
+    pub fn new(
+        name: &str,
+        channels: usize,
+        patch: [usize; 2],
+        embed_dim: usize,
+        rng: &mut StdRng,
+    ) -> Self {
+        let in_features = channels * patch[0] * patch[1];
+        Self {
+            proj: Linear::new(&format!("{name}.proj"), in_features, embed_dim, true, rng),
+            channels,
+            patch,
+        }
+    }
+
+    pub fn forward(&self, g: &mut Graph, x: Var) -> Var {
+        let s = g.value(x).shape().to_vec();
+        assert_eq!(s.len(), 5, "expected (B,C,H,W,T), got {s:?}");
+        let (b, c, h, w, t) = (s[0], s[1], s[2], s[3], s[4]);
+        assert_eq!(c, self.channels);
+        let [ph, pw] = self.patch;
+        let (hp, wp) = (h.div_ceil(ph) * ph, w.div_ceil(pw) * pw);
+        let x = g.pad(x, &[(0, 0), (0, 0), (0, hp - h), (0, wp - w), (0, 0)]);
+        let (nh, nw) = (hp / ph, wp / pw);
+        let x = g.reshape(x, &[b, c, nh, ph, nw, pw, t]);
+        // -> (B, nh, nw, T, C, ph, pw)
+        let x = g.permute(x, &[0, 2, 4, 6, 1, 3, 5]);
+        let x = g.reshape(x, &[b, nh, nw, t, c * ph * pw]);
+        let x = self.proj.forward(g, x);
+        let e = *g.value(x).shape().last().unwrap();
+        g.reshape(x, &[b, nh, nw, 1, t, e])
+    }
+}
+
+impl Module for PatchEmbed2d {
+    fn forward(&self, g: &mut Graph, x: Var) -> Var {
+        PatchEmbed2d::forward(self, g, x)
+    }
+
+    fn collect_params(&self, out: &mut Vec<Param>) {
+        self.proj.collect_params(out);
+    }
+}
+
+/// Absolute positional encoding: separate spatial `(1,H,W,D,1,E)` and
+/// temporal `(1,1,1,1,T,E)` embeddings added by broadcasting (paper §III-C
+/// "Positional encoding", following TimeSformer).
+#[derive(Clone)]
+pub struct PositionalEncoding {
+    pub spatial: Param,
+    pub temporal: Param,
+}
+
+impl PositionalEncoding {
+    pub fn new(name: &str, dims: [usize; 4], embed: usize, rng: &mut StdRng) -> Self {
+        let spatial = ctensor::init::trunc_normal(
+            &[1, dims[0], dims[1], dims[2], 1, embed],
+            0.02,
+            rng,
+        );
+        let temporal = ctensor::init::trunc_normal(&[1, 1, 1, 1, dims[3], embed], 0.02, rng);
+        Self {
+            spatial: Param::new(format!("{name}.spatial"), spatial),
+            temporal: Param::new(format!("{name}.temporal"), temporal),
+        }
+    }
+
+    pub fn forward(&self, g: &mut Graph, x: Var) -> Var {
+        let sp = g.param(&self.spatial);
+        let tp = g.param(&self.temporal);
+        let x = g.add(x, sp);
+        g.add(x, tp)
+    }
+}
+
+impl Module for PositionalEncoding {
+    fn forward(&self, g: &mut Graph, x: Var) -> Var {
+        PositionalEncoding::forward(self, g, x)
+    }
+
+    fn collect_params(&self, out: &mut Vec<Param>) {
+        out.push(self.spatial.clone());
+        out.push(self.temporal.clone());
+    }
+}
+
+/// Patch recovery for 3-D variables (paper: transposed conv + BN + GELU
+/// then a 1×1 conv): tokens `(B, H', W', D', T, E)` →
+/// `(B, C, H'·ph, W'·pw, D'·pd, T)`.
+#[derive(Clone)]
+pub struct PatchRecover3d {
+    pub expand: Linear,
+    pub bn: BatchNorm,
+    pub head: Linear,
+    pub channels: usize,
+    pub patch: [usize; 3],
+}
+
+impl PatchRecover3d {
+    pub fn new(
+        name: &str,
+        embed_dim: usize,
+        channels: usize,
+        patch: [usize; 3],
+        rng: &mut StdRng,
+    ) -> Self {
+        let out_features = channels * patch[0] * patch[1] * patch[2];
+        Self {
+            expand: Linear::new(&format!("{name}.expand"), embed_dim, out_features, true, rng),
+            bn: BatchNorm::new(&format!("{name}.bn"), channels),
+            head: Linear::new(&format!("{name}.head"), channels, channels, true, rng),
+            channels,
+            patch,
+        }
+    }
+
+    pub fn forward(&self, g: &mut Graph, x: Var) -> Var {
+        let s = g.value(x).shape().to_vec();
+        assert_eq!(s.len(), 6);
+        let (b, nh, nw, nd, t) = (s[0], s[1], s[2], s[3], s[4]);
+        let [ph, pw, pd] = self.patch;
+        let c = self.channels;
+        // Transposed conv with kernel == stride: linear then pixel-shuffle.
+        let x = self.expand.forward(g, x); // (B,nh,nw,nd,T, C*ph*pw*pd)
+        let x = g.reshape(x, &[b, nh, nw, nd, t, c, ph, pw, pd]);
+        // -> (B, C, nh, ph, nw, pw, nd, pd, T)
+        let x = g.permute(x, &[0, 5, 1, 6, 2, 7, 3, 8, 4]);
+        let x = g.reshape(x, &[b, c, nh * ph, nw * pw, nd * pd, t]);
+        // BatchNorm over channels, then GELU, then the 1×1 conv (= linear
+        // over channels at full resolution, channels-last).
+        let x = self.bn.forward(g, x);
+        let x = g.gelu(x);
+        let x = g.permute(x, &[0, 2, 3, 4, 5, 1]); // channels last
+        let x = self.head.forward(g, x);
+        g.permute(x, &[0, 5, 1, 2, 3, 4])
+    }
+}
+
+impl Module for PatchRecover3d {
+    fn forward(&self, g: &mut Graph, x: Var) -> Var {
+        PatchRecover3d::forward(self, g, x)
+    }
+
+    fn collect_params(&self, out: &mut Vec<Param>) {
+        self.expand.collect_params(out);
+        self.bn.collect_params(out);
+        self.head.collect_params(out);
+    }
+}
+
+/// Patch recovery for the 2-D surface variable: tokens
+/// `(B, H', W', 1, T, E)` → `(B, C, H'·ph, W'·pw, T)`.
+#[derive(Clone)]
+pub struct PatchRecover2d {
+    pub expand: Linear,
+    pub bn: BatchNorm,
+    pub head: Linear,
+    pub channels: usize,
+    pub patch: [usize; 2],
+}
+
+impl PatchRecover2d {
+    pub fn new(
+        name: &str,
+        embed_dim: usize,
+        channels: usize,
+        patch: [usize; 2],
+        rng: &mut StdRng,
+    ) -> Self {
+        let out_features = channels * patch[0] * patch[1];
+        Self {
+            expand: Linear::new(&format!("{name}.expand"), embed_dim, out_features, true, rng),
+            bn: BatchNorm::new(&format!("{name}.bn"), channels),
+            head: Linear::new(&format!("{name}.head"), channels, channels, true, rng),
+            channels,
+            patch,
+        }
+    }
+
+    pub fn forward(&self, g: &mut Graph, x: Var) -> Var {
+        let s = g.value(x).shape().to_vec();
+        assert_eq!(s.len(), 6);
+        let (b, nh, nw, nd, t) = (s[0], s[1], s[2], s[3], s[4]);
+        assert_eq!(nd, 1, "2-D recovery expects a depth-1 token plane");
+        let [ph, pw] = self.patch;
+        let c = self.channels;
+        let x = g.reshape(x, &[b, nh, nw, t, s[5]]);
+        let x = self.expand.forward(g, x); // (B,nh,nw,T, C*ph*pw)
+        let x = g.reshape(x, &[b, nh, nw, t, c, ph, pw]);
+        // -> (B, C, nh, ph, nw, pw, T)
+        let x = g.permute(x, &[0, 4, 1, 5, 2, 6, 3]);
+        let x = g.reshape(x, &[b, c, nh * ph, nw * pw, t]);
+        let x = self.bn.forward(g, x);
+        let x = g.gelu(x);
+        let x = g.permute(x, &[0, 2, 3, 4, 1]);
+        let x = self.head.forward(g, x);
+        g.permute(x, &[0, 4, 1, 2, 3])
+    }
+}
+
+impl Module for PatchRecover2d {
+    fn forward(&self, g: &mut Graph, x: Var) -> Var {
+        PatchRecover2d::forward(self, g, x)
+    }
+
+    fn collect_params(&self, out: &mut Vec<Param>) {
+        self.expand.collect_params(out);
+        self.bn.collect_params(out);
+        self.head.collect_params(out);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    #[test]
+    fn embed3d_shapes() {
+        let mut rng = StdRng::seed_from_u64(0);
+        let e = PatchEmbed3d::new("e", 3, [4, 4, 2], 16, &mut rng);
+        let mut g = Graph::inference();
+        let x = g.constant(Tensor::ones(&[2, 3, 8, 12, 4, 5]));
+        let y = e.forward(&mut g, x);
+        assert_eq!(g.value(y).shape(), &[2, 2, 3, 2, 5, 16]);
+    }
+
+    #[test]
+    fn embed3d_pads_odd_sizes() {
+        let mut rng = StdRng::seed_from_u64(0);
+        let e = PatchEmbed3d::new("e", 3, [4, 4, 2], 8, &mut rng);
+        let mut g = Graph::inference();
+        let x = g.constant(Tensor::ones(&[1, 3, 7, 9, 3, 2]));
+        let y = e.forward(&mut g, x);
+        assert_eq!(g.value(y).shape(), &[1, 2, 3, 2, 2, 8]);
+    }
+
+    #[test]
+    fn embed2d_produces_depth1_plane() {
+        let mut rng = StdRng::seed_from_u64(0);
+        let e = PatchEmbed2d::new("e", 1, [4, 4], 16, &mut rng);
+        let mut g = Graph::inference();
+        let x = g.constant(Tensor::ones(&[2, 1, 8, 8, 5]));
+        let y = e.forward(&mut g, x);
+        assert_eq!(g.value(y).shape(), &[2, 2, 2, 1, 5, 16]);
+    }
+
+    #[test]
+    fn embedding_is_patch_local() {
+        // Changing one input cell only affects the token of its patch.
+        let mut rng = StdRng::seed_from_u64(1);
+        let e = PatchEmbed3d::new("e", 1, [2, 2, 2], 4, &mut rng);
+        let base = Tensor::zeros(&[1, 1, 4, 4, 2, 1]);
+        let mut bumped = base.clone();
+        bumped.set(&[0, 0, 3, 3, 0, 0], 1.0); // patch (1,1,0)
+        let run = |t: Tensor| {
+            let mut g = Graph::inference();
+            let x = g.constant(t);
+            let y = e.forward(&mut g, x);
+            g.value(y).clone()
+        };
+        let y0 = run(base);
+        let y1 = run(bumped);
+        for hh in 0..2 {
+            for ww in 0..2 {
+                let diff: f32 = (0..4)
+                    .map(|c| (y0.at(&[0, hh, ww, 0, 0, c]) - y1.at(&[0, hh, ww, 0, 0, c])).abs())
+                    .sum();
+                if (hh, ww) == (1, 1) {
+                    assert!(diff > 1e-6, "target patch must change");
+                } else {
+                    assert_eq!(diff, 0.0, "other patches must not change");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn recover3d_inverts_shape() {
+        let mut rng = StdRng::seed_from_u64(0);
+        let r = PatchRecover3d::new("r", 16, 3, [4, 4, 2], &mut rng);
+        let mut g = Graph::inference();
+        let x = g.constant(Tensor::ones(&[2, 2, 3, 2, 5, 16]));
+        let y = r.forward(&mut g, x);
+        assert_eq!(g.value(y).shape(), &[2, 3, 8, 12, 4, 5]);
+    }
+
+    #[test]
+    fn recover2d_inverts_shape() {
+        let mut rng = StdRng::seed_from_u64(0);
+        let r = PatchRecover2d::new("r", 16, 1, [4, 4], &mut rng);
+        let mut g = Graph::inference();
+        let x = g.constant(Tensor::ones(&[2, 2, 2, 1, 5, 16]));
+        let y = r.forward(&mut g, x);
+        assert_eq!(g.value(y).shape(), &[2, 1, 8, 8, 5]);
+    }
+
+    #[test]
+    fn positional_encoding_broadcasts() {
+        let mut rng = StdRng::seed_from_u64(0);
+        let pe = PositionalEncoding::new("pe", [2, 3, 2, 4], 8, &mut rng);
+        let mut g = Graph::inference();
+        let x = g.constant(Tensor::zeros(&[2, 2, 3, 2, 4, 8]));
+        let y = pe.forward(&mut g, x);
+        assert_eq!(g.value(y).shape(), &[2, 2, 3, 2, 4, 8]);
+        // Same spatial position at different times differs only by the
+        // temporal embedding -> spatial embedding recoverable.
+        let yv = g.value(y);
+        let a = yv.at(&[0, 1, 2, 0, 0, 3]);
+        let b = yv.at(&[1, 1, 2, 0, 0, 3]);
+        assert_eq!(a, b, "batch elements share the encoding");
+    }
+
+    #[test]
+    fn grads_flow_through_embed_and_recover() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let e = PatchEmbed3d::new("e", 2, [2, 2, 2], 6, &mut rng);
+        let r = PatchRecover3d::new("r", 6, 2, [2, 2, 2], &mut rng);
+        let mut g = Graph::new();
+        g.training = true;
+        let x = g.constant(ctensor::init::randn(&[1, 2, 4, 4, 2, 3], 1.0, &mut rng));
+        let tokens = e.forward(&mut g, x);
+        let back = r.forward(&mut g, tokens);
+        let sq = g.square(back);
+        let loss = g.mean_all(sq);
+        g.backward(loss);
+        for p in e.params().iter().chain(r.params().iter()) {
+            assert!(p.grad().is_some(), "missing grad for {}", p.name());
+        }
+    }
+}

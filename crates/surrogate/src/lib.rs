@@ -1,0 +1,28 @@
+//! # coastal-surrogate
+//!
+//! The paper's primary contribution: a 4D Swin Transformer surrogate for
+//! coastal ocean circulation. The model consumes an initial condition plus
+//! future lateral boundary conditions and predicts the interior evolution
+//! of `u, v, w, ζ` over the episode:
+//!
+//! - [`embed`]: 3-D/2-D patch embedding, depth-axis merge, absolute
+//!   spatial+temporal positional encoding, patch recovery heads.
+//! - [`window`]: 4-D window partition/reverse, cyclic shift, and the
+//!   padding/seam attention masks.
+//! - [`block`]: W-MSA / SW-MSA block pairs and spatial patch merging.
+//! - [`decoder`]: U-Net-style upsampling with skip connections.
+//! - [`model::SwinSurrogate`]: full encoder-decoder with optional
+//!   activation checkpointing (paper §III-D).
+//! - [`loss`]: masked episode loss and the Table-III MAE/RMSE metrics.
+
+pub mod block;
+pub mod config;
+pub mod decoder;
+pub mod embed;
+pub mod loss;
+pub mod model;
+pub mod window;
+
+pub use config::SwinConfig;
+pub use loss::{episode_loss, evaluate_errors};
+pub use model::{CheckpointPolicy, SwinSurrogate};

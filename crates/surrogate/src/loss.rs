@@ -1,0 +1,168 @@
+//! Training loss and evaluation metrics over masked mesh cells.
+
+use ctensor::prelude::*;
+
+/// Water-mask-weighted MSE over both variable groups.
+///
+/// `mask` is the `(ny, nx)` land/sea mask (1 = water); land cells carry no
+/// loss, mirroring the paper's masked training on the estuary mesh.
+pub fn episode_loss(
+    g: &mut Graph,
+    pred3: Var,
+    pred2: Var,
+    target3: &Tensor,
+    target2: &Tensor,
+    mask: &Tensor,
+) -> Var {
+    let (ny, nx) = (mask.shape()[0], mask.shape()[1]);
+    // Broadcast masks: (1,1,ny,nx,1,1) against (B,3,ny,nx,nz,T) and
+    // (1,1,ny,nx,1) against (B,1,ny,nx,T).
+    let m3 = g.constant(mask.reshaped(&[1, 1, ny, nx, 1, 1]).broadcast_to(g_shape(g, pred3).as_slice()));
+    let m2 = g.constant(mask.reshaped(&[1, 1, ny, nx, 1]).broadcast_to(g_shape(g, pred2).as_slice()));
+    let t3 = g.constant(target3.clone());
+    let t2 = g.constant(target2.clone());
+    let l3 = g.masked_mse_loss(pred3, t3, m3);
+    let l2 = g.masked_mse_loss(pred2, t2, m2);
+    g.add(l3, l2)
+}
+
+fn g_shape(g: &Graph, v: Var) -> Vec<usize> {
+    g.value(v).shape().to_vec()
+}
+
+/// Per-variable MAE and RMSE over water cells, in *physical units* —
+/// predictions and targets must already be denormalized. Layout:
+/// `pred3/tgt3`: `(B,3,ny,nx,nz,T)`, `pred2/tgt2`: `(B,1,ny,nx,T)`,
+/// `mask`: `(ny,nx)`.
+///
+/// Returns `[(mae, rmse); 4]` ordered `u, v, w, ζ` like the paper's
+/// Table III.
+pub fn evaluate_errors(
+    pred3: &Tensor,
+    tgt3: &Tensor,
+    pred2: &Tensor,
+    tgt2: &Tensor,
+    mask: &Tensor,
+) -> [(f64, f64); 4] {
+    let s3 = pred3.shape().to_vec();
+    let (b, ny, nx, nz, t) = (s3[0], s3[2], s3[3], s3[4], s3[5]);
+    assert_eq!(tgt3.shape(), pred3.shape());
+    assert_eq!(pred2.shape(), tgt2.shape());
+    let mut out = [(0.0, 0.0); 4];
+
+    // 3-D variables.
+    for c in 0..3 {
+        let mut abs_sum = 0.0f64;
+        let mut sq_sum = 0.0f64;
+        let mut n = 0usize;
+        for bi in 0..b {
+            for j in 0..ny {
+                for i in 0..nx {
+                    if mask.at(&[j, i]) < 0.5 {
+                        continue;
+                    }
+                    for k in 0..nz {
+                        for tt in 0..t {
+                            let idx = [bi, c, j, i, k, tt];
+                            let d = (pred3.at(&idx) - tgt3.at(&idx)) as f64;
+                            abs_sum += d.abs();
+                            sq_sum += d * d;
+                            n += 1;
+                        }
+                    }
+                }
+            }
+        }
+        let n = n.max(1) as f64;
+        out[c] = (abs_sum / n, (sq_sum / n).sqrt());
+    }
+
+    // ζ.
+    let mut abs_sum = 0.0f64;
+    let mut sq_sum = 0.0f64;
+    let mut n = 0usize;
+    for bi in 0..b {
+        for j in 0..ny {
+            for i in 0..nx {
+                if mask.at(&[j, i]) < 0.5 {
+                    continue;
+                }
+                for tt in 0..t {
+                    let idx = [bi, 0, j, i, tt];
+                    let d = (pred2.at(&idx) - tgt2.at(&idx)) as f64;
+                    abs_sum += d.abs();
+                    sq_sum += d * d;
+                    n += 1;
+                }
+            }
+        }
+    }
+    let n = n.max(1) as f64;
+    out[3] = (abs_sum / n, (sq_sum / n).sqrt());
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn loss_ignores_land() {
+        let mut g = Graph::new();
+        let pred3 = g.leaf(Tensor::full(&[1, 3, 2, 2, 1, 1], 10.0));
+        let pred2 = g.leaf(Tensor::full(&[1, 1, 2, 2, 1], 10.0));
+        let tgt3 = Tensor::zeros(&[1, 3, 2, 2, 1, 1]);
+        let tgt2 = Tensor::zeros(&[1, 1, 2, 2, 1]);
+        // Only cell (0,0) is water.
+        let mask = Tensor::from_vec(vec![1.0, 0.0, 0.0, 0.0], &[2, 2]);
+        let loss = episode_loss(&mut g, pred3, pred2, &tgt3, &tgt2, &mask);
+        // 3-D part: 3 channels × err² 100 over 1 water cell → 100;
+        // 2-D part: 100. Total 200.
+        assert!((g.value(loss).item() - 200.0).abs() < 1e-3);
+        let grads = g.backward(loss);
+        let gp = grads.get(pred3).unwrap();
+        // Land-cell gradients are zero.
+        assert_eq!(gp.at(&[0, 0, 1, 1, 0, 0]), 0.0);
+        assert!(gp.at(&[0, 0, 0, 0, 0, 0]).abs() > 0.0);
+    }
+
+    #[test]
+    fn perfect_prediction_zero_loss() {
+        let mut g = Graph::new();
+        let t3 = Tensor::full(&[1, 3, 2, 2, 1, 2], 0.7);
+        let t2 = Tensor::full(&[1, 1, 2, 2, 2], -0.3);
+        let pred3 = g.leaf(t3.clone());
+        let pred2 = g.leaf(t2.clone());
+        let mask = Tensor::ones(&[2, 2]);
+        let loss = episode_loss(&mut g, pred3, pred2, &t3, &t2, &mask);
+        assert!(g.value(loss).item().abs() < 1e-10);
+    }
+
+    #[test]
+    fn evaluate_errors_known_values() {
+        let pred3 = Tensor::full(&[1, 3, 1, 2, 1, 1], 1.0);
+        let tgt3 = Tensor::zeros(&[1, 3, 1, 2, 1, 1]);
+        let pred2 = Tensor::full(&[1, 1, 1, 2, 1], 3.0);
+        let tgt2 = Tensor::full(&[1, 1, 1, 2, 1], 1.0);
+        let mask = Tensor::ones(&[1, 2]);
+        let e = evaluate_errors(&pred3, &tgt3, &pred2, &tgt2, &mask);
+        for c in 0..3 {
+            assert!((e[c].0 - 1.0).abs() < 1e-9, "mae {c}");
+            assert!((e[c].1 - 1.0).abs() < 1e-9, "rmse {c}");
+        }
+        assert!((e[3].0 - 2.0).abs() < 1e-9);
+        assert!((e[3].1 - 2.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn evaluate_errors_excludes_land() {
+        let mut pred3 = Tensor::zeros(&[1, 3, 1, 2, 1, 1]);
+        pred3.set(&[0, 0, 0, 1, 0, 0], 100.0); // land cell error
+        let tgt3 = Tensor::zeros(&[1, 3, 1, 2, 1, 1]);
+        let pred2 = Tensor::zeros(&[1, 1, 1, 2, 1]);
+        let tgt2 = Tensor::zeros(&[1, 1, 1, 2, 1]);
+        let mask = Tensor::from_vec(vec![1.0, 0.0], &[1, 2]);
+        let e = evaluate_errors(&pred3, &tgt3, &pred2, &tgt2, &mask);
+        assert_eq!(e[0].0, 0.0, "land error must not count");
+    }
+}

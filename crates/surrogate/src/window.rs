@@ -1,0 +1,343 @@
+//! 4-D window partitioning, cyclic shifting and shifted-window attention
+//! masks (paper §III-C, Fig. 3).
+//!
+//! Token tensors are channels-last: `(B, H, W, D, T, E)`. A window of
+//! extent `(wh, ww, wd, wt)` groups `N = wh·ww·wd·wt` tokens; partitioning
+//! yields `(B·nW, N, E)` ready for [`ctensor::nn::MultiHeadAttention`].
+
+use ctensor::prelude::*;
+
+use crate::config::Win4;
+
+/// Round `dims` up to multiples of `win` (the pad applied before
+/// partitioning).
+pub fn padded_dims(dims: Win4, win: Win4) -> Win4 {
+    [
+        dims[0].div_ceil(win[0]) * win[0],
+        dims[1].div_ceil(win[1]) * win[1],
+        dims[2].div_ceil(win[2]) * win[2],
+        dims[3].div_ceil(win[3]) * win[3],
+    ]
+}
+
+/// Number of windows after padding.
+pub fn window_count(dims: Win4, win: Win4) -> usize {
+    let p = padded_dims(dims, win);
+    (p[0] / win[0]) * (p[1] / win[1]) * (p[2] / win[2]) * (p[3] / win[3])
+}
+
+/// Partition `(B, H, W, D, T, E)` into `(B·nW, N, E)` windows, zero-padding
+/// the grid to window multiples first.
+pub fn window_partition(g: &mut Graph, x: Var, dims: Win4, win: Win4) -> Var {
+    let shape = g.value(x).shape().to_vec();
+    assert_eq!(shape.len(), 6, "expected (B,H,W,D,T,E), got {shape:?}");
+    let b = shape[0];
+    let e = shape[5];
+    assert_eq!(&shape[1..5], &dims, "dims mismatch");
+    let p = padded_dims(dims, win);
+    let x = g.pad(
+        x,
+        &[
+            (0, 0),
+            (0, p[0] - dims[0]),
+            (0, p[1] - dims[1]),
+            (0, p[2] - dims[2]),
+            (0, p[3] - dims[3]),
+            (0, 0),
+        ],
+    );
+    let (n0, n1, n2, n3) = (p[0] / win[0], p[1] / win[1], p[2] / win[2], p[3] / win[3]);
+    let x = g.reshape(
+        x,
+        &[b, n0, win[0], n1, win[1], n2, win[2], n3, win[3], e],
+    );
+    // (B, n0, w0, n1, w1, n2, w2, n3, w3, E)
+    //  0   1   2   3   4   5   6   7   8  9
+    let x = g.permute(x, &[0, 1, 3, 5, 7, 2, 4, 6, 8, 9]);
+    let n_windows = n0 * n1 * n2 * n3;
+    let n_tokens = win[0] * win[1] * win[2] * win[3];
+    g.reshape(x, &[b * n_windows, n_tokens, e])
+}
+
+/// Inverse of [`window_partition`]: `(B·nW, N, E)` back to
+/// `(B, H, W, D, T, E)` with padding removed.
+pub fn window_reverse(g: &mut Graph, x: Var, b: usize, dims: Win4, win: Win4) -> Var {
+    let p = padded_dims(dims, win);
+    let (n0, n1, n2, n3) = (p[0] / win[0], p[1] / win[1], p[2] / win[2], p[3] / win[3]);
+    let e = *g.value(x).shape().last().unwrap();
+    let x = g.reshape(
+        x,
+        &[b, n0, n1, n2, n3, win[0], win[1], win[2], win[3], e],
+    );
+    // -> (B, n0, w0, n1, w1, n2, w2, n3, w3, E)
+    let x = g.permute(x, &[0, 1, 5, 2, 6, 3, 7, 4, 8, 9]);
+    let x = g.reshape(x, &[b, p[0], p[1], p[2], p[3], e]);
+    let mut out = x;
+    for (axis, (&pd, &d)) in p.iter().zip(&dims).enumerate() {
+        if pd != d {
+            out = g.narrow(out, axis + 1, 0, d);
+        }
+    }
+    out
+}
+
+/// Effective SW-MSA shift per axis: `win/2`, but 0 where a single window
+/// already covers the whole (padded) axis — shifting there would only
+/// create spurious seams (matching the reference Video-Swin behavior).
+pub fn effective_shift(dims: Win4, win: Win4) -> Win4 {
+    let p = padded_dims(dims, win);
+    let mut s = [0; 4];
+    for a in 0..4 {
+        s[a] = if p[a] > win[a] { win[a] / 2 } else { 0 };
+    }
+    s
+}
+
+/// Cyclic shift by `-effective_shift` along the four token axes (SW-MSA
+/// forward shift). `sign = +1` restores.
+pub fn cyclic_shift(g: &mut Graph, x: Var, dims: Win4, win: Win4, sign: isize) -> Var {
+    let s = effective_shift(dims, win);
+    let shifts: Vec<isize> = std::iter::once(0)
+        .chain(s.iter().map(|&v| sign * (v as isize)))
+        .chain(std::iter::once(0))
+        .collect();
+    if shifts.iter().all(|&v| v == 0) {
+        return x;
+    }
+    g.roll(x, &shifts)
+}
+
+/// Build the additive attention mask `(nW, N, N)`: 0 where a token pair
+/// may attend, `-1e9` otherwise.
+///
+/// Derivation on the *rolled* grid (roll by `-s`): position `i` holds the
+/// token originally at `(i + s) mod plen`. Two tokens in a window may
+/// attend iff neither is padding and no wrap seam separates them. Each
+/// axis therefore gets labels: 0 = unwrapped content, 1 = wrapped content
+/// (positions `>= plen - s`), 2 = padding; composite labels must match
+/// for a pair to attend.
+///
+/// With `shifted = false` this yields the plain W-MSA mask (padding only —
+/// all zeros when the grid divides evenly).
+pub fn attention_mask(dims: Win4, win: Win4, shifted: bool) -> Tensor {
+    let p = padded_dims(dims, win);
+    let shift = if shifted {
+        effective_shift(dims, win)
+    } else {
+        [0; 4]
+    };
+
+    // Per-axis labels on the rolled grid.
+    let label_axis = |len: usize, plen: usize, s: usize| -> Vec<usize> {
+        (0..plen)
+            .map(|i| {
+                let orig = (i + s) % plen;
+                if orig >= len {
+                    2 // padding
+                } else if s > 0 && i >= plen - s {
+                    1 // wrapped across the seam
+                } else {
+                    0
+                }
+            })
+            .collect()
+    };
+    let l0 = label_axis(dims[0], p[0], shift[0]);
+    let l1 = label_axis(dims[1], p[1], shift[1]);
+    let l2 = label_axis(dims[2], p[2], shift[2]);
+    let l3 = label_axis(dims[3], p[3], shift[3]);
+
+    let (n0, n1, n2, n3) = (p[0] / win[0], p[1] / win[1], p[2] / win[2], p[3] / win[3]);
+    let n_windows = n0 * n1 * n2 * n3;
+    let n_tokens = win[0] * win[1] * win[2] * win[3];
+
+    // Composite label per token of each window (base 3 per axis).
+    let mut labels = vec![0usize; n_windows * n_tokens];
+    let mut widx = 0;
+    for b0 in 0..n0 {
+        for b1 in 0..n1 {
+            for b2 in 0..n2 {
+                for b3 in 0..n3 {
+                    let mut tidx = 0;
+                    for i0 in 0..win[0] {
+                        for i1 in 0..win[1] {
+                            for i2 in 0..win[2] {
+                                for i3 in 0..win[3] {
+                                    let lab = ((l0[b0 * win[0] + i0] * 3
+                                        + l1[b1 * win[1] + i1])
+                                        * 3
+                                        + l2[b2 * win[2] + i2])
+                                        * 3
+                                        + l3[b3 * win[3] + i3];
+                                    labels[widx * n_tokens + tidx] = lab;
+                                    tidx += 1;
+                                }
+                            }
+                        }
+                    }
+                    widx += 1;
+                }
+            }
+        }
+    }
+
+    let mut mask = vec![0.0f32; n_windows * n_tokens * n_tokens];
+    for w in 0..n_windows {
+        let lab = &labels[w * n_tokens..(w + 1) * n_tokens];
+        for i in 0..n_tokens {
+            for j in 0..n_tokens {
+                if lab[i] != lab[j] {
+                    mask[(w * n_tokens + i) * n_tokens + j] = -1e9;
+                }
+            }
+        }
+    }
+    Tensor::from_vec(mask, &[n_windows, n_tokens, n_tokens])
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn token_tensor(b: usize, dims: Win4, e: usize) -> Tensor {
+        let n = b * dims[0] * dims[1] * dims[2] * dims[3] * e;
+        Tensor::from_vec(
+            (0..n).map(|i| (i % 97) as f32 * 0.01).collect(),
+            &[b, dims[0], dims[1], dims[2], dims[3], e],
+        )
+    }
+
+    #[test]
+    fn partition_reverse_roundtrip_exact_fit() {
+        let dims = [4, 4, 2, 2];
+        let win = [2, 2, 2, 2];
+        let x0 = token_tensor(2, dims, 3);
+        let mut g = Graph::inference();
+        let x = g.constant(x0.clone());
+        let w = window_partition(&mut g, x, dims, win);
+        assert_eq!(
+            g.value(w).shape(),
+            &[2 * window_count(dims, win), 16, 3]
+        );
+        let back = window_reverse(&mut g, w, 2, dims, win);
+        assert_eq!(g.value(back).as_slice(), x0.as_slice());
+    }
+
+    #[test]
+    fn partition_reverse_roundtrip_with_padding() {
+        let dims = [5, 3, 3, 2]; // none divisible by the window
+        let win = [4, 2, 2, 2];
+        let x0 = token_tensor(1, dims, 2);
+        let mut g = Graph::inference();
+        let x = g.constant(x0.clone());
+        let w = window_partition(&mut g, x, dims, win);
+        let back = window_reverse(&mut g, w, 1, dims, win);
+        assert_eq!(g.value(back).shape(), &[1, 5, 3, 3, 2, 2]);
+        assert_eq!(g.value(back).as_slice(), x0.as_slice());
+    }
+
+    #[test]
+    fn windows_group_local_tokens() {
+        // With E=1 and a linear ramp along axis 0, each window's tokens
+        // must all come from the same contiguous axis-0 slab.
+        let dims = [4, 2, 2, 2];
+        let win = [2, 2, 2, 2];
+        let mut vals = vec![0.0f32; 4 * 2 * 2 * 2];
+        for (i, v) in vals.iter_mut().enumerate() {
+            *v = (i / (2 * 2 * 2)) as f32; // axis-0 index
+        }
+        let x0 = Tensor::from_vec(vals, &[1, 4, 2, 2, 2, 1]);
+        let mut g = Graph::inference();
+        let x = g.constant(x0);
+        let w = window_partition(&mut g, x, dims, win);
+        let wv = g.value(w);
+        // 2 windows × 16 tokens; window 0 must only contain slab {0,1},
+        // window 1 only {2,3}.
+        for t in 0..16 {
+            assert!(wv.at(&[0, t, 0]) <= 1.0);
+            assert!(wv.at(&[1, t, 0]) >= 2.0);
+        }
+    }
+
+    #[test]
+    fn cyclic_shift_roundtrip() {
+        let dims = [4, 4, 2, 2];
+        let win = [2, 2, 2, 2];
+        let x0 = token_tensor(1, dims, 2);
+        let mut g = Graph::inference();
+        let x = g.constant(x0.clone());
+        let s = cyclic_shift(&mut g, x, dims, win, -1);
+        assert_ne!(g.value(s).as_slice(), x0.as_slice());
+        let back = cyclic_shift(&mut g, s, dims, win, 1);
+        assert_eq!(g.value(back).as_slice(), x0.as_slice());
+    }
+
+    #[test]
+    fn effective_shift_zeroes_covered_axes() {
+        assert_eq!(effective_shift([8, 4, 2, 2], [4, 4, 2, 2]), [2, 0, 0, 0]);
+        assert_eq!(effective_shift([8, 8, 4, 4], [2, 2, 2, 2]), [1, 1, 1, 1]);
+    }
+
+    #[test]
+    fn mask_shape_and_symmetry() {
+        let dims = [4, 4, 2, 2];
+        let win = [2, 2, 2, 2];
+        let m = attention_mask(dims, win, true);
+        let nw = window_count(dims, win);
+        assert_eq!(m.shape(), &[nw, 16, 16]);
+        // Mask is symmetric and zero on the diagonal.
+        for w in 0..nw {
+            for i in 0..16 {
+                assert_eq!(m.at(&[w, i, i]), 0.0);
+                for j in 0..16 {
+                    assert_eq!(m.at(&[w, i, j]), m.at(&[w, j, i]));
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn seam_window_masks_wrapped_pairs_others_free() {
+        // One shifted axis of 8 with window 4: only the window containing
+        // the wrap seam may mask.
+        let dims = [8, 2, 2, 2];
+        let win = [4, 2, 2, 2];
+        let m = attention_mask(dims, win, true);
+        let nw = m.shape()[0];
+        assert_eq!(nw, 2);
+        let masked_pairs = |w: usize| {
+            let n = m.shape()[1];
+            (0..n)
+                .flat_map(|i| (0..n).map(move |j| (i, j)))
+                .filter(|&(i, j)| m.at(&[w, i, j]) < -1.0)
+                .count()
+        };
+        // With shift 2: rolled positions [0..6) unwrapped, [6..8) wrapped.
+        // Window 0 covers positions 0..4 (labels all 0) → free; window 1
+        // covers 4..8 (labels 0,0,1,1 along axis 0) → masked pairs.
+        assert_eq!(masked_pairs(0), 0, "bulk window must be free");
+        assert!(masked_pairs(1) > 0, "seam window must mask wrapped pairs");
+    }
+
+    #[test]
+    fn unshifted_mask_zero_without_padding() {
+        let m = attention_mask([4, 4, 2, 2], [2, 2, 2, 2], false);
+        assert!(m.as_slice().iter().all(|&v| v == 0.0));
+    }
+
+    #[test]
+    fn padding_masked_even_unshifted() {
+        // Axis 0 of 3 padded to 4: pad tokens must not mix with real ones.
+        let m = attention_mask([3, 2, 2, 2], [4, 2, 2, 2], false);
+        assert_eq!(m.shape()[0], 1);
+        let neg = m.as_slice().iter().filter(|&&v| v < -1.0).count();
+        assert!(neg > 0, "pad tokens must be masked off");
+    }
+
+    #[test]
+    fn window_covering_axis_gets_no_shift_mask() {
+        // Axis fully covered by the window: effective shift 0 → no seam.
+        let m = attention_mask([2, 2, 2, 2], [2, 2, 2, 2], true);
+        assert!(m.as_slice().iter().all(|&v| v == 0.0));
+    }
+}

@@ -1,0 +1,195 @@
+//! Activation checkpointing: trade recompute for peak activation memory.
+//!
+//! The paper (§III-D) keeps SW-MSA activations but discards everything else,
+//! recomputing discarded activations during backward. Here the same idea is
+//! a generic tape op: `checkpoint` runs a sub-forward on a scratch
+//! (non-recording) tape so intermediate activations are never retained on
+//! the main tape; backward replays the sub-forward with recording on and
+//! back-propagates through the replay.
+//!
+//! Parameters used inside the checkpointed closure are re-inserted on the
+//! replay tape by the module's own `forward`, so their gradients flow into
+//! the shared [`super::Param`] slots exactly as in the un-checkpointed case.
+
+use std::rc::Rc;
+
+use super::{Graph, Var};
+
+impl Graph {
+    /// Run `f` as a checkpointed segment over `inputs`.
+    ///
+    /// Forward: `f` executes on a scratch non-recording graph; only the
+    /// segment inputs and output land on this tape. Backward: `f` is
+    /// replayed on a fresh recording graph seeded with the incoming
+    /// gradient, and input gradients are routed back to `inputs`.
+    ///
+    /// `f` must be pure given its inputs and any captured parameters (no
+    /// interior mutation), since it runs once or twice depending on whether
+    /// backward is reached.
+    pub fn checkpoint<F>(&mut self, inputs: &[Var], f: F) -> Var
+    where
+        F: Fn(&mut Graph, &[Var]) -> Var + 'static,
+    {
+        let in_vals: Vec<_> = inputs.iter().map(|&v| self.value(v).clone()).collect();
+        let training = self.training;
+
+        // Forward on a scratch tape: no backward closures, activations die
+        // with the scratch graph.
+        let mut scratch = Graph::inference();
+        scratch.training = training;
+        let scratch_inputs: Vec<Var> = in_vals.iter().map(|t| scratch.leaf(t.clone())).collect();
+        let scratch_out = f(&mut scratch, &scratch_inputs);
+        let out_val = scratch.value(scratch_out).clone();
+        // The transient forward peak still happened; record it so the meter
+        // reflects the true high-water mark of this step.
+        let transient = scratch.meter().peak;
+        self.meter_mut().observe_transient(transient);
+
+        if !self.is_recording() {
+            return self.push(out_val, None);
+        }
+
+        let f = Rc::new(f);
+        let inputs_main: Vec<Var> = inputs.to_vec();
+        self.push(
+            out_val,
+            Some(Box::new(move |g_out, buf| {
+                // Replay with recording on.
+                let mut replay = Graph::new();
+                replay.training = training;
+                let replay_inputs: Vec<Var> =
+                    in_vals.iter().map(|t| replay.leaf(t.clone())).collect();
+                let out = f(&mut replay, &replay_inputs);
+                let mut inner = replay.backward_seeded(out, g_out.clone());
+                for (&main_var, &replay_var) in inputs_main.iter().zip(&replay_inputs) {
+                    if let Some(gi) = inner.take(replay_var) {
+                        buf.accum(main_var, gi);
+                    }
+                }
+            })),
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::autograd::Param;
+    use crate::tensor::Tensor;
+
+    #[test]
+    fn checkpoint_matches_plain_gradients() {
+        let x0 = Tensor::from_vec(vec![0.3, -0.7, 1.2, 0.05], &[4]);
+        let w = Tensor::from_vec(vec![1.5, -0.5, 0.8, 2.0], &[4]);
+
+        // Plain.
+        let (plain_loss, plain_gx, plain_gp) = {
+            let p = Param::new("w", w.clone());
+            let mut g = Graph::new();
+            let x = g.leaf(x0.clone());
+            let pw = g.param(&p);
+            let y = g.mul(x, pw);
+            let z = g.gelu(y);
+            let loss = g.sum_all(z);
+            let grads = g.backward(loss);
+            (
+                g.value(loss).item(),
+                grads.get(x).unwrap().clone(),
+                p.grad().unwrap(),
+            )
+        };
+
+        // Checkpointed.
+        let (ck_loss, ck_gx, ck_gp) = {
+            let p = Param::new("w", w.clone());
+            let p2 = p.clone();
+            let mut g = Graph::new();
+            let x = g.leaf(x0.clone());
+            let y = g.checkpoint(&[x], move |g, ins| {
+                let pw = g.param(&p2);
+                let m = g.mul(ins[0], pw);
+                g.gelu(m)
+            });
+            let loss = g.sum_all(y);
+            let grads = g.backward(loss);
+            (
+                g.value(loss).item(),
+                grads.get(x).unwrap().clone(),
+                p.grad().unwrap(),
+            )
+        };
+
+        assert!((plain_loss - ck_loss).abs() < 1e-6);
+        assert!(plain_gx.allclose(&ck_gx, 1e-6));
+        assert!(plain_gp.allclose(&ck_gp, 1e-6));
+    }
+
+    #[test]
+    fn checkpoint_reduces_tape_bytes() {
+        let x0 = Tensor::ones(&[1000]);
+        // Plain: 6 intermediate tensors on tape.
+        let mut g_plain = Graph::new();
+        let x = g_plain.leaf(x0.clone());
+        let mut cur = x;
+        for _ in 0..6 {
+            cur = g_plain.gelu(cur);
+        }
+        let _ = g_plain.sum_all(cur);
+        let plain_bytes = g_plain.meter().current;
+
+        // Checkpointed: the 6 intermediates live only on the scratch tape.
+        let mut g_ck = Graph::new();
+        let x = g_ck.leaf(x0);
+        let y = g_ck.checkpoint(&[x], |g, ins| {
+            let mut cur = ins[0];
+            for _ in 0..6 {
+                cur = g.gelu(cur);
+            }
+            cur
+        });
+        let _ = g_ck.sum_all(y);
+        let ck_bytes = g_ck.meter().current;
+
+        assert!(
+            ck_bytes * 2 < plain_bytes,
+            "checkpointing should shrink the live tape: {ck_bytes} vs {plain_bytes}"
+        );
+        // But the transient peak was still observed.
+        assert!(g_ck.meter().peak >= 6 * 1000 * 4);
+    }
+
+    #[test]
+    fn nested_checkpoints() {
+        let x0 = Tensor::from_vec(vec![0.5, -0.25], &[2]);
+        let mut g = Graph::new();
+        let x = g.leaf(x0.clone());
+        let y = g.checkpoint(&[x], |g, ins| {
+            let inner = g.checkpoint(&[ins[0]], |g, ins2| {
+                let s = g.square(ins2[0]);
+                g.gelu(s)
+            });
+            g.scale(inner, 3.0)
+        });
+        let loss = g.sum_all(y);
+        let grads = g.backward(loss);
+        let gx = grads.get(x).unwrap().clone();
+
+        // Compare with plain composition.
+        let mut g2 = Graph::new();
+        let x2 = g2.leaf(x0);
+        let s = g2.square(x2);
+        let ge = g2.gelu(s);
+        let sc = g2.scale(ge, 3.0);
+        let loss2 = g2.sum_all(sc);
+        let grads2 = g2.backward(loss2);
+        assert!(gx.allclose(grads2.get(x2).unwrap(), 1e-6));
+    }
+
+    #[test]
+    fn checkpoint_in_inference_mode_is_transparent() {
+        let mut g = Graph::inference();
+        let x = g.leaf(Tensor::ones(&[3]));
+        let y = g.checkpoint(&[x], |g, ins| g.scale(ins[0], 2.0));
+        assert_eq!(g.value(y).as_slice(), &[2.0, 2.0, 2.0]);
+    }
+}

@@ -1,0 +1,380 @@
+//! Tape-based reverse-mode automatic differentiation.
+//!
+//! A [`Graph`] records one forward pass; [`Graph::backward`] sweeps the tape
+//! in reverse, invoking each node's backward closure once its output
+//! gradient is complete (tape order is a topological order, so a single
+//! reverse sweep suffices).
+//!
+//! The tape also meters live activation bytes ([`MemMeter`]) — this is the
+//! instrument behind the paper's Table II / Fig. 9 / Fig. 10 memory
+//! analysis, and what [`Graph::checkpoint`] trades against recompute.
+
+mod checkpoint;
+mod ops;
+
+use std::cell::RefCell;
+use std::rc::Rc;
+
+use crate::tensor::Tensor;
+
+/// Handle to a node on the tape.
+#[derive(Copy, Clone, PartialEq, Eq, Debug)]
+pub struct Var(pub(crate) u32);
+
+impl Var {
+    #[inline]
+    pub(crate) fn idx(self) -> usize {
+        self.0 as usize
+    }
+}
+
+/// Gradient accumulator indexed by tape position.
+///
+/// Gradients routed at constants (nodes without a backward closure) are
+/// dropped — nothing differentiable lies behind them.
+pub struct GradBuf {
+    grads: Vec<Option<Tensor>>,
+    grad_enabled: Vec<bool>,
+}
+
+impl GradBuf {
+    fn new(grad_enabled: Vec<bool>) -> Self {
+        Self {
+            grads: (0..grad_enabled.len()).map(|_| None).collect(),
+            grad_enabled,
+        }
+    }
+
+    /// Add `g` into the gradient slot for `v` (no-op for constants).
+    pub fn accum(&mut self, v: Var, g: Tensor) {
+        if !self.grad_enabled[v.idx()] {
+            return;
+        }
+        let slot = &mut self.grads[v.idx()];
+        *slot = Some(match slot.take() {
+            Some(prev) => prev.add(&g),
+            None => g,
+        });
+    }
+
+    /// Gradient of `v`, if any was propagated.
+    pub fn get(&self, v: Var) -> Option<&Tensor> {
+        self.grads[v.idx()].as_ref()
+    }
+
+    /// Remove and return the gradient of `v`.
+    pub fn take(&mut self, v: Var) -> Option<Tensor> {
+        self.grads[v.idx()].take()
+    }
+}
+
+type BackFn = Box<dyn Fn(&Tensor, &mut GradBuf)>;
+
+struct Node {
+    value: Tensor,
+    back: Option<BackFn>,
+}
+
+/// Activation-memory meter: bytes currently held by a tape plus the peak.
+#[derive(Copy, Clone, Debug, Default)]
+pub struct MemMeter {
+    pub current: usize,
+    pub peak: usize,
+}
+
+impl MemMeter {
+    fn add(&mut self, bytes: usize) {
+        self.current += bytes;
+        self.peak = self.peak.max(self.current);
+    }
+
+    /// Fold a transient peak (e.g. a checkpoint replay) into this meter.
+    pub fn observe_transient(&mut self, extra_peak: usize) {
+        self.peak = self.peak.max(self.current + extra_peak);
+    }
+}
+
+/// A recording of one forward pass.
+pub struct Graph {
+    nodes: Vec<Node>,
+    /// When false, ops still compute values but record no backward closures
+    /// (inference mode / inner forward of a checkpoint).
+    recording: bool,
+    /// Training-mode flag consumed by layers like BatchNorm.
+    pub training: bool,
+    meter: MemMeter,
+}
+
+impl Default for Graph {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Graph {
+    /// Fresh recording graph (training mode off).
+    pub fn new() -> Self {
+        Self {
+            nodes: Vec::with_capacity(256),
+            recording: true,
+            training: false,
+            meter: MemMeter::default(),
+        }
+    }
+
+    /// Fresh non-recording graph (inference).
+    pub fn inference() -> Self {
+        let mut g = Self::new();
+        g.recording = false;
+        g
+    }
+
+    /// Whether backward closures are being recorded.
+    #[inline]
+    pub fn is_recording(&self) -> bool {
+        self.recording
+    }
+
+    /// Number of nodes on the tape.
+    pub fn len(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// True when the tape is empty.
+    pub fn is_empty(&self) -> bool {
+        self.nodes.is_empty()
+    }
+
+    /// Activation-memory meter for this tape.
+    pub fn meter(&self) -> MemMeter {
+        self.meter
+    }
+
+    pub(crate) fn meter_mut(&mut self) -> &mut MemMeter {
+        &mut self.meter
+    }
+
+    /// Push a node; returns its handle.
+    pub(crate) fn push(&mut self, value: Tensor, back: Option<BackFn>) -> Var {
+        self.meter.add(value.nbytes());
+        let id = self.nodes.len() as u32;
+        self.nodes.push(Node {
+            value,
+            back: if self.recording { back } else { None },
+        });
+        Var(id)
+    }
+
+    /// Value of a node.
+    #[inline]
+    pub fn value(&self, v: Var) -> &Tensor {
+        &self.nodes[v.idx()].value
+    }
+
+    /// Insert a constant (no gradient flows into it).
+    pub fn constant(&mut self, t: Tensor) -> Var {
+        self.push(t, None)
+    }
+
+    /// Insert a differentiable leaf; its gradient is retrievable from the
+    /// [`GradBuf`] returned by [`Graph::backward`].
+    pub fn leaf(&mut self, t: Tensor) -> Var {
+        // A leaf has no parents; an empty closure marks it as
+        // gradient-bearing without doing work.
+        self.push(t, Some(Box::new(|_, _| {})))
+    }
+
+    /// Insert a parameter leaf. Gradients reaching it are accumulated into
+    /// the parameter's grad slot during [`Graph::backward`].
+    pub fn param(&mut self, p: &Param) -> Var {
+        let value = p.value();
+        if self.recording {
+            let p2 = p.clone();
+            self.push(
+                value,
+                Some(Box::new(move |g, _| {
+                    p2.accum_grad(g);
+                })),
+            )
+        } else {
+            self.push(value, None)
+        }
+    }
+
+    /// Reverse sweep seeding `d(loss)/d(loss) = 1` (loss must be scalar).
+    pub fn backward(&mut self, loss: Var) -> GradBuf {
+        assert_eq!(
+            self.value(loss).numel(),
+            1,
+            "backward() needs a scalar loss; use backward_seeded for tensors"
+        );
+        let seed = Tensor::ones(self.value(loss).shape());
+        self.backward_seeded(loss, seed)
+    }
+
+    /// Reverse sweep with an explicit output gradient.
+    pub fn backward_seeded(&mut self, out: Var, seed: Tensor) -> GradBuf {
+        assert!(self.recording, "backward on a non-recording graph");
+        assert_eq!(
+            self.value(out).shape(),
+            seed.shape(),
+            "seed shape mismatch"
+        );
+        let enabled: Vec<bool> = self.nodes.iter().map(|n| n.back.is_some()).collect();
+        let mut buf = GradBuf::new(enabled);
+        buf.accum(out, seed);
+        for i in (0..=out.idx()).rev() {
+            let Some(g) = buf.grads[i].clone() else {
+                continue;
+            };
+            if let Some(back) = &self.nodes[i].back {
+                back(&g, &mut buf);
+            }
+        }
+        buf
+    }
+}
+
+/// A trainable parameter: a named tensor plus an accumulated gradient.
+///
+/// Cloning a `Param` shares storage (modules clone into checkpoint
+/// closures and the same parameter may be used at several tape positions —
+/// all gradients accumulate into the one slot).
+#[derive(Clone)]
+pub struct Param {
+    inner: Rc<RefCell<ParamInner>>,
+}
+
+struct ParamInner {
+    name: String,
+    value: Tensor,
+    grad: Option<Tensor>,
+}
+
+impl Param {
+    /// New parameter with a diagnostic name.
+    pub fn new(name: impl Into<String>, value: Tensor) -> Self {
+        Self {
+            inner: Rc::new(RefCell::new(ParamInner {
+                name: name.into(),
+                value,
+                grad: None,
+            })),
+        }
+    }
+
+    /// Parameter name (used by state dicts).
+    pub fn name(&self) -> String {
+        self.inner.borrow().name.clone()
+    }
+
+    /// Current value (cheap `Arc` clone).
+    pub fn value(&self) -> Tensor {
+        self.inner.borrow().value.clone()
+    }
+
+    /// Replace the value (used by optimizers and state loading).
+    pub fn set_value(&self, t: Tensor) {
+        self.inner.borrow_mut().value = t;
+    }
+
+    /// Accumulated gradient, if any.
+    pub fn grad(&self) -> Option<Tensor> {
+        self.inner.borrow().grad.clone()
+    }
+
+    /// Add `g` into the gradient slot.
+    pub fn accum_grad(&self, g: &Tensor) {
+        let mut inner = self.inner.borrow_mut();
+        assert_eq!(
+            inner.value.shape(),
+            g.shape(),
+            "param '{}' grad shape mismatch",
+            inner.name
+        );
+        inner.grad = Some(match inner.grad.take() {
+            Some(prev) => prev.add(g),
+            None => g.clone(),
+        });
+    }
+
+    /// Clear the gradient slot.
+    pub fn zero_grad(&self) {
+        self.inner.borrow_mut().grad = None;
+    }
+
+    /// Number of scalar elements.
+    pub fn numel(&self) -> usize {
+        self.inner.borrow().value.numel()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn leaf_grad_through_add_mul() {
+        let mut g = Graph::new();
+        let x = g.leaf(Tensor::from_vec(vec![1.0, 2.0], &[2]));
+        let y = g.leaf(Tensor::from_vec(vec![3.0, 4.0], &[2]));
+        let xy = g.mul(x, y);
+        let s = g.sum_all(xy);
+        let grads = g.backward(s);
+        // d(sum x*y)/dx = y
+        assert_eq!(grads.get(x).unwrap().as_slice(), &[3.0, 4.0]);
+        assert_eq!(grads.get(y).unwrap().as_slice(), &[1.0, 2.0]);
+    }
+
+    #[test]
+    fn param_accumulates_across_uses() {
+        let mut g = Graph::new();
+        let p = Param::new("w", Tensor::from_vec(vec![2.0], &[1]));
+        let a = g.param(&p);
+        let b = g.param(&p); // same param inserted twice
+        let s1 = g.add(a, b);
+        let s = g.sum_all(s1);
+        let _ = g.backward(s);
+        // d(a+b)/dp = 2
+        assert_eq!(p.grad().unwrap().as_slice(), &[2.0]);
+    }
+
+    #[test]
+    fn constants_get_no_grad() {
+        let mut g = Graph::new();
+        let c = g.constant(Tensor::from_vec(vec![5.0], &[1]));
+        let x = g.leaf(Tensor::from_vec(vec![3.0], &[1]));
+        let y = g.mul(c, x);
+        let s = g.sum_all(y);
+        let grads = g.backward(s);
+        assert!(grads.get(c).is_none());
+        assert_eq!(grads.get(x).unwrap().as_slice(), &[5.0]);
+    }
+
+    #[test]
+    fn inference_graph_records_nothing() {
+        let mut g = Graph::inference();
+        let x = g.leaf(Tensor::ones(&[4]));
+        let y = g.gelu(x);
+        assert_eq!(g.value(y).numel(), 4);
+        assert!(!g.is_recording());
+    }
+
+    #[test]
+    fn meter_counts_bytes() {
+        let mut g = Graph::new();
+        let x = g.leaf(Tensor::ones(&[100]));
+        let _y = g.scale(x, 2.0);
+        assert_eq!(g.meter().current, 2 * 100 * 4);
+        assert_eq!(g.meter().peak, 2 * 100 * 4);
+    }
+
+    #[test]
+    fn param_zero_grad() {
+        let p = Param::new("w", Tensor::ones(&[2]));
+        p.accum_grad(&Tensor::ones(&[2]));
+        assert!(p.grad().is_some());
+        p.zero_grad();
+        assert!(p.grad().is_none());
+    }
+}

@@ -1,0 +1,651 @@
+//! Differentiable operations on the tape.
+//!
+//! Each op computes its value eagerly and (when recording) pushes a backward
+//! closure capturing cheap `Arc` clones of whatever tensors the gradient
+//! needs. Gradients of broadcast operands are reduced with
+//! [`Tensor::sum_to`], the adjoint of broadcasting.
+
+use super::{Graph, Var};
+use crate::tensor::ops::{gelu_grad_scalar, gelu_scalar};
+use crate::tensor::Tensor;
+
+impl Graph {
+    // ---------------------------------------------------------------- binary
+
+    /// Elementwise `a + b` with broadcasting.
+    pub fn add(&mut self, a: Var, b: Var) -> Var {
+        let va = self.value(a).clone();
+        let vb = self.value(b).clone();
+        let out = va.add(&vb);
+        let (sa, sb) = (va.shape().to_vec(), vb.shape().to_vec());
+        self.push(
+            out,
+            Some(Box::new(move |g, buf| {
+                buf.accum(a, g.sum_to(&sa));
+                buf.accum(b, g.sum_to(&sb));
+            })),
+        )
+    }
+
+    /// Elementwise `a - b` with broadcasting.
+    pub fn sub(&mut self, a: Var, b: Var) -> Var {
+        let va = self.value(a).clone();
+        let vb = self.value(b).clone();
+        let out = va.sub(&vb);
+        let (sa, sb) = (va.shape().to_vec(), vb.shape().to_vec());
+        self.push(
+            out,
+            Some(Box::new(move |g, buf| {
+                buf.accum(a, g.sum_to(&sa));
+                buf.accum(b, g.neg().sum_to(&sb));
+            })),
+        )
+    }
+
+    /// Elementwise `a * b` with broadcasting.
+    pub fn mul(&mut self, a: Var, b: Var) -> Var {
+        let va = self.value(a).clone();
+        let vb = self.value(b).clone();
+        let out = va.mul(&vb);
+        let (sa, sb) = (va.shape().to_vec(), vb.shape().to_vec());
+        self.push(
+            out,
+            Some(Box::new(move |g, buf| {
+                buf.accum(a, g.mul(&vb).sum_to(&sa));
+                buf.accum(b, g.mul(&va).sum_to(&sb));
+            })),
+        )
+    }
+
+    /// Elementwise `a / b` with broadcasting.
+    pub fn div(&mut self, a: Var, b: Var) -> Var {
+        let va = self.value(a).clone();
+        let vb = self.value(b).clone();
+        let out = va.div(&vb);
+        let (sa, sb) = (va.shape().to_vec(), vb.shape().to_vec());
+        self.push(
+            out,
+            Some(Box::new(move |g, buf| {
+                buf.accum(a, g.div(&vb).sum_to(&sa));
+                let gb = g.mul(&va).div(&vb.square()).neg();
+                buf.accum(b, gb.sum_to(&sb));
+            })),
+        )
+    }
+
+    /// Batched matrix multiplication (see [`Tensor::matmul`]).
+    pub fn matmul(&mut self, a: Var, b: Var) -> Var {
+        let va = self.value(a).clone();
+        let vb = self.value(b).clone();
+        assert!(
+            va.ndim() >= 2 && vb.ndim() >= 2,
+            "autograd matmul requires ndim >= 2 operands"
+        );
+        let out = va.matmul(&vb);
+        let (sa, sb) = (va.shape().to_vec(), vb.shape().to_vec());
+        self.push(
+            out,
+            Some(Box::new(move |g, buf| {
+                // dA = g @ B^T, dB = A^T @ g; reduce broadcast batch dims.
+                let da = g.matmul(&vb.transpose_last()).sum_to(&sa);
+                let db = va.transpose_last().matmul(g).sum_to(&sb);
+                buf.accum(a, da);
+                buf.accum(b, db);
+            })),
+        )
+    }
+
+    // ----------------------------------------------------------------- unary
+
+    /// Multiply by a scalar constant.
+    pub fn scale(&mut self, a: Var, c: f32) -> Var {
+        let out = self.value(a).scale(c);
+        self.push(
+            out,
+            Some(Box::new(move |g, buf| buf.accum(a, g.scale(c)))),
+        )
+    }
+
+    /// Add a scalar constant.
+    pub fn add_scalar(&mut self, a: Var, c: f32) -> Var {
+        let out = self.value(a).add_scalar(c);
+        self.push(out, Some(Box::new(move |g, buf| buf.accum(a, g.clone()))))
+    }
+
+    /// Negation.
+    pub fn neg(&mut self, a: Var) -> Var {
+        let out = self.value(a).neg();
+        self.push(out, Some(Box::new(move |g, buf| buf.accum(a, g.neg()))))
+    }
+
+    /// Elementwise square.
+    pub fn square(&mut self, a: Var) -> Var {
+        let va = self.value(a).clone();
+        let out = va.square();
+        self.push(
+            out,
+            Some(Box::new(move |g, buf| {
+                buf.accum(a, g.mul(&va).scale(2.0));
+            })),
+        )
+    }
+
+    /// Elementwise reciprocal square root.
+    pub fn rsqrt(&mut self, a: Var) -> Var {
+        let out = self.value(a).rsqrt();
+        let y = out.clone();
+        self.push(
+            out,
+            Some(Box::new(move |g, buf| {
+                // d/dx x^-1/2 = -1/2 x^-3/2 = -y^3 / 2
+                let dy = y.square().mul(&y).scale(-0.5);
+                buf.accum(a, g.mul(&dy));
+            })),
+        )
+    }
+
+    /// Elementwise exponential.
+    pub fn exp(&mut self, a: Var) -> Var {
+        let out = self.value(a).exp();
+        let y = out.clone();
+        self.push(
+            out,
+            Some(Box::new(move |g, buf| buf.accum(a, g.mul(&y)))),
+        )
+    }
+
+    /// Elementwise tanh.
+    pub fn tanh(&mut self, a: Var) -> Var {
+        let out = self.value(a).tanh();
+        let y = out.clone();
+        self.push(
+            out,
+            Some(Box::new(move |g, buf| {
+                let d = y.map(|t| 1.0 - t * t);
+                buf.accum(a, g.mul(&d));
+            })),
+        )
+    }
+
+    /// GELU activation (tanh approximation).
+    pub fn gelu(&mut self, a: Var) -> Var {
+        let va = self.value(a).clone();
+        let out = va.map(gelu_scalar);
+        self.push(
+            out,
+            Some(Box::new(move |g, buf| {
+                let d = va.map(gelu_grad_scalar);
+                buf.accum(a, g.mul(&d));
+            })),
+        )
+    }
+
+    /// ReLU activation.
+    pub fn relu(&mut self, a: Var) -> Var {
+        let va = self.value(a).clone();
+        let out = va.relu();
+        self.push(
+            out,
+            Some(Box::new(move |g, buf| {
+                let d = va.map(|x| if x > 0.0 { 1.0 } else { 0.0 });
+                buf.accum(a, g.mul(&d));
+            })),
+        )
+    }
+
+    // ---------------------------------------------------------------- layout
+
+    /// Reshape (element count preserved, zero copy forward).
+    pub fn reshape(&mut self, a: Var, shape: &[usize]) -> Var {
+        let in_shape = self.value(a).shape().to_vec();
+        let out = self.value(a).reshaped(shape);
+        self.push(
+            out,
+            Some(Box::new(move |g, buf| {
+                buf.accum(a, g.reshaped(&in_shape));
+            })),
+        )
+    }
+
+    /// Permute axes; backward applies the inverse permutation.
+    pub fn permute(&mut self, a: Var, axes: &[usize]) -> Var {
+        let out = self.value(a).permute(axes);
+        let mut inv = vec![0usize; axes.len()];
+        for (i, &ax) in axes.iter().enumerate() {
+            inv[ax] = i;
+        }
+        self.push(
+            out,
+            Some(Box::new(move |g, buf| {
+                buf.accum(a, g.permute(&inv));
+            })),
+        )
+    }
+
+    /// Zero-pad; backward narrows the gradient back out.
+    pub fn pad(&mut self, a: Var, pads: &[(usize, usize)]) -> Var {
+        let in_shape = self.value(a).shape().to_vec();
+        let out = self.value(a).pad(pads);
+        let pads = pads.to_vec();
+        self.push(
+            out,
+            Some(Box::new(move |g, buf| {
+                let mut ga = g.clone();
+                for (d, &(before, _)) in pads.iter().enumerate() {
+                    ga = ga.narrow(d, before, in_shape[d]);
+                }
+                buf.accum(a, ga);
+            })),
+        )
+    }
+
+    /// Slice `[start, start+len)` along `axis`; backward zero-pads back.
+    pub fn narrow(&mut self, a: Var, axis: usize, start: usize, len: usize) -> Var {
+        let in_dim = self.value(a).shape()[axis];
+        let out = self.value(a).narrow(axis, start, len);
+        let nd = self.value(a).ndim();
+        self.push(
+            out,
+            Some(Box::new(move |g, buf| {
+                let mut pads = vec![(0, 0); nd];
+                pads[axis] = (start, in_dim - start - len);
+                buf.accum(a, g.pad(&pads));
+            })),
+        )
+    }
+
+    /// Concatenate along `axis`; backward splits the gradient.
+    pub fn concat(&mut self, parts: &[Var], axis: usize) -> Var {
+        let vals: Vec<Tensor> = parts.iter().map(|&p| self.value(p).clone()).collect();
+        let refs: Vec<&Tensor> = vals.iter().collect();
+        let out = Tensor::concat(&refs, axis);
+        let lens: Vec<usize> = vals.iter().map(|v| v.shape()[axis]).collect();
+        let parts = parts.to_vec();
+        self.push(
+            out,
+            Some(Box::new(move |g, buf| {
+                let mut off = 0;
+                for (&p, &len) in parts.iter().zip(&lens) {
+                    buf.accum(p, g.narrow(axis, off, len));
+                    off += len;
+                }
+            })),
+        )
+    }
+
+    /// Cyclic shift; backward rolls the opposite way.
+    pub fn roll(&mut self, a: Var, shifts: &[isize]) -> Var {
+        let out = self.value(a).roll(shifts);
+        let inv: Vec<isize> = shifts.iter().map(|&s| -s).collect();
+        self.push(
+            out,
+            Some(Box::new(move |g, buf| {
+                buf.accum(a, g.roll(&inv));
+            })),
+        )
+    }
+
+    // ------------------------------------------------------------ reductions
+
+    /// Sum over `axes`, keeping them as size-1 dims.
+    pub fn sum_axes_keepdims(&mut self, a: Var, axes: &[usize]) -> Var {
+        let in_shape = self.value(a).shape().to_vec();
+        let out = self.value(a).sum_axes_keepdims(axes);
+        self.push(
+            out,
+            Some(Box::new(move |g, buf| {
+                buf.accum(a, g.broadcast_to(&in_shape));
+            })),
+        )
+    }
+
+    /// Mean over `axes`, keeping them as size-1 dims.
+    pub fn mean_axes_keepdims(&mut self, a: Var, axes: &[usize]) -> Var {
+        let in_shape = self.value(a).shape().to_vec();
+        let count: usize = axes.iter().map(|&ax| in_shape[ax]).product();
+        let out = self.value(a).mean_axes_keepdims(axes);
+        let inv = 1.0 / count as f32;
+        self.push(
+            out,
+            Some(Box::new(move |g, buf| {
+                buf.accum(a, g.broadcast_to(&in_shape).scale(inv));
+            })),
+        )
+    }
+
+    /// Scalar sum of all elements.
+    pub fn sum_all(&mut self, a: Var) -> Var {
+        let in_shape = self.value(a).shape().to_vec();
+        let out = Tensor::scalar(self.value(a).sum_all());
+        self.push(
+            out,
+            Some(Box::new(move |g, buf| {
+                buf.accum(a, Tensor::full(&in_shape, g.item()));
+            })),
+        )
+    }
+
+    /// Scalar mean of all elements.
+    pub fn mean_all(&mut self, a: Var) -> Var {
+        let in_shape = self.value(a).shape().to_vec();
+        let n = self.value(a).numel() as f32;
+        let out = Tensor::scalar(self.value(a).mean_all());
+        self.push(
+            out,
+            Some(Box::new(move |g, buf| {
+                buf.accum(a, Tensor::full(&in_shape, g.item() / n));
+            })),
+        )
+    }
+
+    // ------------------------------------------------------------- softmax &c
+
+    /// Softmax over the last axis.
+    pub fn softmax_last(&mut self, a: Var) -> Var {
+        let out = self.value(a).softmax_last();
+        let y = out.clone();
+        self.push(
+            out,
+            Some(Box::new(move |g, buf| {
+                // dx = (g - sum(g * y, last, keepdims)) * y
+                let gy = g.mul(&y);
+                let last = y.ndim() - 1;
+                let s = gy.sum_axes_keepdims(&[last]);
+                buf.accum(a, g.sub(&s).mul(&y));
+            })),
+        )
+    }
+
+    // ------------------------------------------------------------- composites
+
+    /// Layer normalization over the last axis (no affine; compose with
+    /// `mul`/`add` for gamma/beta).
+    pub fn layer_norm(&mut self, x: Var, eps: f32) -> Var {
+        let last = self.value(x).ndim() - 1;
+        let mu = self.mean_axes_keepdims(x, &[last]);
+        let centered = self.sub(x, mu);
+        let sq = self.square(centered);
+        let var = self.mean_axes_keepdims(sq, &[last]);
+        let var_eps = self.add_scalar(var, eps);
+        let inv_std = self.rsqrt(var_eps);
+        self.mul(centered, inv_std)
+    }
+
+    /// Mean squared error between `pred` and `target`.
+    pub fn mse_loss(&mut self, pred: Var, target: Var) -> Var {
+        let d = self.sub(pred, target);
+        let d2 = self.square(d);
+        self.mean_all(d2)
+    }
+
+    /// Masked MSE: `sum(mask * (pred - target)^2) / sum(mask)`.
+    ///
+    /// `mask` should be a constant 0/1 tensor (e.g. the water mask — land
+    /// cells carry no loss).
+    pub fn masked_mse_loss(&mut self, pred: Var, target: Var, mask: Var) -> Var {
+        let mask_sum = self.value(mask).sum_all().max(1.0);
+        let d = self.sub(pred, target);
+        let d2 = self.square(d);
+        let md = self.mul(d2, mask);
+        let s = self.sum_all(md);
+        self.scale(s, 1.0 / mask_sum)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::autograd::GradBuf;
+
+    /// Central finite-difference check of `d out/d x` for a scalar-valued
+    /// composite built by `f`.
+    fn check_grad(build: impl Fn(&mut Graph, Var) -> Var, x0: Tensor, tol: f32) {
+        // Analytic gradient.
+        let mut g = Graph::new();
+        let x = g.leaf(x0.clone());
+        let out = build(&mut g, x);
+        assert_eq!(g.value(out).numel(), 1, "check_grad needs scalar output");
+        let grads: GradBuf = g.backward(out);
+        let analytic = grads.get(x).expect("no grad reached x").clone();
+
+        // Finite differences.
+        let h = 1e-2f32;
+        for i in 0..x0.numel() {
+            let mut xp = x0.clone();
+            xp.as_mut_slice()[i] += h;
+            let mut xm = x0.clone();
+            xm.as_mut_slice()[i] -= h;
+            let fp = {
+                let mut g = Graph::inference();
+                let x = g.leaf(xp);
+                let o = build(&mut g, x);
+                g.value(o).item()
+            };
+            let fm = {
+                let mut g = Graph::inference();
+                let x = g.leaf(xm);
+                let o = build(&mut g, x);
+                g.value(o).item()
+            };
+            let fd = (fp - fm) / (2.0 * h);
+            let an = analytic.as_slice()[i];
+            assert!(
+                (fd - an).abs() <= tol * (1.0 + fd.abs().max(an.abs())),
+                "grad mismatch at {i}: analytic {an} vs fd {fd}"
+            );
+        }
+    }
+
+    fn test_input(n: usize) -> Tensor {
+        Tensor::from_vec(
+            (0..n).map(|i| ((i * 7 % 11) as f32 - 5.0) * 0.31 + 0.05).collect(),
+            &[n],
+        )
+    }
+
+    #[test]
+    fn grad_add_mul_chain() {
+        check_grad(
+            |g, x| {
+                let y = g.mul(x, x);
+                let z = g.add(y, x);
+                g.sum_all(z)
+            },
+            test_input(6),
+            1e-2,
+        );
+    }
+
+    #[test]
+    fn grad_sub_div() {
+        check_grad(
+            |g, x| {
+                let c = g.constant(Tensor::full(&[6], 2.5));
+                let y = g.div(x, c);
+                let z = g.sub(y, x);
+                let w = g.square(z);
+                g.sum_all(w)
+            },
+            test_input(6),
+            1e-2,
+        );
+    }
+
+    #[test]
+    fn grad_matmul() {
+        check_grad(
+            |g, x| {
+                let xm = g.reshape(x, &[2, 3]);
+                let w = g.constant(Tensor::from_vec(
+                    vec![0.5, -1.0, 2.0, 0.3, -0.7, 1.1],
+                    &[3, 2],
+                ));
+                let y = g.matmul(xm, w);
+                let y2 = g.square(y);
+                g.sum_all(y2)
+            },
+            test_input(6),
+            1e-2,
+        );
+    }
+
+    #[test]
+    fn grad_activations() {
+        for act in ["gelu", "tanh", "relu", "exp"] {
+            check_grad(
+                move |g, x| {
+                    let y = match act {
+                        "gelu" => g.gelu(x),
+                        "tanh" => g.tanh(x),
+                        "relu" => g.relu(x),
+                        _ => g.exp(x),
+                    };
+                    let y2 = g.square(y);
+                    g.sum_all(y2)
+                },
+                test_input(5),
+                2e-2,
+            );
+        }
+    }
+
+    #[test]
+    fn grad_softmax() {
+        check_grad(
+            |g, x| {
+                let xm = g.reshape(x, &[2, 3]);
+                let s = g.softmax_last(xm);
+                let w = g.constant(Tensor::from_vec(
+                    vec![1.0, -2.0, 0.5, 3.0, 0.1, -1.0],
+                    &[2, 3],
+                ));
+                let sw = g.mul(s, w);
+                g.sum_all(sw)
+            },
+            test_input(6),
+            1e-2,
+        );
+    }
+
+    #[test]
+    fn grad_layout_ops() {
+        check_grad(
+            |g, x| {
+                let xm = g.reshape(x, &[2, 3]);
+                let p = g.permute(xm, &[1, 0]);
+                let padded = g.pad(p, &[(1, 0), (0, 1)]);
+                let rolled = g.roll(padded, &[1, -1]);
+                let n = g.narrow(rolled, 0, 1, 3);
+                let sq = g.square(n);
+                g.sum_all(sq)
+            },
+            test_input(6),
+            1e-2,
+        );
+    }
+
+    #[test]
+    fn grad_concat() {
+        check_grad(
+            |g, x| {
+                let a = g.narrow(x, 0, 0, 3);
+                let b = g.narrow(x, 0, 3, 3);
+                let sq = g.square(b);
+                let c = g.concat(&[a, sq], 0);
+                let c2 = g.square(c);
+                g.sum_all(c2)
+            },
+            test_input(6),
+            1e-2,
+        );
+    }
+
+    #[test]
+    fn grad_reductions() {
+        check_grad(
+            |g, x| {
+                let xm = g.reshape(x, &[2, 3]);
+                let m = g.mean_axes_keepdims(xm, &[1]);
+                let s = g.sum_axes_keepdims(xm, &[0]);
+                let ms = g.matmul(m, s); // (2,1)@(1,3) -> (2,3)
+                let sq = g.square(ms);
+                g.mean_all(sq)
+            },
+            test_input(6),
+            1e-2,
+        );
+    }
+
+    #[test]
+    fn grad_layer_norm() {
+        check_grad(
+            |g, x| {
+                let xm = g.reshape(x, &[2, 4]);
+                let ln = g.layer_norm(xm, 1e-5);
+                let w = g.constant(Tensor::from_vec(
+                    (0..8).map(|i| (i as f32 - 3.5) * 0.3).collect(),
+                    &[2, 4],
+                ));
+                let y = g.mul(ln, w);
+                g.sum_all(y)
+            },
+            test_input(8),
+            3e-2,
+        );
+    }
+
+    #[test]
+    fn grad_broadcast_add() {
+        // x [3] broadcast against constant [2,3]
+        check_grad(
+            |g, x| {
+                let c = g.constant(Tensor::from_vec(
+                    vec![1.0, 2.0, 3.0, 4.0, 5.0, 6.0],
+                    &[2, 3],
+                ));
+                let y = g.add(x, c);
+                let sq = g.square(y);
+                g.sum_all(sq)
+            },
+            test_input(3),
+            1e-2,
+        );
+    }
+
+    #[test]
+    fn grad_rsqrt() {
+        let x0 = Tensor::from_vec(vec![0.5, 1.0, 2.0, 4.0], &[4]);
+        check_grad(
+            |g, x| {
+                let y = g.rsqrt(x);
+                g.sum_all(y)
+            },
+            x0,
+            2e-2,
+        );
+    }
+
+    #[test]
+    fn mse_loss_value_and_grad() {
+        let mut g = Graph::new();
+        let x = g.leaf(Tensor::from_vec(vec![1.0, 2.0], &[2]));
+        let t = g.constant(Tensor::from_vec(vec![0.0, 0.0], &[2]));
+        let loss = g.mse_loss(x, t);
+        assert!((g.value(loss).item() - 2.5).abs() < 1e-6);
+        let grads = g.backward(loss);
+        // d/dx mean((x-t)^2) = 2(x-t)/n = [1.0, 2.0]
+        assert_eq!(grads.get(x).unwrap().as_slice(), &[1.0, 2.0]);
+    }
+
+    #[test]
+    fn masked_mse_ignores_masked_cells() {
+        let mut g = Graph::new();
+        let x = g.leaf(Tensor::from_vec(vec![1.0, 100.0], &[2]));
+        let t = g.constant(Tensor::zeros(&[2]));
+        let m = g.constant(Tensor::from_vec(vec![1.0, 0.0], &[2]));
+        let loss = g.masked_mse_loss(x, t, m);
+        assert!((g.value(loss).item() - 1.0).abs() < 1e-6);
+        let grads = g.backward(loss);
+        assert_eq!(grads.get(x).unwrap().as_slice()[1], 0.0);
+    }
+}

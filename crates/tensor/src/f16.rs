@@ -1,0 +1,207 @@
+//! Software IEEE 754 binary16 ("half") type.
+//!
+//! The paper stores its 2.6 TB training archive in FP16 (ROMS itself runs in
+//! FP64); this module supplies the same compression step for our snapshot
+//! store. Conversion uses round-to-nearest-even, matching hardware
+//! `f32 -> f16` casts. Arithmetic is not implemented — values are widened to
+//! `f32` for compute, exactly as mixed-precision training does.
+
+/// IEEE 754 binary16 value stored as its bit pattern.
+#[derive(Copy, Clone, PartialEq, Eq, Debug, Default)]
+pub struct F16(pub u16);
+
+impl F16 {
+    pub const ZERO: F16 = F16(0);
+    pub const ONE: F16 = F16(0x3C00);
+    pub const INFINITY: F16 = F16(0x7C00);
+    pub const NEG_INFINITY: F16 = F16(0xFC00);
+    /// Largest finite f16 (65504.0).
+    pub const MAX: F16 = F16(0x7BFF);
+
+    /// Convert from `f32` with round-to-nearest-even.
+    pub fn from_f32(value: f32) -> F16 {
+        F16(f32_to_f16_bits(value.to_bits()))
+    }
+
+    /// Widen to `f32` (exact).
+    pub fn to_f32(self) -> f32 {
+        f32::from_bits(f16_bits_to_f32(self.0))
+    }
+
+    /// True for either signed infinity.
+    pub fn is_infinite(self) -> bool {
+        (self.0 & 0x7FFF) == 0x7C00
+    }
+
+    /// True for NaN payloads.
+    pub fn is_nan(self) -> bool {
+        (self.0 & 0x7C00) == 0x7C00 && (self.0 & 0x03FF) != 0
+    }
+}
+
+/// Bit-level f32 -> f16 conversion with round-to-nearest-even.
+fn f32_to_f16_bits(x: u32) -> u16 {
+    let sign = ((x >> 16) & 0x8000) as u16;
+    let exp = ((x >> 23) & 0xFF) as i32;
+    let frac = x & 0x007F_FFFF;
+
+    if exp == 0xFF {
+        // Inf / NaN. Preserve NaN-ness with a quiet bit.
+        return if frac == 0 {
+            sign | 0x7C00
+        } else {
+            sign | 0x7E00
+        };
+    }
+    // Unbiased exponent.
+    let e = exp - 127;
+    if e > 15 {
+        // Overflow -> infinity.
+        return sign | 0x7C00;
+    }
+    if e >= -14 {
+        // Normal range. 10-bit mantissa; round-to-nearest-even on bit 13.
+        let mant = frac >> 13;
+        let round_bit = (frac >> 12) & 1;
+        let sticky = frac & 0x0FFF;
+        let mut h = sign as u32 | (((e + 15) as u32) << 10) | mant;
+        if round_bit == 1 && (sticky != 0 || (mant & 1) == 1) {
+            h += 1; // may carry into exponent — that is correct rounding
+        }
+        return h as u16;
+    }
+    if e >= -24 {
+        // Subnormal f16.
+        let shift = (-14 - e) as u32; // 0..=10
+        let full = frac | 0x0080_0000; // implicit leading 1
+        let total_shift = 13 + shift;
+        let mant = full >> total_shift;
+        let round_bit = (full >> (total_shift - 1)) & 1;
+        let sticky = full & ((1 << (total_shift - 1)) - 1);
+        let mut h = sign as u32 | mant;
+        if round_bit == 1 && (sticky != 0 || (mant & 1) == 1) {
+            h += 1;
+        }
+        return h as u16;
+    }
+    // Underflow to signed zero.
+    sign
+}
+
+/// Bit-level f16 -> f32 conversion (exact).
+fn f16_bits_to_f32(h: u16) -> u32 {
+    let sign = ((h & 0x8000) as u32) << 16;
+    let exp = ((h >> 10) & 0x1F) as u32;
+    let frac = (h & 0x03FF) as u32;
+    if exp == 0 {
+        if frac == 0 {
+            return sign; // signed zero
+        }
+        // Subnormal: value = (frac / 1024) * 2^-14. Normalize by shifting
+        // until bit 10 is set; each shift halves the exponent.
+        let mut k = 0u32;
+        let mut f = frac;
+        while f & 0x0400 == 0 {
+            f <<= 1;
+            k += 1;
+        }
+        let mantissa = (f & 0x03FF) << 13;
+        let exp_biased = 127 - 14 - k;
+        return sign | (exp_biased << 23) | mantissa;
+    }
+    if exp == 0x1F {
+        return sign | 0x7F80_0000 | (frac << 13); // inf / nan
+    }
+    sign | ((exp + 127 - 15) << 23) | (frac << 13)
+}
+
+/// Compress a slice of f32 to f16 bit patterns.
+pub fn compress(values: &[f32]) -> Vec<F16> {
+    values.iter().map(|&v| F16::from_f32(v)).collect()
+}
+
+/// Widen a slice of f16 back to f32.
+pub fn decompress(values: &[F16]) -> Vec<f32> {
+    values.iter().map(|v| v.to_f32()).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn exact_small_values() {
+        for &v in &[0.0f32, 1.0, -1.0, 0.5, 2.0, -2.5, 1024.0, 0.25] {
+            assert_eq!(F16::from_f32(v).to_f32(), v, "{v} should be exact in f16");
+        }
+    }
+
+    #[test]
+    fn constants() {
+        assert_eq!(F16::ONE.to_f32(), 1.0);
+        assert_eq!(F16::MAX.to_f32(), 65504.0);
+        assert!(F16::INFINITY.is_infinite());
+        assert!(F16::NEG_INFINITY.is_infinite());
+        assert_eq!(F16::NEG_INFINITY.to_f32(), f32::NEG_INFINITY);
+    }
+
+    #[test]
+    fn overflow_to_infinity() {
+        assert!(F16::from_f32(1e6).is_infinite());
+        assert!(F16::from_f32(-1e6).is_infinite());
+        assert_eq!(F16::from_f32(65504.0).to_f32(), 65504.0);
+        // Just above MAX rounds to infinity (midpoint rule: 65520 -> inf).
+        assert!(F16::from_f32(65520.0).is_infinite());
+    }
+
+    #[test]
+    fn subnormals_roundtrip() {
+        // Smallest positive subnormal = 2^-24.
+        let tiny = 2.0f32.powi(-24);
+        assert_eq!(F16::from_f32(tiny).to_f32(), tiny);
+        // Half of it rounds to zero (ties to even).
+        assert_eq!(F16::from_f32(tiny / 2.0).to_f32(), 0.0);
+        // Smallest normal.
+        let normal = 2.0f32.powi(-14);
+        assert_eq!(F16::from_f32(normal).to_f32(), normal);
+    }
+
+    #[test]
+    fn nan_preserved() {
+        assert!(F16::from_f32(f32::NAN).is_nan());
+        assert!(F16::from_f32(f32::NAN).to_f32().is_nan());
+    }
+
+    #[test]
+    fn rounding_nearest_even() {
+        // 1 + 2^-11 is exactly between 1.0 and the next f16 (1 + 2^-10);
+        // ties-to-even picks 1.0.
+        let mid = 1.0 + 2.0f32.powi(-11);
+        assert_eq!(F16::from_f32(mid).to_f32(), 1.0);
+        // Slightly above the midpoint rounds up.
+        let above = 1.0 + 2.0f32.powi(-11) + 2.0f32.powi(-20);
+        assert_eq!(F16::from_f32(above).to_f32(), 1.0 + 2.0f32.powi(-10));
+    }
+
+    #[test]
+    fn relative_error_bound_normal_range() {
+        // f16 has 11 significand bits: relative error <= 2^-11 in the
+        // normal range (which starts at 2^-14 ≈ 6.1035e-5).
+        let mut v = 7.0e-5f32;
+        while v < 6.0e4 {
+            let r = F16::from_f32(v).to_f32();
+            let rel = ((r - v) / v).abs();
+            assert!(rel <= 1.0 / 2048.0 + 1e-7, "v={v}, r={r}, rel={rel}");
+            v *= 1.3;
+        }
+    }
+
+    #[test]
+    fn compress_roundtrip_slice() {
+        let xs: Vec<f32> = (0..100).map(|i| (i as f32 - 50.0) * 0.37).collect();
+        let back = decompress(&compress(&xs));
+        for (a, b) in xs.iter().zip(&back) {
+            assert!((a - b).abs() <= a.abs() / 1024.0 + 1e-4);
+        }
+    }
+}

@@ -1,0 +1,98 @@
+//! Weight initializers (deterministic, seeded).
+
+use rand::rngs::StdRng;
+use rand::Rng;
+
+use crate::tensor::Tensor;
+
+/// Standard normal sample via Box-Muller (rand 0.8 has no Normal distr
+/// without rand_distr; two uniforms suffice here).
+pub fn sample_normal(rng: &mut StdRng) -> f32 {
+    loop {
+        let u1: f32 = rng.gen::<f32>();
+        if u1 <= f32::MIN_POSITIVE {
+            continue;
+        }
+        let u2: f32 = rng.gen::<f32>();
+        return (-2.0 * u1.ln()).sqrt() * (2.0 * std::f32::consts::PI * u2).cos();
+    }
+}
+
+/// Tensor of N(0, std²) samples.
+pub fn randn(shape: &[usize], std: f32, rng: &mut StdRng) -> Tensor {
+    let n = crate::shape::numel(shape);
+    Tensor::from_vec((0..n).map(|_| sample_normal(rng) * std).collect(), shape)
+}
+
+/// Truncated normal in ±2 std (re-sample outside), the ViT/Swin default.
+pub fn trunc_normal(shape: &[usize], std: f32, rng: &mut StdRng) -> Tensor {
+    let n = crate::shape::numel(shape);
+    let data = (0..n)
+        .map(|_| loop {
+            let v = sample_normal(rng);
+            if v.abs() <= 2.0 {
+                return v * std;
+            }
+        })
+        .collect();
+    Tensor::from_vec(data, shape)
+}
+
+/// Xavier/Glorot uniform for a `[fan_in, fan_out]` weight.
+pub fn xavier_uniform(fan_in: usize, fan_out: usize, rng: &mut StdRng) -> Tensor {
+    let bound = (6.0 / (fan_in + fan_out) as f32).sqrt();
+    let n = fan_in * fan_out;
+    Tensor::from_vec(
+        (0..n).map(|_| rng.gen::<f32>() * 2.0 * bound - bound).collect(),
+        &[fan_in, fan_out],
+    )
+}
+
+/// Uniform in [lo, hi).
+pub fn uniform(shape: &[usize], lo: f32, hi: f32, rng: &mut StdRng) -> Tensor {
+    let n = crate::shape::numel(shape);
+    Tensor::from_vec(
+        (0..n).map(|_| rng.gen::<f32>() * (hi - lo) + lo).collect(),
+        shape,
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    #[test]
+    fn randn_moments() {
+        let mut rng = StdRng::seed_from_u64(7);
+        let t = randn(&[10_000], 1.0, &mut rng);
+        let mean = t.mean_all();
+        let var = t.square().mean_all() - mean * mean;
+        assert!(mean.abs() < 0.05, "mean {mean}");
+        assert!((var - 1.0).abs() < 0.1, "var {var}");
+    }
+
+    #[test]
+    fn trunc_normal_bounded() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let t = trunc_normal(&[5000], 0.02, &mut rng);
+        assert!(t.max_all() <= 0.04 + 1e-6);
+        assert!(t.min_all() >= -0.04 - 1e-6);
+    }
+
+    #[test]
+    fn xavier_bound() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let t = xavier_uniform(64, 32, &mut rng);
+        let bound = (6.0f32 / 96.0).sqrt();
+        assert!(t.max_all() <= bound);
+        assert!(t.min_all() >= -bound);
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let a = randn(&[16], 1.0, &mut StdRng::seed_from_u64(42));
+        let b = randn(&[16], 1.0, &mut StdRng::seed_from_u64(42));
+        assert_eq!(a.as_slice(), b.as_slice());
+    }
+}

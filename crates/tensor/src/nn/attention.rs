@@ -1,0 +1,188 @@
+//! Multi-head self-attention with optional additive masks (the Swin
+//! shifted-window mask).
+
+use rand::rngs::StdRng;
+
+use super::{Linear, Module};
+use crate::autograd::{Graph, Param, Var};
+use crate::tensor::Tensor;
+
+/// Standard MHA over token sequences shaped `(B, N, C)`.
+///
+/// For windowed attention, `B` is `batch × num_windows` and the optional
+/// mask (shape `(num_windows, N, N)`) is broadcast per window via
+/// [`MultiHeadAttention::forward_masked`].
+#[derive(Clone)]
+pub struct MultiHeadAttention {
+    pub qkv: Linear,
+    pub proj: Linear,
+    pub num_heads: usize,
+    dim: usize,
+}
+
+impl MultiHeadAttention {
+    pub fn new(name: &str, dim: usize, num_heads: usize, rng: &mut StdRng) -> Self {
+        assert_eq!(dim % num_heads, 0, "dim {dim} not divisible by heads {num_heads}");
+        Self {
+            qkv: Linear::new(&format!("{name}.qkv"), dim, 3 * dim, true, rng),
+            proj: Linear::new(&format!("{name}.proj"), dim, dim, true, rng),
+            num_heads,
+            dim,
+        }
+    }
+
+    /// Attention with an optional additive mask.
+    ///
+    /// `mask`: `(num_windows, N, N)` with 0 for allowed pairs and a large
+    /// negative value for disallowed ones. When given, `B` of the input
+    /// must be `batch * num_windows`.
+    pub fn forward_masked(&self, g: &mut Graph, x: Var, mask: Option<&Tensor>) -> Var {
+        let shape = g.value(x).shape().to_vec();
+        assert_eq!(shape.len(), 3, "attention expects (B, N, C)");
+        let (b, n, c) = (shape[0], shape[1], shape[2]);
+        assert_eq!(c, self.dim);
+        let h = self.num_heads;
+        let hd = c / h;
+
+        let qkv = self.qkv.forward(g, x); // (B, N, 3C)
+        let qkv = g.reshape(qkv, &[b, n, 3, h, hd]);
+        let qkv = g.permute(qkv, &[2, 0, 3, 1, 4]); // (3, B, H, N, hd)
+        let q = g.narrow(qkv, 0, 0, 1);
+        let q = g.reshape(q, &[b, h, n, hd]);
+        let k = g.narrow(qkv, 0, 1, 1);
+        let k = g.reshape(k, &[b, h, n, hd]);
+        let v = g.narrow(qkv, 0, 2, 1);
+        let v = g.reshape(v, &[b, h, n, hd]);
+
+        let kt = g.permute(k, &[0, 1, 3, 2]); // (B, H, hd, N)
+        let scores = g.matmul(q, kt); // (B, H, N, N)
+        let mut scores = g.scale(scores, 1.0 / (hd as f32).sqrt());
+
+        if let Some(m) = mask {
+            let nw = m.shape()[0];
+            assert_eq!(
+                m.shape(),
+                &[nw, n, n],
+                "mask must be (num_windows, N, N)"
+            );
+            assert_eq!(b % nw, 0, "batch {b} not a multiple of num_windows {nw}");
+            let batch = b / nw;
+            // (B,H,N,N) -> (batch, nW, H, N, N) + (1, nW, 1, N, N)
+            let s5 = g.reshape(scores, &[batch, nw, h, n, n]);
+            let m5 = g.constant(m.reshaped(&[1, nw, 1, n, n]));
+            let s5 = g.add(s5, m5);
+            scores = g.reshape(s5, &[b, h, n, n]);
+        }
+
+        let attn = g.softmax_last(scores);
+        let out = g.matmul(attn, v); // (B, H, N, hd)
+        let out = g.permute(out, &[0, 2, 1, 3]); // (B, N, H, hd)
+        let out = g.reshape(out, &[b, n, c]);
+        self.proj.forward(g, out)
+    }
+}
+
+impl Module for MultiHeadAttention {
+    fn forward(&self, g: &mut Graph, x: Var) -> Var {
+        self.forward_masked(g, x, None)
+    }
+
+    fn collect_params(&self, out: &mut Vec<Param>) {
+        self.qkv.collect_params(out);
+        self.proj.collect_params(out);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    #[test]
+    fn shape_preserved() {
+        let mut rng = StdRng::seed_from_u64(0);
+        let attn = MultiHeadAttention::new("attn", 12, 3, &mut rng);
+        let mut g = Graph::inference();
+        let x = g.constant(Tensor::ones(&[4, 10, 12]));
+        let y = attn.forward(&mut g, x);
+        assert_eq!(g.value(y).shape(), &[4, 10, 12]);
+    }
+
+    #[test]
+    fn permutation_equivariance_without_mask() {
+        // Self-attention commutes with token permutation (no positional
+        // info inside the block itself).
+        let mut rng = StdRng::seed_from_u64(5);
+        let attn = MultiHeadAttention::new("attn", 8, 2, &mut rng);
+        let x0 = crate::init::randn(&[1, 4, 8], 1.0, &mut rng);
+
+        let mut g = Graph::inference();
+        let x = g.constant(x0.clone());
+        let y = attn.forward(&mut g, x);
+        let y = g.value(y).clone();
+
+        // Swap tokens 1 and 2 of the input.
+        let t0 = x0.narrow(1, 0, 1);
+        let t1 = x0.narrow(1, 1, 1);
+        let t2 = x0.narrow(1, 2, 1);
+        let t3 = x0.narrow(1, 3, 1);
+        let xp = Tensor::concat(&[&t0, &t2, &t1, &t3], 1);
+
+        let mut g2 = Graph::inference();
+        let x2 = g2.constant(xp);
+        let y2v = attn.forward(&mut g2, x2);
+        let y2 = g2.value(y2v).clone();
+
+        // Output tokens swap the same way.
+        assert!(y.narrow(1, 1, 1).allclose(&y2.narrow(1, 2, 1), 1e-5));
+        assert!(y.narrow(1, 2, 1).allclose(&y2.narrow(1, 1, 1), 1e-5));
+        assert!(y.narrow(1, 0, 1).allclose(&y2.narrow(1, 0, 1), 1e-5));
+    }
+
+    #[test]
+    fn mask_blocks_attention() {
+        // With a mask forbidding token 0 from attending to token 1, token
+        // 0's output must not depend on token 1's value.
+        let mut rng = StdRng::seed_from_u64(9);
+        let attn = MultiHeadAttention::new("attn", 4, 1, &mut rng);
+        let n = 2;
+        let neg = -1e9f32;
+        // One "window": token i may only attend to itself.
+        let mask = Tensor::from_vec(vec![0.0, neg, neg, 0.0], &[1, n, n]);
+
+        let base = crate::init::randn(&[1, n, 4], 1.0, &mut rng);
+        let mut changed = base.clone();
+        for i in 0..4 {
+            let v = changed.at(&[0, 1, i]);
+            changed.set(&[0, 1, i], v + 10.0);
+        }
+
+        let run = |input: Tensor| {
+            let mut g = Graph::inference();
+            let x = g.constant(input);
+            let y = attn.forward_masked(&mut g, x, Some(&mask));
+            g.value(y).clone()
+        };
+        let y1 = run(base);
+        let y2 = run(changed);
+        // Token 0 output unchanged; token 1 output changed.
+        assert!(y1.narrow(1, 0, 1).allclose(&y2.narrow(1, 0, 1), 1e-5));
+        assert!(y1.narrow(1, 1, 1).max_abs_diff(&y2.narrow(1, 1, 1)) > 1e-3);
+    }
+
+    #[test]
+    fn grads_flow_through_attention() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let attn = MultiHeadAttention::new("attn", 6, 2, &mut rng);
+        let mut g = Graph::new();
+        let x = g.leaf(crate::init::randn(&[2, 5, 6], 0.5, &mut rng));
+        let y = attn.forward(&mut g, x);
+        let sq = g.square(y);
+        let loss = g.mean_all(sq);
+        let grads = g.backward(loss);
+        assert!(grads.get(x).is_some());
+        for p in attn.params() {
+            assert!(p.grad().is_some(), "no grad for {}", p.name());
+        }
+    }
+}

@@ -1,0 +1,136 @@
+//! Fully connected layer.
+
+use rand::rngs::StdRng;
+
+use super::Module;
+use crate::autograd::{Graph, Param, Var};
+use crate::init;
+use crate::tensor::Tensor;
+
+/// `y = x @ W + b` applied over the last axis of an arbitrary-rank input.
+#[derive(Clone)]
+pub struct Linear {
+    pub weight: Param, // [in, out]
+    pub bias: Option<Param>,
+    in_features: usize,
+    out_features: usize,
+}
+
+impl Linear {
+    /// New layer with truncated-normal weights (std 0.02, the ViT default)
+    /// and zero bias.
+    pub fn new(
+        name: &str,
+        in_features: usize,
+        out_features: usize,
+        bias: bool,
+        rng: &mut StdRng,
+    ) -> Self {
+        let weight = Param::new(
+            format!("{name}.weight"),
+            init::trunc_normal(&[in_features, out_features], 0.02, rng),
+        );
+        let bias = bias.then(|| Param::new(format!("{name}.bias"), Tensor::zeros(&[out_features])));
+        Self {
+            weight,
+            bias,
+            in_features,
+            out_features,
+        }
+    }
+
+    pub fn in_features(&self) -> usize {
+        self.in_features
+    }
+
+    pub fn out_features(&self) -> usize {
+        self.out_features
+    }
+}
+
+impl Module for Linear {
+    fn forward(&self, g: &mut Graph, x: Var) -> Var {
+        let in_shape = g.value(x).shape().to_vec();
+        assert_eq!(
+            *in_shape.last().expect("linear input must have rank >= 1"),
+            self.in_features,
+            "linear expected last dim {}, got {:?}",
+            self.in_features,
+            in_shape
+        );
+        let rows: usize = in_shape[..in_shape.len() - 1].iter().product();
+        let flat = g.reshape(x, &[rows, self.in_features]);
+        let w = g.param(&self.weight);
+        let mut y = g.matmul(flat, w);
+        if let Some(b) = &self.bias {
+            let bv = g.param(b);
+            y = g.add(y, bv);
+        }
+        let mut out_shape = in_shape;
+        *out_shape.last_mut().unwrap() = self.out_features;
+        g.reshape(y, &out_shape)
+    }
+
+    fn collect_params(&self, out: &mut Vec<Param>) {
+        out.push(self.weight.clone());
+        if let Some(b) = &self.bias {
+            out.push(b.clone());
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    #[test]
+    fn forward_shape_arbitrary_rank() {
+        let mut rng = StdRng::seed_from_u64(0);
+        let l = Linear::new("l", 8, 3, true, &mut rng);
+        let mut g = Graph::inference();
+        let x = g.constant(Tensor::ones(&[2, 5, 8]));
+        let y = l.forward(&mut g, x);
+        assert_eq!(g.value(y).shape(), &[2, 5, 3]);
+    }
+
+    #[test]
+    fn identity_weight_passthrough() {
+        let mut rng = StdRng::seed_from_u64(0);
+        let l = Linear::new("l", 3, 3, false, &mut rng);
+        let mut eye = Tensor::zeros(&[3, 3]);
+        for i in 0..3 {
+            eye.set(&[i, i], 1.0);
+        }
+        l.weight.set_value(eye);
+        let mut g = Graph::inference();
+        let x = g.constant(Tensor::from_vec(vec![1.0, 2.0, 3.0], &[1, 3]));
+        let y = l.forward(&mut g, x);
+        assert_eq!(g.value(y).as_slice(), &[1.0, 2.0, 3.0]);
+    }
+
+    #[test]
+    fn gradient_reaches_weights_and_bias() {
+        let mut rng = StdRng::seed_from_u64(0);
+        let l = Linear::new("l", 4, 2, true, &mut rng);
+        let mut g = Graph::new();
+        let x = g.constant(Tensor::ones(&[3, 4]));
+        let y = l.forward(&mut g, x);
+        let loss = g.mean_all(y);
+        g.backward(loss);
+        assert!(l.weight.grad().is_some());
+        assert!(l.bias.as_ref().unwrap().grad().is_some());
+        // d(mean)/d(bias_j) = 1/out_features... specifically 3 rows / (3*2): 1/2 each
+        let bg = l.bias.as_ref().unwrap().grad().unwrap();
+        for &v in bg.as_slice() {
+            assert!((v - 0.5).abs() < 1e-6);
+        }
+    }
+
+    #[test]
+    fn num_parameters() {
+        let mut rng = StdRng::seed_from_u64(0);
+        let l = Linear::new("l", 10, 5, true, &mut rng);
+        assert_eq!(l.num_parameters(), 10 * 5 + 5);
+    }
+}

@@ -1,0 +1,73 @@
+//! Two-layer MLP with GELU, the transformer feed-forward block.
+
+use rand::rngs::StdRng;
+
+use super::{Linear, Module};
+use crate::autograd::{Graph, Param, Var};
+
+/// `fc2(gelu(fc1(x)))` with a configurable hidden width.
+#[derive(Clone)]
+pub struct Mlp {
+    pub fc1: Linear,
+    pub fc2: Linear,
+}
+
+impl Mlp {
+    pub fn new(name: &str, dim: usize, hidden: usize, rng: &mut StdRng) -> Self {
+        Self {
+            fc1: Linear::new(&format!("{name}.fc1"), dim, hidden, true, rng),
+            fc2: Linear::new(&format!("{name}.fc2"), hidden, dim, true, rng),
+        }
+    }
+}
+
+impl Module for Mlp {
+    fn forward(&self, g: &mut Graph, x: Var) -> Var {
+        let h = self.fc1.forward(g, x);
+        let a = g.gelu(h);
+        self.fc2.forward(g, a)
+    }
+
+    fn collect_params(&self, out: &mut Vec<Param>) {
+        self.fc1.collect_params(out);
+        self.fc2.collect_params(out);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::tensor::Tensor;
+    use rand::SeedableRng;
+
+    #[test]
+    fn shape_preserved() {
+        let mut rng = StdRng::seed_from_u64(0);
+        let m = Mlp::new("mlp", 6, 24, &mut rng);
+        let mut g = Graph::inference();
+        let x = g.constant(Tensor::ones(&[2, 7, 6]));
+        let y = m.forward(&mut g, x);
+        assert_eq!(g.value(y).shape(), &[2, 7, 6]);
+    }
+
+    #[test]
+    fn param_count() {
+        let mut rng = StdRng::seed_from_u64(0);
+        let m = Mlp::new("mlp", 4, 16, &mut rng);
+        assert_eq!(m.num_parameters(), 4 * 16 + 16 + 16 * 4 + 4);
+    }
+
+    #[test]
+    fn trainable_end_to_end() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let m = Mlp::new("mlp", 3, 8, &mut rng);
+        let mut g = Graph::new();
+        let x = g.constant(Tensor::ones(&[4, 3]));
+        let y = m.forward(&mut g, x);
+        let loss = g.mean_all(y);
+        g.backward(loss);
+        for p in m.params() {
+            assert!(p.grad().is_some(), "no grad for {}", p.name());
+        }
+    }
+}

@@ -1,0 +1,120 @@
+//! Neural-network building blocks over the autograd tape.
+//!
+//! Modules are cheaply `Clone` — clones *share* parameters (they hold
+//! `Param` handles), which is what checkpoint closures and weight-tied
+//! replicas need. For independent replicas use
+//! [`state_dict`]/[`load_state_dict`] on separately constructed modules.
+
+mod attention;
+mod linear;
+mod mlp;
+mod norm;
+
+pub use attention::MultiHeadAttention;
+pub use linear::Linear;
+pub use mlp::Mlp;
+pub use norm::{BatchNorm, LayerNorm};
+
+use crate::autograd::{Graph, Param, Var};
+use crate::tensor::Tensor;
+
+/// A differentiable component with trainable parameters.
+pub trait Module {
+    /// Forward pass on the given tape.
+    fn forward(&self, g: &mut Graph, x: Var) -> Var;
+
+    /// Append this module's parameters (deterministic order).
+    fn collect_params(&self, out: &mut Vec<Param>);
+
+    /// All parameters in deterministic order.
+    fn params(&self) -> Vec<Param> {
+        let mut v = Vec::new();
+        self.collect_params(&mut v);
+        v
+    }
+
+    /// Total trainable scalar count.
+    fn num_parameters(&self) -> usize {
+        self.params().iter().map(|p| p.numel()).sum()
+    }
+}
+
+/// Snapshot parameter values (order-based; modules must be constructed
+/// identically on both sides).
+pub fn state_dict(module: &dyn Module) -> Vec<Tensor> {
+    module.params().iter().map(|p| p.value()).collect()
+}
+
+/// Load a snapshot produced by [`state_dict`].
+pub fn load_state_dict(module: &dyn Module, state: &[Tensor]) {
+    let params = module.params();
+    assert_eq!(
+        params.len(),
+        state.len(),
+        "state dict length mismatch: {} vs {}",
+        params.len(),
+        state.len()
+    );
+    for (p, t) in params.iter().zip(state) {
+        assert_eq!(
+            p.value().shape(),
+            t.shape(),
+            "state dict shape mismatch for '{}'",
+            p.name()
+        );
+        p.set_value(t.clone());
+    }
+}
+
+/// Elementwise average of several state dicts (gradient/weight averaging
+/// for the data-parallel trainer).
+pub fn average_states(states: &[Vec<Tensor>]) -> Vec<Tensor> {
+    assert!(!states.is_empty());
+    let n = states.len() as f32;
+    let mut out = states[0].clone();
+    for s in &states[1..] {
+        for (acc, t) in out.iter_mut().zip(s) {
+            *acc = acc.add(t);
+        }
+    }
+    for t in &mut out {
+        *t = t.scale(1.0 / n);
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn state_dict_roundtrip() {
+        let mut rng = StdRng::seed_from_u64(0);
+        let a = Linear::new("a", 4, 3, true, &mut rng);
+        let b = Linear::new("b", 4, 3, true, &mut rng);
+        let sd = state_dict(&a);
+        load_state_dict(&b, &sd);
+        for (pa, pb) in a.params().iter().zip(b.params().iter()) {
+            assert_eq!(pa.value().as_slice(), pb.value().as_slice());
+        }
+    }
+
+    #[test]
+    fn average_states_means() {
+        let s1 = vec![Tensor::full(&[2], 1.0)];
+        let s2 = vec![Tensor::full(&[2], 3.0)];
+        let avg = average_states(&[s1, s2]);
+        assert_eq!(avg[0].as_slice(), &[2.0, 2.0]);
+    }
+
+    #[test]
+    fn module_clone_shares_params() {
+        let mut rng = StdRng::seed_from_u64(0);
+        let a = Linear::new("a", 2, 2, false, &mut rng);
+        let b = a.clone();
+        a.params()[0].set_value(Tensor::zeros(&[2, 2]));
+        assert_eq!(b.params()[0].value().as_slice(), &[0.0; 4]);
+    }
+}

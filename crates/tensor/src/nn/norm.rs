@@ -1,0 +1,259 @@
+//! Normalization layers: LayerNorm (last axis) and BatchNorm (channel axis).
+
+use std::cell::RefCell;
+use std::rc::Rc;
+
+use super::Module;
+use crate::autograd::{Graph, Param, Var};
+use crate::tensor::Tensor;
+
+/// Layer normalization over the last axis with affine parameters.
+#[derive(Clone)]
+pub struct LayerNorm {
+    pub gamma: Param, // [dim]
+    pub beta: Param,  // [dim]
+    pub eps: f32,
+    dim: usize,
+}
+
+impl LayerNorm {
+    pub fn new(name: &str, dim: usize) -> Self {
+        Self {
+            gamma: Param::new(format!("{name}.gamma"), Tensor::ones(&[dim])),
+            beta: Param::new(format!("{name}.beta"), Tensor::zeros(&[dim])),
+            eps: 1e-5,
+            dim,
+        }
+    }
+}
+
+impl Module for LayerNorm {
+    fn forward(&self, g: &mut Graph, x: Var) -> Var {
+        assert_eq!(
+            *g.value(x).shape().last().unwrap(),
+            self.dim,
+            "layernorm dim mismatch"
+        );
+        let normed = g.layer_norm(x, self.eps);
+        let gamma = g.param(&self.gamma);
+        let beta = g.param(&self.beta);
+        let scaled = g.mul(normed, gamma);
+        g.add(scaled, beta)
+    }
+
+    fn collect_params(&self, out: &mut Vec<Param>) {
+        out.push(self.gamma.clone());
+        out.push(self.beta.clone());
+    }
+}
+
+/// Batch normalization over axis 1 (layout `(N, C, …)`), with running
+/// statistics for inference — used by the surrogate's decoder.
+#[derive(Clone)]
+pub struct BatchNorm {
+    pub gamma: Param, // [C]
+    pub beta: Param,  // [C]
+    pub eps: f32,
+    pub momentum: f32,
+    channels: usize,
+    running: Rc<RefCell<RunningStats>>,
+}
+
+struct RunningStats {
+    mean: Tensor, // [C]
+    var: Tensor,  // [C]
+    initialized: bool,
+}
+
+impl BatchNorm {
+    pub fn new(name: &str, channels: usize) -> Self {
+        Self {
+            gamma: Param::new(format!("{name}.gamma"), Tensor::ones(&[channels])),
+            beta: Param::new(format!("{name}.beta"), Tensor::zeros(&[channels])),
+            eps: 1e-5,
+            momentum: 0.1,
+            channels,
+            running: Rc::new(RefCell::new(RunningStats {
+                mean: Tensor::zeros(&[channels]),
+                var: Tensor::ones(&[channels]),
+                initialized: false,
+            })),
+        }
+    }
+
+    /// Running mean/var snapshot (for tests and serialization).
+    pub fn running_stats(&self) -> (Tensor, Tensor) {
+        let r = self.running.borrow();
+        (r.mean.clone(), r.var.clone())
+    }
+
+    /// Shape `[1, C, 1, 1, …]` used to broadcast per-channel tensors
+    /// against an `(N, C, …)` input of rank `nd`.
+    fn bshape(&self, nd: usize) -> Vec<usize> {
+        let mut s = vec![1; nd];
+        s[1] = self.channels;
+        s
+    }
+}
+
+impl Module for BatchNorm {
+    fn forward(&self, g: &mut Graph, x: Var) -> Var {
+        let shape = g.value(x).shape().to_vec();
+        assert!(
+            shape.len() >= 2 && shape[1] == self.channels,
+            "batchnorm expects (N, C={}, …), got {:?}",
+            self.channels,
+            shape
+        );
+        let nd = shape.len();
+        let reduce_axes: Vec<usize> = (0..nd).filter(|&a| a != 1).collect();
+        let bshape = self.bshape(nd);
+
+        let (centered, inv_std) = if g.training {
+            // Batch statistics on the tape (differentiable).
+            let mu = g.mean_axes_keepdims(x, &reduce_axes);
+            let centered = g.sub(x, mu);
+            let sq = g.square(centered);
+            let var = g.mean_axes_keepdims(sq, &reduce_axes);
+            let var_eps = g.add_scalar(var, self.eps);
+            let inv_std = g.rsqrt(var_eps);
+
+            // Update running stats (off-tape side effect).
+            let mu_t = g.value(mu).reshaped(&[self.channels]);
+            let var_t = g.value(var).reshaped(&[self.channels]);
+            let mut r = self.running.borrow_mut();
+            if r.initialized {
+                let m = self.momentum;
+                r.mean = r.mean.scale(1.0 - m).add(&mu_t.scale(m));
+                r.var = r.var.scale(1.0 - m).add(&var_t.scale(m));
+            } else {
+                r.mean = mu_t;
+                r.var = var_t;
+                r.initialized = true;
+            }
+            (centered, inv_std)
+        } else {
+            // Running statistics as constants.
+            let r = self.running.borrow();
+            let mu = g.constant(r.mean.reshaped(&bshape));
+            let inv = r.var.add_scalar(self.eps).rsqrt().reshaped(&bshape);
+            drop(r);
+            let inv_std = g.constant(inv);
+            let centered = g.sub(x, mu);
+            (centered, inv_std)
+        };
+
+        let normed = g.mul(centered, inv_std);
+        let gamma = g.param(&self.gamma);
+        let beta = g.param(&self.beta);
+        let gamma_b = g.reshape(gamma, &bshape);
+        let beta_b = g.reshape(beta, &bshape);
+        let scaled = g.mul(normed, gamma_b);
+        g.add(scaled, beta_b)
+    }
+
+    fn collect_params(&self, out: &mut Vec<Param>) {
+        out.push(self.gamma.clone());
+        out.push(self.beta.clone());
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn layernorm_zero_mean_unit_var() {
+        let ln = LayerNorm::new("ln", 8);
+        let mut g = Graph::inference();
+        let x = g.constant(Tensor::from_vec(
+            (0..16).map(|i| i as f32 * 3.0 - 7.0).collect(),
+            &[2, 8],
+        ));
+        let y = ln.forward(&mut g, x);
+        let yv = g.value(y);
+        for r in 0..2 {
+            let row: Vec<f32> = (0..8).map(|c| yv.at(&[r, c])).collect();
+            let mean: f32 = row.iter().sum::<f32>() / 8.0;
+            let var: f32 = row.iter().map(|v| (v - mean) * (v - mean)).sum::<f32>() / 8.0;
+            assert!(mean.abs() < 1e-4, "mean {mean}");
+            assert!((var - 1.0).abs() < 1e-2, "var {var}");
+        }
+    }
+
+    #[test]
+    fn layernorm_affine_applied() {
+        let ln = LayerNorm::new("ln", 2);
+        ln.gamma.set_value(Tensor::from_vec(vec![2.0, 2.0], &[2]));
+        ln.beta.set_value(Tensor::from_vec(vec![10.0, 10.0], &[2]));
+        let mut g = Graph::inference();
+        let x = g.constant(Tensor::from_vec(vec![-1.0, 1.0], &[1, 2]));
+        let y = ln.forward(&mut g, x);
+        let yv = g.value(y);
+        // normalized to ±1 (approx), then *2 + 10
+        assert!((yv.at(&[0, 0]) - 8.0).abs() < 0.1);
+        assert!((yv.at(&[0, 1]) - 12.0).abs() < 0.1);
+    }
+
+    #[test]
+    fn batchnorm_train_normalizes_channels() {
+        let bn = BatchNorm::new("bn", 2);
+        let mut g = Graph::new();
+        g.training = true;
+        // (N=2, C=2, L=3)
+        let x = g.constant(Tensor::from_vec(
+            (0..12).map(|i| i as f32).collect(),
+            &[2, 2, 3],
+        ));
+        let y = bn.forward(&mut g, x);
+        let yv = g.value(y).clone();
+        // Per-channel mean over N and L should be ~0.
+        for c in 0..2 {
+            let mut sum = 0.0;
+            for n in 0..2 {
+                for l in 0..3 {
+                    sum += yv.at(&[n, c, l]);
+                }
+            }
+            assert!((sum / 6.0).abs() < 1e-4);
+        }
+        // Running stats got initialized.
+        let (rm, _) = bn.running_stats();
+        assert!(rm.as_slice()[0] > 0.0);
+    }
+
+    #[test]
+    fn batchnorm_eval_uses_running_stats() {
+        let bn = BatchNorm::new("bn", 1);
+        // Train once to set running stats.
+        {
+            let mut g = Graph::new();
+            g.training = true;
+            let x = g.constant(Tensor::from_vec(vec![0.0, 2.0], &[2, 1]));
+            let _ = bn.forward(&mut g, x);
+        }
+        let (rm, rv) = bn.running_stats();
+        assert!((rm.as_slice()[0] - 1.0).abs() < 1e-5);
+        assert!((rv.as_slice()[0] - 1.0).abs() < 1e-5);
+        // Eval: input equal to running mean normalizes to ~0.
+        let mut g = Graph::inference();
+        let x = g.constant(Tensor::from_vec(vec![1.0], &[1, 1]));
+        let y = bn.forward(&mut g, x);
+        assert!(g.value(y).as_slice()[0].abs() < 1e-3);
+    }
+
+    #[test]
+    fn batchnorm_grads_flow() {
+        let bn = BatchNorm::new("bn", 2);
+        let mut g = Graph::new();
+        g.training = true;
+        let x = g.leaf(Tensor::from_vec((0..8).map(|i| i as f32 * 0.5).collect(), &[2, 2, 2]));
+        let y = bn.forward(&mut g, x);
+        let sq = g.square(y);
+        let loss = g.mean_all(sq);
+        let grads = g.backward(loss);
+        assert!(grads.get(x).is_some());
+        assert!(bn.gamma.grad().is_some());
+        assert!(bn.beta.grad().is_some());
+    }
+}

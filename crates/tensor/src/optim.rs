@@ -1,0 +1,229 @@
+//! Optimizers: SGD (with momentum), Adam, AdamW; global-norm clipping.
+
+use crate::autograd::Param;
+use crate::tensor::Tensor;
+
+/// Clip gradients so the global L2 norm is at most `max_norm`.
+/// Returns the pre-clip norm.
+pub fn clip_grad_norm(params: &[Param], max_norm: f32) -> f32 {
+    let mut total = 0.0f64;
+    for p in params {
+        if let Some(g) = p.grad() {
+            total += g.as_slice().iter().map(|&v| (v as f64) * (v as f64)).sum::<f64>();
+        }
+    }
+    let norm = (total.sqrt()) as f32;
+    if norm > max_norm && norm > 0.0 {
+        let scale = max_norm / norm;
+        for p in params {
+            if let Some(g) = p.grad() {
+                p.zero_grad();
+                p.accum_grad(&g.scale(scale));
+            }
+        }
+    }
+    norm
+}
+
+/// Zero every parameter's gradient.
+pub fn zero_grads(params: &[Param]) {
+    for p in params {
+        p.zero_grad();
+    }
+}
+
+/// Stochastic gradient descent with optional momentum.
+pub struct Sgd {
+    params: Vec<Param>,
+    velocity: Vec<Option<Tensor>>,
+    pub lr: f32,
+    pub momentum: f32,
+}
+
+impl Sgd {
+    pub fn new(params: Vec<Param>, lr: f32, momentum: f32) -> Self {
+        let n = params.len();
+        Self {
+            params,
+            velocity: (0..n).map(|_| None).collect(),
+            lr,
+            momentum,
+        }
+    }
+
+    /// Apply one update using accumulated gradients, then clear them.
+    pub fn step(&mut self) {
+        for (i, p) in self.params.iter().enumerate() {
+            let Some(g) = p.grad() else { continue };
+            let update = if self.momentum > 0.0 {
+                let v = match &self.velocity[i] {
+                    Some(v) => v.scale(self.momentum).add(&g),
+                    None => g.clone(),
+                };
+                self.velocity[i] = Some(v.clone());
+                v
+            } else {
+                g
+            };
+            p.set_value(p.value().sub(&update.scale(self.lr)));
+            p.zero_grad();
+        }
+    }
+}
+
+/// Adam / AdamW. `weight_decay > 0` applies decoupled decay (AdamW).
+pub struct Adam {
+    params: Vec<Param>,
+    m: Vec<Option<Tensor>>,
+    v: Vec<Option<Tensor>>,
+    t: i32,
+    pub lr: f32,
+    pub beta1: f32,
+    pub beta2: f32,
+    pub eps: f32,
+    pub weight_decay: f32,
+}
+
+impl Adam {
+    pub fn new(params: Vec<Param>, lr: f32) -> Self {
+        let n = params.len();
+        Self {
+            params,
+            m: (0..n).map(|_| None).collect(),
+            v: (0..n).map(|_| None).collect(),
+            t: 0,
+            lr,
+            beta1: 0.9,
+            beta2: 0.999,
+            eps: 1e-8,
+            weight_decay: 0.0,
+        }
+    }
+
+    /// AdamW constructor with decoupled weight decay.
+    pub fn adamw(params: Vec<Param>, lr: f32, weight_decay: f32) -> Self {
+        let mut a = Self::new(params, lr);
+        a.weight_decay = weight_decay;
+        a
+    }
+
+    /// Parameters managed by this optimizer.
+    pub fn params(&self) -> &[Param] {
+        &self.params
+    }
+
+    /// Total scalar count, and optimizer-state bytes (m+v), used by the
+    /// Table II memory accounting.
+    pub fn state_bytes(&self) -> usize {
+        let p: usize = self.params.iter().map(|p| p.numel()).sum();
+        // value + grad + m + v, 4 bytes each
+        p * 4 * 4
+    }
+
+    /// Apply one Adam update using accumulated gradients, then clear them.
+    pub fn step(&mut self) {
+        self.t += 1;
+        let bc1 = 1.0 - self.beta1.powi(self.t);
+        let bc2 = 1.0 - self.beta2.powi(self.t);
+        for (i, p) in self.params.iter().enumerate() {
+            let Some(g) = p.grad() else { continue };
+            let m = match &self.m[i] {
+                Some(m) => m.scale(self.beta1).add(&g.scale(1.0 - self.beta1)),
+                None => g.scale(1.0 - self.beta1),
+            };
+            let v = match &self.v[i] {
+                Some(v) => v.scale(self.beta2).add(&g.square().scale(1.0 - self.beta2)),
+                None => g.square().scale(1.0 - self.beta2),
+            };
+            self.m[i] = Some(m.clone());
+            self.v[i] = Some(v.clone());
+
+            let m_hat = m.scale(1.0 / bc1);
+            let v_hat = v.scale(1.0 / bc2);
+            let eps = self.eps;
+            let denom = v_hat.map(|x| x.sqrt() + eps);
+            let mut new_val = p.value().sub(&m_hat.div(&denom).scale(self.lr));
+            if self.weight_decay > 0.0 {
+                new_val = new_val.sub(&p.value().scale(self.lr * self.weight_decay));
+            }
+            p.set_value(new_val);
+            p.zero_grad();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::autograd::Graph;
+
+    /// Run 300 steps minimizing f(w) = (w - 3)^2 with the given updater.
+    fn quadratic_converges_with(p: &Param, step: &mut dyn FnMut(&Param)) -> f32 {
+        for _ in 0..300 {
+            let mut g = Graph::new();
+            let w = g.param(p);
+            let t = g.constant(Tensor::scalar(3.0));
+            let d = g.sub(w, t);
+            let loss = g.square(d);
+            let loss_s = g.sum_all(loss);
+            g.backward(loss_s);
+            step(p);
+        }
+        p.value().item()
+    }
+
+    #[test]
+    fn sgd_converges_on_quadratic() {
+        let p = Param::new("w", Tensor::scalar(0.0));
+        let mut opt = Sgd::new(vec![p.clone()], 0.1, 0.0);
+        let w = quadratic_converges_with(&p, &mut |_| opt.step());
+        assert!((w - 3.0).abs() < 1e-3, "w={w}");
+    }
+
+    #[test]
+    fn sgd_momentum_converges() {
+        let p = Param::new("w", Tensor::scalar(0.0));
+        let mut opt = Sgd::new(vec![p.clone()], 0.05, 0.9);
+        let w = quadratic_converges_with(&p, &mut |_| opt.step());
+        assert!((w - 3.0).abs() < 1e-2, "w={w}");
+    }
+
+    #[test]
+    fn adam_converges_on_quadratic() {
+        let p = Param::new("w", Tensor::scalar(0.0));
+        let mut opt = Adam::new(vec![p.clone()], 0.1);
+        let w = quadratic_converges_with(&p, &mut |_| opt.step());
+        assert!((w - 3.0).abs() < 1e-2, "w={w}");
+    }
+
+    #[test]
+    fn adamw_decay_shrinks_weights() {
+        // With zero gradient signal and weight decay, weights shrink.
+        let p = Param::new("w", Tensor::scalar(10.0));
+        let mut opt = Adam::adamw(vec![p.clone()], 0.1, 0.1);
+        for _ in 0..10 {
+            p.accum_grad(&Tensor::scalar(0.0));
+            opt.step();
+        }
+        assert!(p.value().item() < 10.0);
+    }
+
+    #[test]
+    fn clip_grad_norm_scales() {
+        let p = Param::new("w", Tensor::zeros(&[4]));
+        p.accum_grad(&Tensor::from_vec(vec![3.0, 4.0, 0.0, 0.0], &[4]));
+        let pre = clip_grad_norm(&[p.clone()], 1.0);
+        assert!((pre - 5.0).abs() < 1e-5);
+        let g = p.grad().unwrap();
+        let post: f32 = g.as_slice().iter().map(|v| v * v).sum::<f32>().sqrt();
+        assert!((post - 1.0).abs() < 1e-5);
+    }
+
+    #[test]
+    fn clip_noop_when_below_threshold() {
+        let p = Param::new("w", Tensor::zeros(&[2]));
+        p.accum_grad(&Tensor::from_vec(vec![0.1, 0.1], &[2]));
+        clip_grad_norm(&[p.clone()], 10.0);
+        assert_eq!(p.grad().unwrap().as_slice(), &[0.1, 0.1]);
+    }
+}

@@ -1,0 +1,146 @@
+//! Shape and stride arithmetic for row-major dense tensors.
+//!
+//! Shapes are plain `Vec<usize>`; tensors in this crate are always stored
+//! contiguously in row-major (C) order, so strides are derived, never stored.
+
+/// Number of elements implied by a shape. The empty shape is a scalar (1).
+pub fn numel(shape: &[usize]) -> usize {
+    shape.iter().product()
+}
+
+/// Row-major strides for a contiguous tensor of the given shape.
+pub fn strides_for(shape: &[usize]) -> Vec<usize> {
+    let mut strides = vec![0; shape.len()];
+    let mut acc = 1usize;
+    for (s, &dim) in strides.iter_mut().zip(shape.iter()).rev() {
+        *s = acc;
+        acc *= dim;
+    }
+    strides
+}
+
+/// Convert a flat row-major offset into a multi-index for `shape`.
+pub fn unravel(mut offset: usize, shape: &[usize], out: &mut [usize]) {
+    debug_assert_eq!(shape.len(), out.len());
+    for i in (0..shape.len()).rev() {
+        out[i] = offset % shape[i];
+        offset /= shape[i];
+    }
+}
+
+/// Convert a multi-index into a flat row-major offset.
+pub fn ravel(index: &[usize], shape: &[usize]) -> usize {
+    debug_assert_eq!(index.len(), shape.len());
+    let mut offset = 0;
+    for (&i, &d) in index.iter().zip(shape.iter()) {
+        debug_assert!(i < d, "index {i} out of bounds for dim {d}");
+        offset = offset * d + i;
+    }
+    offset
+}
+
+/// NumPy-style broadcast of two shapes.
+///
+/// Returns the broadcast shape, or `None` if the shapes are incompatible.
+/// Dimensions are aligned from the right; a dimension of 1 stretches.
+pub fn broadcast_shapes(a: &[usize], b: &[usize]) -> Option<Vec<usize>> {
+    let n = a.len().max(b.len());
+    let mut out = vec![0; n];
+    for i in 0..n {
+        let da = if i < n - a.len() { 1 } else { a[i - (n - a.len())] };
+        let db = if i < n - b.len() { 1 } else { b[i - (n - b.len())] };
+        out[i] = if da == db {
+            da
+        } else if da == 1 {
+            db
+        } else if db == 1 {
+            da
+        } else {
+            return None;
+        };
+    }
+    Some(out)
+}
+
+/// True if `from` can broadcast to exactly `to` (right-aligned).
+pub fn broadcastable_to(from: &[usize], to: &[usize]) -> bool {
+    if from.len() > to.len() {
+        return false;
+    }
+    let off = to.len() - from.len();
+    from.iter()
+        .zip(&to[off..])
+        .all(|(&f, &t)| f == t || f == 1)
+}
+
+/// Strides to iterate a tensor of shape `from` as if it had shape `to`
+/// (broadcast dims get stride 0). Panics if not broadcastable.
+pub fn broadcast_strides(from: &[usize], to: &[usize]) -> Vec<usize> {
+    assert!(
+        broadcastable_to(from, to),
+        "cannot broadcast {from:?} to {to:?}"
+    );
+    let base = strides_for(from);
+    let off = to.len() - from.len();
+    let mut out = vec![0; to.len()];
+    for i in 0..from.len() {
+        out[off + i] = if from[i] == 1 { 0 } else { base[i] };
+    }
+    out
+}
+
+/// Normalize a (possibly negative-like) axis list: checks bounds, sorts,
+/// dedups. Axes here are always non-negative `usize`.
+pub fn normalize_axes(axes: &[usize], ndim: usize) -> Vec<usize> {
+    let mut v: Vec<usize> = axes.to_vec();
+    for &a in &v {
+        assert!(a < ndim, "axis {a} out of range for ndim {ndim}");
+    }
+    v.sort_unstable();
+    v.dedup();
+    v
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn strides_row_major() {
+        assert_eq!(strides_for(&[2, 3, 4]), vec![12, 4, 1]);
+        assert_eq!(strides_for(&[5]), vec![1]);
+        assert_eq!(strides_for(&[]), Vec::<usize>::new());
+    }
+
+    #[test]
+    fn ravel_unravel_roundtrip() {
+        let shape = [3, 4, 5];
+        let mut idx = [0; 3];
+        for off in 0..numel(&shape) {
+            unravel(off, &shape, &mut idx);
+            assert_eq!(ravel(&idx, &shape), off);
+        }
+    }
+
+    #[test]
+    fn broadcast_basic() {
+        assert_eq!(broadcast_shapes(&[3, 1], &[1, 4]), Some(vec![3, 4]));
+        assert_eq!(broadcast_shapes(&[2, 3], &[3]), Some(vec![2, 3]));
+        assert_eq!(broadcast_shapes(&[2, 3], &[4]), None);
+        assert_eq!(broadcast_shapes(&[], &[2, 2]), Some(vec![2, 2]));
+    }
+
+    #[test]
+    fn broadcast_strides_zeroes_stretched_dims() {
+        let s = broadcast_strides(&[3, 1], &[2, 3, 4]);
+        assert_eq!(s, vec![0, 1, 0]);
+    }
+
+    #[test]
+    fn broadcastable_to_checks() {
+        assert!(broadcastable_to(&[1, 4], &[3, 4]));
+        assert!(broadcastable_to(&[4], &[3, 4]));
+        assert!(!broadcastable_to(&[2, 4], &[3, 4]));
+        assert!(!broadcastable_to(&[3, 4, 5], &[4, 5]));
+    }
+}

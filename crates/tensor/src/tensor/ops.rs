@@ -1,0 +1,414 @@
+//! Elementwise and reduction kernels (broadcast-aware, rayon-parallel).
+
+use rayon::prelude::*;
+
+use super::{Tensor, PAR_THRESHOLD};
+use crate::shape::{broadcast_shapes, broadcast_strides, normalize_axes, numel, strides_for};
+
+impl Tensor {
+    /// Apply `f` elementwise, producing a new tensor.
+    pub fn map(&self, f: impl Fn(f32) -> f32 + Sync) -> Tensor {
+        let mut out = vec![0.0f32; self.numel()];
+        if self.numel() >= PAR_THRESHOLD {
+            out.par_iter_mut()
+                .zip(self.as_slice().par_iter())
+                .for_each(|(o, &x)| *o = f(x));
+        } else {
+            for (o, &x) in out.iter_mut().zip(self.as_slice()) {
+                *o = f(x);
+            }
+        }
+        Tensor::from_vec(out, self.shape())
+    }
+
+    /// Apply `f(self[i], other[j])` with NumPy broadcasting.
+    pub fn zip(&self, other: &Tensor, f: impl Fn(f32, f32) -> f32 + Sync) -> Tensor {
+        let out_shape = broadcast_shapes(self.shape(), other.shape())
+            .unwrap_or_else(|| panic!("broadcast {:?} vs {:?}", self.shape(), other.shape()));
+        // Fast path: identical shapes — straight zip, no index math.
+        if self.shape() == other.shape() {
+            let mut out = vec![0.0f32; self.numel()];
+            if self.numel() >= PAR_THRESHOLD {
+                out.par_iter_mut()
+                    .zip(self.as_slice().par_iter().zip(other.as_slice().par_iter()))
+                    .for_each(|(o, (&a, &b))| *o = f(a, b));
+            } else {
+                for ((o, &a), &b) in out.iter_mut().zip(self.as_slice()).zip(other.as_slice()) {
+                    *o = f(a, b);
+                }
+            }
+            return Tensor::from_vec(out, &out_shape);
+        }
+        let sa = broadcast_strides(self.shape(), &out_shape);
+        let sb = broadcast_strides(other.shape(), &out_shape);
+        let n = numel(&out_shape);
+        let da = self.as_slice();
+        let db = other.as_slice();
+        let nd = out_shape.len();
+        let compute = |start: usize, chunk: &mut [f32]| {
+            let mut idx = vec![0usize; nd];
+            crate::shape::unravel(start, &out_shape, &mut idx);
+            let mut off_a: usize = idx.iter().zip(&sa).map(|(&i, &s)| i * s).sum();
+            let mut off_b: usize = idx.iter().zip(&sb).map(|(&i, &s)| i * s).sum();
+            for o in chunk.iter_mut() {
+                *o = f(da[off_a], db[off_b]);
+                // Increment the multi-index (row-major odometer), updating
+                // both offsets incrementally.
+                for d in (0..nd).rev() {
+                    idx[d] += 1;
+                    off_a += sa[d];
+                    off_b += sb[d];
+                    if idx[d] < out_shape[d] {
+                        break;
+                    }
+                    off_a -= sa[d] * out_shape[d];
+                    off_b -= sb[d] * out_shape[d];
+                    idx[d] = 0;
+                }
+            }
+        };
+        let mut out = vec![0.0f32; n];
+        if n >= PAR_THRESHOLD {
+            let chunk = n.div_ceil(rayon::current_num_threads().max(1) * 4).max(1024);
+            out.par_chunks_mut(chunk).enumerate().for_each(|(ci, c)| {
+                compute(ci * chunk, c);
+            });
+        } else {
+            compute(0, &mut out);
+        }
+        Tensor::from_vec(out, &out_shape)
+    }
+
+    /// Elementwise addition with broadcasting.
+    pub fn add(&self, other: &Tensor) -> Tensor {
+        self.zip(other, |a, b| a + b)
+    }
+
+    /// Elementwise subtraction with broadcasting.
+    pub fn sub(&self, other: &Tensor) -> Tensor {
+        self.zip(other, |a, b| a - b)
+    }
+
+    /// Elementwise multiplication with broadcasting.
+    pub fn mul(&self, other: &Tensor) -> Tensor {
+        self.zip(other, |a, b| a * b)
+    }
+
+    /// Elementwise division with broadcasting.
+    pub fn div(&self, other: &Tensor) -> Tensor {
+        self.zip(other, |a, b| a / b)
+    }
+
+    /// Multiply by a scalar.
+    pub fn scale(&self, c: f32) -> Tensor {
+        self.map(|x| x * c)
+    }
+
+    /// Add a scalar.
+    pub fn add_scalar(&self, c: f32) -> Tensor {
+        self.map(|x| x + c)
+    }
+
+    /// Elementwise negation.
+    pub fn neg(&self) -> Tensor {
+        self.map(|x| -x)
+    }
+
+    /// Elementwise square.
+    pub fn square(&self) -> Tensor {
+        self.map(|x| x * x)
+    }
+
+    /// Elementwise square root.
+    pub fn sqrt(&self) -> Tensor {
+        self.map(f32::sqrt)
+    }
+
+    /// Elementwise reciprocal square root.
+    pub fn rsqrt(&self) -> Tensor {
+        self.map(|x| 1.0 / x.sqrt())
+    }
+
+    /// Elementwise exponential.
+    pub fn exp(&self) -> Tensor {
+        self.map(f32::exp)
+    }
+
+    /// Elementwise absolute value.
+    pub fn abs(&self) -> Tensor {
+        self.map(f32::abs)
+    }
+
+    /// Elementwise hyperbolic tangent.
+    pub fn tanh(&self) -> Tensor {
+        self.map(f32::tanh)
+    }
+
+    /// Elementwise ReLU.
+    pub fn relu(&self) -> Tensor {
+        self.map(|x| x.max(0.0))
+    }
+
+    /// GELU activation (tanh approximation, matching common DL frameworks).
+    pub fn gelu(&self) -> Tensor {
+        self.map(gelu_scalar)
+    }
+
+    /// Sum of all elements (f64 accumulator for stability).
+    pub fn sum_all(&self) -> f32 {
+        if self.numel() >= PAR_THRESHOLD {
+            self.as_slice()
+                .par_chunks(4096)
+                .map(|c| c.iter().map(|&x| x as f64).sum::<f64>())
+                .sum::<f64>() as f32
+        } else {
+            self.as_slice().iter().map(|&x| x as f64).sum::<f64>() as f32
+        }
+    }
+
+    /// Mean of all elements.
+    pub fn mean_all(&self) -> f32 {
+        self.sum_all() / self.numel() as f32
+    }
+
+    /// Maximum element.
+    pub fn max_all(&self) -> f32 {
+        self.as_slice().iter().copied().fold(f32::NEG_INFINITY, f32::max)
+    }
+
+    /// Minimum element.
+    pub fn min_all(&self) -> f32 {
+        self.as_slice().iter().copied().fold(f32::INFINITY, f32::min)
+    }
+
+    /// Sum over the given axes, keeping them as size-1 dims.
+    pub fn sum_axes_keepdims(&self, axes: &[usize]) -> Tensor {
+        let axes = normalize_axes(axes, self.ndim());
+        let mut out_shape = self.shape().to_vec();
+        for &a in &axes {
+            out_shape[a] = 1;
+        }
+        let n_out = numel(&out_shape);
+        let mut out = vec![0.0f32; n_out];
+        let in_shape = self.shape().to_vec();
+        let out_strides = strides_for(&out_shape);
+        let nd = in_shape.len();
+        let data = self.as_slice();
+        // Serial odometer walk over the input, accumulating into the output.
+        // Reductions here are small relative to matmuls; keep it simple.
+        let mut idx = vec![0usize; nd];
+        let mut out_off = 0usize;
+        for &v in data {
+            out[out_off] += v;
+            for d in (0..nd).rev() {
+                idx[d] += 1;
+                if out_shape[d] != 1 {
+                    out_off += out_strides[d];
+                }
+                if idx[d] < in_shape[d] {
+                    break;
+                }
+                if out_shape[d] != 1 {
+                    out_off -= out_strides[d] * in_shape[d];
+                }
+                idx[d] = 0;
+            }
+        }
+        Tensor::from_vec(out, &out_shape)
+    }
+
+    /// Mean over the given axes, keeping them as size-1 dims.
+    pub fn mean_axes_keepdims(&self, axes: &[usize]) -> Tensor {
+        let axes = normalize_axes(axes, self.ndim());
+        let count: usize = axes.iter().map(|&a| self.shape()[a]).product();
+        self.sum_axes_keepdims(&axes).scale(1.0 / count as f32)
+    }
+
+    /// Reduce this tensor (by summation) down to `target` shape — the adjoint
+    /// of broadcasting. `target` must be broadcastable to `self.shape()`.
+    pub fn sum_to(&self, target: &[usize]) -> Tensor {
+        if self.shape() == target {
+            return self.clone();
+        }
+        let nd = self.ndim();
+        let off = nd - target.len();
+        // Sum away leading dims plus any stretched (size-1-in-target) dims.
+        let mut axes: Vec<usize> = (0..off).collect();
+        for (i, &t) in target.iter().enumerate() {
+            if t == 1 && self.shape()[off + i] != 1 {
+                axes.push(off + i);
+            }
+        }
+        let r = self.sum_axes_keepdims(&axes);
+        r.reshaped(target)
+    }
+
+    /// Materialize this tensor broadcast to `target` shape.
+    pub fn broadcast_to(&self, target: &[usize]) -> Tensor {
+        if self.shape() == target {
+            return self.clone();
+        }
+        let strides = broadcast_strides(self.shape(), target);
+        let n = numel(target);
+        let data = self.as_slice();
+        let nd = target.len();
+        let mut out = vec![0.0f32; n];
+        let mut idx = vec![0usize; nd];
+        let mut src = 0usize;
+        for o in out.iter_mut() {
+            *o = data[src];
+            for d in (0..nd).rev() {
+                idx[d] += 1;
+                src += strides[d];
+                if idx[d] < target[d] {
+                    break;
+                }
+                src -= strides[d] * target[d];
+                idx[d] = 0;
+            }
+        }
+        Tensor::from_vec(out, target)
+    }
+
+    /// Softmax over the last axis, numerically stabilized.
+    pub fn softmax_last(&self) -> Tensor {
+        let n = *self.shape().last().expect("softmax needs ndim >= 1");
+        let rows = self.numel() / n;
+        let mut out = vec![0.0f32; self.numel()];
+        let data = self.as_slice();
+        let body = |(r, chunk): (usize, &mut [f32])| {
+            let row = &data[r * n..(r + 1) * n];
+            let m = row.iter().copied().fold(f32::NEG_INFINITY, f32::max);
+            let mut denom = 0.0f32;
+            for (o, &x) in chunk.iter_mut().zip(row) {
+                let e = (x - m).exp();
+                *o = e;
+                denom += e;
+            }
+            let inv = 1.0 / denom;
+            for o in chunk.iter_mut() {
+                *o *= inv;
+            }
+        };
+        if rows * n >= PAR_THRESHOLD && rows > 1 {
+            out.par_chunks_mut(n).enumerate().for_each(body);
+        } else {
+            out.chunks_mut(n).enumerate().for_each(body);
+        }
+        Tensor::from_vec(out, self.shape())
+    }
+}
+
+/// GELU (tanh approximation) on a scalar.
+#[inline]
+pub fn gelu_scalar(x: f32) -> f32 {
+    const C: f32 = 0.797_884_6; // sqrt(2/pi)
+    0.5 * x * (1.0 + (C * (x + 0.044715 * x * x * x)).tanh())
+}
+
+/// Derivative of the tanh-approximated GELU.
+#[inline]
+pub fn gelu_grad_scalar(x: f32) -> f32 {
+    const C: f32 = 0.797_884_6;
+    let x3 = x * x * x;
+    let inner = C * (x + 0.044715 * x3);
+    let t = inner.tanh();
+    let sech2 = 1.0 - t * t;
+    0.5 * (1.0 + t) + 0.5 * x * sech2 * C * (1.0 + 3.0 * 0.044715 * x * x)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn add_same_shape() {
+        let a = Tensor::from_vec(vec![1., 2., 3.], &[3]);
+        let b = Tensor::from_vec(vec![10., 20., 30.], &[3]);
+        assert_eq!(a.add(&b).as_slice(), &[11., 22., 33.]);
+    }
+
+    #[test]
+    fn broadcast_row_and_col() {
+        let a = Tensor::from_vec(vec![1., 2., 3.], &[3, 1]);
+        let b = Tensor::from_vec(vec![10., 20.], &[1, 2]);
+        let c = a.add(&b);
+        assert_eq!(c.shape(), &[3, 2]);
+        assert_eq!(c.as_slice(), &[11., 21., 12., 22., 13., 23.]);
+    }
+
+    #[test]
+    fn broadcast_scalar_like() {
+        let a = Tensor::from_vec(vec![1., 2.], &[2]);
+        let s = Tensor::scalar(5.0);
+        assert_eq!(a.mul(&s).as_slice(), &[5., 10.]);
+    }
+
+    #[test]
+    fn sum_axes_keepdims_matrix() {
+        let a = Tensor::arange(6).reshaped(&[2, 3]);
+        let rows = a.sum_axes_keepdims(&[1]);
+        assert_eq!(rows.shape(), &[2, 1]);
+        assert_eq!(rows.as_slice(), &[3., 12.]);
+        let cols = a.sum_axes_keepdims(&[0]);
+        assert_eq!(cols.shape(), &[1, 3]);
+        assert_eq!(cols.as_slice(), &[3., 5., 7.]);
+        let all = a.sum_axes_keepdims(&[0, 1]);
+        assert_eq!(all.as_slice(), &[15.]);
+    }
+
+    #[test]
+    fn sum_to_inverts_broadcast() {
+        let a = Tensor::ones(&[2, 3, 4]);
+        let r = a.sum_to(&[3, 1]);
+        assert_eq!(r.shape(), &[3, 1]);
+        assert!(r.as_slice().iter().all(|&v| (v - 8.0).abs() < 1e-6));
+    }
+
+    #[test]
+    fn softmax_rows_sum_to_one() {
+        let a = Tensor::from_vec(vec![1., 2., 3., 1., 1., 1.], &[2, 3]);
+        let s = a.softmax_last();
+        for r in 0..2 {
+            let sum: f32 = (0..3).map(|c| s.at(&[r, c])).sum();
+            assert!((sum - 1.0).abs() < 1e-6);
+        }
+        // uniform row -> uniform softmax
+        assert!((s.at(&[1, 0]) - 1.0 / 3.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn softmax_is_shift_invariant() {
+        let a = Tensor::from_vec(vec![100., 101., 102.], &[3]);
+        let b = Tensor::from_vec(vec![0., 1., 2.], &[3]);
+        assert!(a.softmax_last().allclose(&b.softmax_last(), 1e-6));
+    }
+
+    #[test]
+    fn gelu_matches_reference_points() {
+        // Reference values from the tanh approximation.
+        assert!((gelu_scalar(0.0)).abs() < 1e-7);
+        assert!((gelu_scalar(1.0) - 0.841192).abs() < 1e-4);
+        assert!((gelu_scalar(-1.0) + 0.158808).abs() < 1e-4);
+    }
+
+    #[test]
+    fn gelu_grad_matches_finite_diff() {
+        for &x in &[-2.0f32, -0.5, 0.0, 0.3, 1.7] {
+            let h = 1e-3;
+            let fd = (gelu_scalar(x + h) - gelu_scalar(x - h)) / (2.0 * h);
+            assert!(
+                (gelu_grad_scalar(x) - fd).abs() < 1e-3,
+                "x={x}: {} vs {}",
+                gelu_grad_scalar(x),
+                fd
+            );
+        }
+    }
+
+    #[test]
+    fn mean_all_matches() {
+        let a = Tensor::arange(5);
+        assert!((a.mean_all() - 2.0).abs() < 1e-6);
+    }
+}

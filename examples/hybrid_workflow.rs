@@ -1,0 +1,33 @@
+//! The hybrid AI+ROMS workflow (paper Fig. 1): verified surrogate
+//! forecasts with automatic fallback to the simulator, at two
+//! verification thresholds to show the speed/strictness trade-off
+//! (paper Fig. 8).
+//!
+//! Run with: `cargo run --release --example hybrid_workflow`
+
+use coastal::physics::VerifierConfig;
+use coastal::{train_surrogate, HybridForecaster, Scenario};
+
+fn main() {
+    let scenario = Scenario::small();
+    let grid = scenario.grid();
+    let train = scenario.simulate_archive(&grid, 0, 40);
+    let trained = train_surrogate(&scenario, &grid, &train);
+    let test = scenario.simulate_archive(&grid, 1, 3 * scenario.t_out + 2);
+    let ocean = scenario.ocean_config(&grid, 1);
+
+    for (label, threshold) in [("strict", 1e-9), ("loose", 1e-1)] {
+        let fc = HybridForecaster::new(&grid, &trained, ocean.clone(), VerifierConfig { threshold });
+        let r = fc.forecast(&test, 0, 3);
+        println!(
+            "{label:>7} threshold {threshold:.0e}: {} AI episodes, {} fallbacks, \
+             AI {:.2}s + ROMS {:.2}s + verify {:.2}s = {:.2}s total",
+            r.episodes_ai,
+            r.episodes_fallback,
+            r.ai_seconds,
+            r.roms_seconds,
+            r.verify_seconds,
+            r.total_seconds()
+        );
+    }
+}

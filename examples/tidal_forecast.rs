@@ -1,0 +1,41 @@
+//! Tidal forecasting scenario: compare the surrogate's multi-episode
+//! forecast against the reference simulation (paper Figs. 5/6 workload),
+//! reporting per-variable MAE/RMSE and probe-point time series.
+//!
+//! Run with: `cargo run --release --example tidal_forecast`
+
+use coastal::{train_surrogate, ErrorTable, Scenario};
+
+fn main() {
+    let scenario = Scenario::small();
+    let grid = scenario.grid();
+    let train = scenario.simulate_archive(&grid, 0, 50);
+    let trained = train_surrogate(&scenario, &grid, &train);
+
+    // Held-out year, three chained episodes.
+    let test = scenario.simulate_archive(&grid, 1, 3 * (scenario.t_out + 1));
+    let mut reference = Vec::new();
+    let mut predicted = Vec::new();
+    for w in test.chunks_exact(scenario.t_out + 1) {
+        predicted.extend(trained.predict_episode(w));
+        reference.extend(w[1..].iter().cloned());
+    }
+    let e = ErrorTable::between(&grid, &reference, &predicted);
+    println!("{}", e.row("forecast"));
+
+    // Probe a deep channel cell like the paper's Fig. 6 locations.
+    let (mut pj, mut pi) = (grid.ny / 2, grid.nx / 2);
+    'f: for j in 2..grid.ny - 2 {
+        for i in 2..grid.nx - 2 {
+            if grid.h.get(j as isize, i as isize) > 5.0 {
+                pj = j;
+                pi = i;
+                break 'f;
+            }
+        }
+    }
+    println!("\nζ at probe ({pj},{pi}) [ROMS vs AI]:");
+    for (t, (r, p)) in reference.iter().zip(&predicted).enumerate() {
+        println!("  t={t:<3} {:+.3}  {:+.3}", r.zeta_at(pj, pi), p.zeta_at(pj, pi));
+    }
+}

@@ -1,0 +1,75 @@
+//! Cross-crate integration: simulate → store → train → predict → verify.
+
+use coastal::physics::{Verifier, VerifierConfig, ACCEPTED_THRESHOLD};
+use coastal::{train_surrogate, ErrorTable, HybridForecaster, Scenario};
+
+#[test]
+fn simulate_train_predict_verify_loop() {
+    let sc = Scenario::small();
+    let grid = sc.grid();
+    let train = sc.simulate_archive(&grid, 0, 30);
+    let trained = train_surrogate(&sc, &grid, &train);
+    let test = sc.simulate_archive(&grid, 1, sc.t_out + 1);
+
+    // Forecast shape and finiteness.
+    let pred = trained.predict_episode(&test);
+    assert_eq!(pred.len(), sc.t_out);
+    assert!(pred.iter().all(|s| s.zeta.iter().all(|v| v.is_finite())));
+
+    // Errors are bounded by the tidal signal scale (sanity, not accuracy).
+    let e = ErrorTable::between(&grid, &test[1..], &pred);
+    assert!(e.rmse[3] < 1.0, "ζ RMSE must stay under the tidal range: {e:?}");
+
+    // The verifier runs and produces residuals on the prediction.
+    let verifier = Verifier::new(&grid, VerifierConfig::default());
+    let verdicts = verifier.check_episode(&test[0], &pred);
+    assert!(!verdicts.is_empty());
+    assert!(verdicts.iter().all(|v| v.mean_residual.is_finite()));
+}
+
+#[test]
+fn reference_simulation_passes_oceanographic_threshold() {
+    let sc = Scenario::small();
+    let grid = sc.grid();
+    let snaps = sc.simulate_archive(&grid, 0, 8);
+    let verifier = Verifier::new(
+        &grid,
+        VerifierConfig {
+            threshold: ACCEPTED_THRESHOLD,
+        },
+    );
+    let residuals = verifier.residual_series(&snaps);
+    let pass = coastal::physics::pass_rate(&residuals, ACCEPTED_THRESHOLD);
+    assert!(
+        pass > 0.99,
+        "simulator output must satisfy conservation: pass rate {pass}"
+    );
+}
+
+#[test]
+fn hybrid_workflow_tracks_reference_better_than_unverified_ai() {
+    let sc = Scenario::small();
+    let grid = sc.grid();
+    let train = sc.simulate_archive(&grid, 0, 30);
+    let trained = train_surrogate(&sc, &grid, &train);
+    let test = sc.simulate_archive(&grid, 1, 2 * sc.t_out + 2);
+    let ocean = sc.ocean_config(&grid, 1);
+
+    // Strict hybrid (all fallback) must track the reference closely —
+    // the fallback is the simulator itself.
+    let strict = HybridForecaster::new(&grid, &trained, ocean.clone(), VerifierConfig { threshold: 1e-12 });
+    let r_strict = strict.forecast(&test, 0, 2);
+    let e_strict = ErrorTable::between(&grid, &test[1..=2 * sc.t_out], &r_strict.snapshots);
+
+    // Unverified AI (threshold ∞).
+    let loose = HybridForecaster::new(&grid, &trained, ocean, VerifierConfig { threshold: 1e9 });
+    let r_loose = loose.forecast(&test, 0, 2);
+    let e_loose = ErrorTable::between(&grid, &test[1..=2 * sc.t_out], &r_loose.snapshots);
+
+    assert!(
+        e_strict.rmse[3] <= e_loose.rmse[3] + 1e-9,
+        "fallback-everything must be at least as accurate: {} vs {}",
+        e_strict.rmse[3],
+        e_loose.rmse[3]
+    );
+}

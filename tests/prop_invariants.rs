@@ -1,0 +1,73 @@
+//! Property-based invariants across crates (proptest).
+
+use coastal::grid::SigmaCoords;
+use coastal::tensor::f16::F16;
+use coastal::tensor::tensor::Tensor;
+use proptest::prelude::*;
+
+proptest! {
+    /// f16 roundtrip error is within half-ULP of the 11-bit significand.
+    #[test]
+    fn f16_roundtrip_error_bounded(v in -60000.0f32..60000.0) {
+        let r = F16::from_f32(v).to_f32();
+        let tol = (v.abs() / 1024.0).max(6e-8);
+        prop_assert!((r - v).abs() <= tol, "{v} -> {r}");
+    }
+
+    /// Sigma layer thicknesses always sum to the total water depth.
+    #[test]
+    fn sigma_thickness_partition(
+        nz in 1usize..20,
+        theta_s in 0.0f64..6.0,
+        theta_b in 0.0f64..0.95,
+        h in 0.5f64..40.0,
+        zeta in -0.4f64..0.9,
+    ) {
+        let s = SigmaCoords::new(nz, theta_s, theta_b);
+        let total: f64 = s.thicknesses(h, zeta).iter().sum();
+        prop_assert!((total - (h + zeta)).abs() < 1e-9 * (1.0 + h));
+        for k in 0..nz {
+            prop_assert!(s.dz(k, h, zeta) > 0.0, "layer {k} must have positive thickness");
+        }
+    }
+
+    /// roll is inverted by the opposite shift for any shape/shift.
+    #[test]
+    fn tensor_roll_inverse(
+        ny in 1usize..6,
+        nx in 1usize..6,
+        sj in -7isize..7,
+        si in -7isize..7,
+    ) {
+        let n = ny * nx;
+        let t = Tensor::from_vec((0..n).map(|i| i as f32).collect(), &[ny, nx]);
+        let back = t.roll(&[sj, si]).roll(&[-sj, -si]);
+        prop_assert_eq!(back.as_slice(), t.as_slice());
+    }
+
+    /// pad then narrow recovers the original tensor.
+    #[test]
+    fn tensor_pad_narrow_roundtrip(
+        ny in 1usize..5,
+        nx in 1usize..5,
+        before in 0usize..3,
+        after in 0usize..3,
+    ) {
+        let n = ny * nx;
+        let t = Tensor::from_vec((0..n).map(|i| i as f32 * 0.5).collect(), &[ny, nx]);
+        let p = t.pad(&[(before, after), (after, before)]);
+        let back = p.narrow(0, before, ny).narrow(1, after, nx);
+        prop_assert_eq!(back.as_slice(), t.as_slice());
+    }
+
+    /// Broadcast sum_to is the exact adjoint of broadcast_to.
+    #[test]
+    fn broadcast_adjoint(b in 1usize..4, n in 1usize..5) {
+        let t = Tensor::from_vec((0..n).map(|i| i as f32).collect(), &[n]);
+        let big = t.broadcast_to(&[b, n]);
+        let back = big.sum_to(&[n]);
+        for (x, y) in back.as_slice().iter().zip(t.as_slice()) {
+            prop_assert!((x - y * b as f32).abs() < 1e-5);
+        }
+    }
+}
