@@ -8,7 +8,11 @@ use ctensor::f16::{compress, decompress};
 
 fn bench_pipeline(c: &mut Criterion) {
     let grid = Grid::build(&GridParams {
-        estuary: EstuaryParams { ny: 32, nx: 24, ..Default::default() },
+        estuary: EstuaryParams {
+            ny: 32,
+            nx: 24,
+            ..Default::default()
+        },
         nz: 4,
         ..Default::default()
     });

@@ -6,7 +6,11 @@ use criterion::{criterion_group, criterion_main, Criterion};
 
 fn bench_simulator(c: &mut Criterion) {
     let grid = Grid::build(&GridParams {
-        estuary: EstuaryParams { ny: 48, nx: 32, ..Default::default() },
+        estuary: EstuaryParams {
+            ny: 48,
+            nx: 32,
+            ..Default::default()
+        },
         nz: 4,
         ..Default::default()
     });
@@ -14,9 +18,7 @@ fn bench_simulator(c: &mut Criterion) {
     cfg.forcing = TidalForcing::single(0.3, 12.0);
     let mut model = Roms::new(&grid, cfg);
     model.spinup(3600.0);
-    c.bench_function("roms_slow_step_48x32x4", |b| {
-        b.iter(|| model.step_slow())
-    });
+    c.bench_function("roms_slow_step_48x32x4", |b| b.iter(|| model.step_slow()));
     c.bench_function("roms_snapshot_48x32x4", |b| {
         b.iter(|| std::hint::black_box(model.snapshot()))
     });

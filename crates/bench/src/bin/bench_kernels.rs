@@ -1,0 +1,145 @@
+//! Kernel-layer backend comparison: `ScalarRef` vs `Blocked` on
+//! paper-shaped workloads, emitting a `BENCH_kernels.json` summary.
+//!
+//! Workloads mirror the surrogate's hot shapes: the batched matmul of the
+//! qkv/projection linears, windowed-attention score blocks, softmax rows,
+//! and a GELU elementwise chain. Each kernel is timed as best-of-N wall
+//! time per backend; the headline number is the `B=8, 256×256×256` batched
+//! matmul speedup.
+
+use std::io::Write;
+use std::sync::Arc;
+use std::time::Instant;
+
+use ctensor::backend::{self, Backend, Blocked, ScalarRef};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+struct KernelResult {
+    name: &'static str,
+    scalar_ms: f64,
+    blocked_ms: f64,
+}
+
+impl KernelResult {
+    fn speedup(&self) -> f64 {
+        self.scalar_ms / self.blocked_ms
+    }
+}
+
+/// Best-of-`reps` wall time (ms) of `f` under backend `be`.
+fn time_under(be: Arc<dyn Backend>, reps: usize, mut f: impl FnMut()) -> f64 {
+    let _scope = backend::scoped(be);
+    f(); // warmup
+    let mut best = f64::INFINITY;
+    for _ in 0..reps {
+        let t0 = Instant::now();
+        f();
+        best = best.min(t0.elapsed().as_secs_f64() * 1e3);
+    }
+    best
+}
+
+fn compare(name: &'static str, reps: usize, mut f: impl FnMut()) -> KernelResult {
+    let blocked_ms = time_under(Arc::new(Blocked::from_env()), reps, &mut f);
+    let scalar_ms = time_under(Arc::new(ScalarRef), reps, &mut f);
+    let r = KernelResult {
+        name,
+        scalar_ms,
+        blocked_ms,
+    };
+    eprintln!(
+        "[kernels] {name}: scalar {scalar_ms:.2} ms, blocked {blocked_ms:.2} ms ({:.1}x)",
+        r.speedup()
+    );
+    r
+}
+
+fn main() {
+    let mut rng = StdRng::seed_from_u64(0);
+    let mut results: Vec<KernelResult> = Vec::new();
+
+    // Headline: paper-shaped batched matmul (acceptance: blocked >= 2x).
+    let a = ctensor::init::randn(&[8, 256, 256], 1.0, &mut rng);
+    let b = ctensor::init::randn(&[8, 256, 256], 1.0, &mut rng);
+    results.push(compare("matmul_b8_256x256x256", 5, || {
+        std::hint::black_box(a.matmul(&b));
+    }));
+
+    // Linear-layer shape: token rows x embed dims with fused bias.
+    let x = ctensor::init::randn(&[4096, 96], 1.0, &mut rng);
+    let w = ctensor::init::randn(&[96, 288], 0.1, &mut rng);
+    let bias = ctensor::init::randn(&[288], 0.1, &mut rng);
+    results.push(compare("linear_4096x96x288_bias", 10, || {
+        std::hint::black_box(x.matmul_bias(&w, &bias));
+    }));
+
+    // Windowed attention: B*H = 96 windows of 64 tokens, head dim 8.
+    {
+        let (bh, n, d) = (96usize, 64usize, 8usize);
+        let q = ctensor::init::randn(&[bh * n * d], 1.0, &mut rng);
+        let k = ctensor::init::randn(&[bh * n * d], 1.0, &mut rng);
+        let v = ctensor::init::randn(&[bh * n * d], 1.0, &mut rng);
+        let spec_scale = 1.0 / (d as f32).sqrt();
+        let mut out = vec![0.0f32; bh * n * d];
+        results.push(compare("attention_fused_96x64x8", 10, || {
+            let spec = ctensor::backend::AttentionSpec {
+                batch: bh,
+                heads: 3,
+                n,
+                d,
+                scale: spec_scale,
+                mask: None,
+                mask_windows: 1,
+            };
+            backend::current().attention(q.as_slice(), k.as_slice(), v.as_slice(), &mut out, &spec);
+            std::hint::black_box(&out);
+        }));
+    }
+
+    // Softmax over attention-score rows.
+    let scores = ctensor::init::randn(&[96, 64, 64], 1.0, &mut rng);
+    results.push(compare("softmax_96x64x64", 10, || {
+        std::hint::black_box(scores.softmax_last());
+    }));
+
+    // Elementwise chain (GELU on an episode-sized activation).
+    let act = ctensor::init::randn(&[2 * 1024 * 1024], 1.0, &mut rng);
+    results.push(compare("gelu_2m", 10, || {
+        std::hint::black_box(act.gelu());
+    }));
+
+    // ------------------------------------------------------------- report
+    let mut json = format!(
+        "{{\n  \"bench\": \"kernels\",\n  \"unit\": \"ms\",\n  \"threads\": {},\n  \"results\": [\n",
+        rayon::current_num_threads()
+    );
+    for (i, r) in results.iter().enumerate() {
+        json.push_str(&format!(
+            "    {{\"name\": \"{}\", \"scalar_ms\": {:.4}, \"blocked_ms\": {:.4}, \"speedup\": {:.3}}}{}\n",
+            r.name,
+            r.scalar_ms,
+            r.blocked_ms,
+            r.speedup(),
+            if i + 1 < results.len() { "," } else { "" }
+        ));
+    }
+    json.push_str("  ]\n}\n");
+
+    let path = std::env::var("BENCH_KERNELS_OUT").unwrap_or_else(|_| "BENCH_kernels.json".into());
+    std::fs::File::create(&path)
+        .and_then(|mut f| f.write_all(json.as_bytes()))
+        .unwrap_or_else(|e| eprintln!("[kernels] could not write {path}: {e}"));
+    println!("{json}");
+
+    let headline = &results[0];
+    eprintln!(
+        "[kernels] headline matmul speedup: {:.1}x ({})",
+        headline.speedup(),
+        if headline.speedup() >= 2.0 {
+            "PASS >= 2x"
+        } else {
+            "below 2x target"
+        }
+    );
+}

@@ -8,7 +8,10 @@ use csurrogate::CheckpointPolicy;
 use ctensor::prelude::*;
 
 fn main() {
-    banner("Fig. 10 — weak scaling of data-parallel training", "paper Fig. 10");
+    banner(
+        "Fig. 10 — weak scaling of data-parallel training",
+        "paper Fig. 10",
+    );
     let sc = Scenario::small();
     let grid = sc.grid();
     let archive = sc.simulate_archive(&grid, 0, 30);

@@ -3,7 +3,10 @@
 use cbench::{banner, write_csv, Context};
 
 fn main() {
-    banner("Fig. 5 — spatial forecast maps (ROMS vs AI vs diff)", "paper Fig. 5");
+    banner(
+        "Fig. 5 — spatial forecast maps (ROMS vs AI vs diff)",
+        "paper Fig. 5",
+    );
     let ctx = Context::small(20);
     let w = &ctx.test_archive[..ctx.scenario.t_out + 1];
     let pred = ctx.trained.predict_episode(w);
@@ -11,10 +14,7 @@ fn main() {
     let ai = pred.last().unwrap();
     let k = ctx.grid.sigma.nz - 1; // surface layer
 
-    for (name, rf, pf) in [
-        ("u", &reference.u, &ai.u),
-        ("v", &reference.v, &ai.v),
-    ] {
+    for (name, rf, pf) in [("u", &reference.u, &ai.u), ("v", &reference.v, &ai.v)] {
         let mut rows = Vec::new();
         let mut max_diff = 0.0f32;
         for j in 0..reference.ny {
@@ -35,7 +35,10 @@ fn main() {
             let idx = reference.idx2(j, i);
             let d = ai.zeta[idx] - reference.zeta[idx];
             max_diff = max_diff.max(d.abs());
-            rows.push(format!("{j},{i},{},{},{}", reference.zeta[idx], ai.zeta[idx], d));
+            rows.push(format!(
+                "{j},{i},{},{},{}",
+                reference.zeta[idx], ai.zeta[idx], d
+            ));
         }
     }
     write_csv("fig5_zeta.csv", "j,i,roms,ai,diff", &rows);

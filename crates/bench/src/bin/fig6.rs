@@ -25,11 +25,7 @@ fn main() {
         }
         rows.push(row);
     }
-    write_csv(
-        "fig6_series.csv",
-        "t,roms1,ai1,roms2,ai2,roms3,ai3",
-        &rows,
-    );
+    write_csv("fig6_series.csv", "t,roms1,ai1,roms2,ai2,roms3,ai3", &rows);
     for (n, &(j, i)) in probes.iter().enumerate() {
         let rmse = (reference
             .iter()
@@ -41,7 +37,11 @@ fn main() {
             .sum::<f64>()
             / reference.len() as f64)
             .sqrt();
-        println!("location {} ({j},{i}): ζ RMSE = {rmse:.4} m over {} steps", n + 1, reference.len());
+        println!(
+            "location {} ({j},{i}): ζ RMSE = {rmse:.4} m over {} steps",
+            n + 1,
+            reference.len()
+        );
     }
 }
 
@@ -51,7 +51,8 @@ fn pick_probes(ctx: &cbench::Context) -> Vec<(usize, usize)> {
     for frac in [0.15f64, 0.4, 0.7] {
         let i = (g.nx as f64 * frac) as usize;
         for j in (2..g.ny - 2).rev() {
-            if g.mask_rho.get(j as isize, i as isize) > 0.5 && g.h.get(j as isize, i as isize) > 1.0 {
+            if g.mask_rho.get(j as isize, i as isize) > 0.5 && g.h.get(j as isize, i as isize) > 1.0
+            {
                 out.push((j, i));
                 break;
             }

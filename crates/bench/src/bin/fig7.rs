@@ -20,7 +20,10 @@ fn main() {
     }
     residuals.sort_by(|a, b| a.partial_cmp(b).unwrap());
     let median = residuals[residuals.len() / 2];
-    println!("\n{} transitions; residual median {median:.3e} m/s (paper's scale: 3e-4..5.5e-4)", residuals.len());
+    println!(
+        "\n{} transitions; residual median {median:.3e} m/s (paper's scale: 3e-4..5.5e-4)",
+        residuals.len()
+    );
 
     // Sweep thresholds spanning our residual distribution (same shape as
     // the paper's sweep around its scale).

@@ -6,7 +6,10 @@ use cocean::Roms;
 use cphysics::{Verifier, VerifierConfig};
 
 fn main() {
-    banner("Fig. 8 — hybrid workflow time & speedup vs threshold", "paper Fig. 8");
+    banner(
+        "Fig. 8 — hybrid workflow time & speedup vs threshold",
+        "paper Fig. 8",
+    );
     let ctx = Context::small(30);
     let n_episodes = 3usize;
     let t_out = ctx.scenario.t_out;
@@ -19,7 +22,10 @@ fn main() {
     roms.load(&ctx.test_archive[0]);
     let _ = roms.record(n_episodes * t_out, interval);
     let roms_wall = t0.elapsed().as_secs_f64();
-    println!("\nall-ROMS baseline: {roms_wall:.3}s for {} steps", n_episodes * t_out);
+    println!(
+        "\nall-ROMS baseline: {roms_wall:.3}s for {} steps",
+        n_episodes * t_out
+    );
 
     // Threshold sweep anchored at the AI residual median (shape matches
     // the paper's absolute sweep around its own residual scale).
@@ -39,7 +45,12 @@ fn main() {
     let mut rows = Vec::new();
     for mult in [0.5f64, 1.0, 2.0, 4.0, 8.0, 16.0] {
         let threshold = mult * median;
-        let fc = HybridForecaster::new(&ctx.grid, &ctx.trained, ocean.clone(), VerifierConfig { threshold });
+        let fc = HybridForecaster::new(
+            &ctx.grid,
+            &ctx.trained,
+            ocean.clone(),
+            VerifierConfig { threshold },
+        );
         let r = fc.forecast(&ctx.test_archive, 0, n_episodes);
         let total = r.total_seconds();
         let speedup = roms_wall / total;
@@ -47,7 +58,14 @@ fn main() {
             "threshold {threshold:.3e}: total {total:>7.3}s (AI {} / fallback {}) → speedup {speedup:>6.1}x",
             r.episodes_ai, r.episodes_fallback
         );
-        rows.push(format!("{threshold},{total},{},{},{speedup}", r.episodes_ai, r.episodes_fallback));
+        rows.push(format!(
+            "{threshold},{total},{},{},{speedup}",
+            r.episodes_ai, r.episodes_fallback
+        ));
     }
-    write_csv("fig8.csv", "threshold,total_s,episodes_ai,episodes_fallback,speedup", &rows);
+    write_csv(
+        "fig8.csv",
+        "threshold,total_s,episodes_ai,episodes_fallback,speedup",
+        &rows,
+    );
 }

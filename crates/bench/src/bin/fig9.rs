@@ -25,10 +25,15 @@ fn main() {
         })
         .collect();
     let stats = NormStats::from_snapshots(&archive, &mask_vec);
-    let mask = Tensor::from_vec(mask_vec.iter().map(|&v| v as f32).collect(), &[grid.ny, grid.nx]);
+    let mask = Tensor::from_vec(
+        mask_vec.iter().map(|&v| v as f32).collect(),
+        &[grid.ny, grid.nx],
+    );
     let starts = WindowSpec::train(sc.t_out).starts(archive.len());
 
-    println!("\npaper: ours 1.36 inst/s | w/o ckpt 0.81 | w/o pin-memory 0.74 | w/o prefetch 0.45\n");
+    println!(
+        "\npaper: ours 1.36 inst/s | w/o ckpt 0.81 | w/o pin-memory 0.74 | w/o prefetch 0.45\n"
+    );
     let mut rows = Vec::new();
     let variants: [(&str, usize, bool, CheckpointPolicy, usize); 4] = [
         ("full", 2, true, CheckpointPolicy::DiscardWMsa, 2),
@@ -57,7 +62,10 @@ fn main() {
         model.checkpoint = ckpt;
         let mut trainer = Trainer::new(model, mask.clone(), TrainConfig::default());
         let e = trainer.train_epoch(&loader, 0);
-        println!("{name:<14} {:>6.2} inst/s  (loss {:.4})", e.instances_per_sec, e.mean_loss);
+        println!(
+            "{name:<14} {:>6.2} inst/s  (loss {:.4})",
+            e.instances_per_sec, e.mean_loss
+        );
         rows.push(format!("{name},{}", e.instances_per_sec));
     }
     let _ = store;

@@ -5,13 +5,19 @@ use cbench::{banner, write_csv, Context};
 use cocean::run_tiled;
 
 fn main() {
-    banner("Table I — ROMS vs AI surrogate simulation overhead", "paper Table I");
+    banner(
+        "Table I — ROMS vs AI surrogate simulation overhead",
+        "paper Table I",
+    );
     let ctx = Context::small(30);
     let horizon_snaps = 2 * ctx.scenario.t_out; // two episodes of forecast
     let interval = ctx.scenario.snapshot_interval;
 
     println!("\npaper: 898x598x12, 12-day horizon: MPI ROMS 512 cores = 9,908 s; surrogate (1×A100) = 22 s (450×)");
-    println!("ours : {}x{}x{} mesh, {} snapshots of {}s\n", ctx.grid.ny, ctx.grid.nx, ctx.grid.sigma.nz, horizon_snaps, interval);
+    println!(
+        "ours : {}x{}x{} mesh, {} snapshots of {}s\n",
+        ctx.grid.ny, ctx.grid.nx, ctx.grid.sigma.nz, horizon_snaps, interval
+    );
 
     let mut rows = Vec::new();
     let mut roms_best = f64::INFINITY;

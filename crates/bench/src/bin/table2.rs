@@ -31,15 +31,34 @@ fn main() {
     let update_bytes = n_params * 4 * 4;
 
     println!("\npaper: loading 4 GB | processing 42 GB | updating 12 GB (per 900x600x12 sample)");
-    println!("ours  (scaled mesh {}x{}x{}):", ctx.grid.ny, ctx.grid.nx, ctx.grid.sigma.nz);
-    println!("  sample loading     : {:>12} bytes ({:.2} MB)", sample_bytes, sample_bytes as f64 / 1e6);
-    println!("  sample processing  : {:>12} bytes ({:.2} MB peak activations)", act_bytes, act_bytes as f64 / 1e6);
-    println!("  parameter updating : {:>12} bytes ({:.2} MB; {} params x 4 states)", update_bytes, update_bytes as f64 / 1e6, n_params);
+    println!(
+        "ours  (scaled mesh {}x{}x{}):",
+        ctx.grid.ny, ctx.grid.nx, ctx.grid.sigma.nz
+    );
+    println!(
+        "  sample loading     : {:>12} bytes ({:.2} MB)",
+        sample_bytes,
+        sample_bytes as f64 / 1e6
+    );
+    println!(
+        "  sample processing  : {:>12} bytes ({:.2} MB peak activations)",
+        act_bytes,
+        act_bytes as f64 / 1e6
+    );
+    println!(
+        "  parameter updating : {:>12} bytes ({:.2} MB; {} params x 4 states)",
+        update_bytes,
+        update_bytes as f64 / 1e6,
+        n_params
+    );
     let rows = vec![
         format!("loading,{sample_bytes}"),
         format!("processing,{act_bytes}"),
         format!("updating,{update_bytes}"),
     ];
     write_csv("table2.csv", "stage,bytes", &rows);
-    assert!(act_bytes > sample_bytes, "activations dominate, as in the paper");
+    assert!(
+        act_bytes > sample_bytes,
+        "activations dominate, as in the paper"
+    );
 }

@@ -4,7 +4,10 @@ use cbench::{banner, write_csv, Context};
 use ccore::{train_surrogate, ErrorTable};
 
 fn main() {
-    banner("Table III — surrogate MAE/RMSE per variable", "paper Table III");
+    banner(
+        "Table III — surrogate MAE/RMSE per variable",
+        "paper Table III",
+    );
     let ctx = Context::small(30);
 
     // Short horizon (the paper's 12-hour model): per-episode prediction.
@@ -39,10 +42,34 @@ fn main() {
     println!("{}", short.row("short"));
     println!("{}", long.row("long"));
     let rows = vec![
-        format!("short,{},{},{},{},{},{},{},{}", short.mae[0], short.mae[1], short.mae[2], short.mae[3], short.rmse[0], short.rmse[1], short.rmse[2], short.rmse[3]),
-        format!("long,{},{},{},{},{},{},{},{}", long.mae[0], long.mae[1], long.mae[2], long.mae[3], long.rmse[0], long.rmse[1], long.rmse[2], long.rmse[3]),
+        format!(
+            "short,{},{},{},{},{},{},{},{}",
+            short.mae[0],
+            short.mae[1],
+            short.mae[2],
+            short.mae[3],
+            short.rmse[0],
+            short.rmse[1],
+            short.rmse[2],
+            short.rmse[3]
+        ),
+        format!(
+            "long,{},{},{},{},{},{},{},{}",
+            long.mae[0],
+            long.mae[1],
+            long.mae[2],
+            long.mae[3],
+            long.rmse[0],
+            long.rmse[1],
+            long.rmse[2],
+            long.rmse[3]
+        ),
     ];
-    write_csv("table3.csv", "horizon,mae_u,mae_v,mae_w,mae_z,rmse_u,rmse_v,rmse_w,rmse_z", &rows);
+    write_csv(
+        "table3.csv",
+        "horizon,mae_u,mae_v,mae_w,mae_z,rmse_u,rmse_v,rmse_w,rmse_z",
+        &rows,
+    );
     // Shape check: w errors are orders of magnitude below u/v (w ≈ 0).
     assert!(short.mae[2] < short.mae[0]);
 }

@@ -32,7 +32,16 @@ fn main() {
             "patch {patch_h:<2} params={:>8} ({enc} enc + {dec} dec)  time/inst={t:>7.3}s  MAE ζ={:.3e} u={:.3e}",
             enc + dec, e.mae[3], e.mae[0]
         );
-        rows.push(format!("{patch_h},{},{enc},{dec},{t:.4},{:.6},{:.6}", enc + dec, e.mae[0], e.mae[3]));
+        rows.push(format!(
+            "{patch_h},{},{enc},{dec},{t:.4},{:.6},{:.6}",
+            enc + dec,
+            e.mae[0],
+            e.mae[3]
+        ));
     }
-    write_csv("table4.csv", "patch,params,enc_params,dec_params,time_s,mae_u,mae_z", &rows);
+    write_csv(
+        "table4.csv",
+        "patch,params,enc_params,dec_params,time_s,mae_u,mae_z",
+        &rows,
+    );
 }

@@ -1,0 +1,168 @@
+//! Offline stand-in for [bytes](https://docs.rs/bytes): `Bytes` (cheaply
+//! clonable frozen buffer), `BytesMut` (growable builder), and the `Buf` /
+//! `BufMut` cursor traits — only the accessors this workspace uses, with the
+//! same big-endian encoding as the real crate.
+
+use std::ops::Deref;
+use std::sync::Arc;
+
+/// Immutable, cheaply clonable byte buffer.
+#[derive(Clone, Default, Debug)]
+pub struct Bytes(Arc<Vec<u8>>);
+
+impl Bytes {
+    pub fn len(&self) -> usize {
+        self.0.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.0.is_empty()
+    }
+}
+
+impl Deref for Bytes {
+    type Target = [u8];
+    fn deref(&self) -> &[u8] {
+        &self.0
+    }
+}
+
+/// Growable byte builder.
+#[derive(Clone, Default, Debug)]
+pub struct BytesMut(Vec<u8>);
+
+impl BytesMut {
+    pub fn new() -> Self {
+        Self(Vec::new())
+    }
+
+    pub fn with_capacity(cap: usize) -> Self {
+        Self(Vec::with_capacity(cap))
+    }
+
+    pub fn len(&self) -> usize {
+        self.0.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.0.is_empty()
+    }
+
+    /// Freeze into an immutable [`Bytes`].
+    pub fn freeze(self) -> Bytes {
+        Bytes(Arc::new(self.0))
+    }
+}
+
+impl Deref for BytesMut {
+    type Target = [u8];
+    fn deref(&self) -> &[u8] {
+        &self.0
+    }
+}
+
+/// Read cursor over a byte source (big-endian, like the real crate).
+pub trait Buf {
+    fn remaining(&self) -> usize;
+    fn copy_take(&mut self, n: usize) -> &[u8];
+
+    fn get_u16(&mut self) -> u16 {
+        let b = self.copy_take(2);
+        u16::from_be_bytes([b[0], b[1]])
+    }
+
+    fn get_u32(&mut self) -> u32 {
+        let b = self.copy_take(4);
+        u32::from_be_bytes([b[0], b[1], b[2], b[3]])
+    }
+
+    fn get_u64(&mut self) -> u64 {
+        let b = self.copy_take(8);
+        u64::from_be_bytes([b[0], b[1], b[2], b[3], b[4], b[5], b[6], b[7]])
+    }
+
+    fn get_f32(&mut self) -> f32 {
+        f32::from_bits(self.get_u32())
+    }
+
+    fn get_f64(&mut self) -> f64 {
+        f64::from_bits(self.get_u64())
+    }
+}
+
+impl Buf for &[u8] {
+    fn remaining(&self) -> usize {
+        self.len()
+    }
+
+    fn copy_take(&mut self, n: usize) -> &[u8] {
+        assert!(self.len() >= n, "buffer underrun: {} < {n}", self.len());
+        let (head, tail) = self.split_at(n);
+        *self = tail;
+        head
+    }
+}
+
+/// Write cursor onto a growable byte sink (big-endian).
+pub trait BufMut {
+    fn put_slice(&mut self, src: &[u8]);
+
+    fn put_u16(&mut self, v: u16) {
+        self.put_slice(&v.to_be_bytes());
+    }
+
+    fn put_u32(&mut self, v: u32) {
+        self.put_slice(&v.to_be_bytes());
+    }
+
+    fn put_u64(&mut self, v: u64) {
+        self.put_slice(&v.to_be_bytes());
+    }
+
+    fn put_f32(&mut self, v: f32) {
+        self.put_u32(v.to_bits());
+    }
+
+    fn put_f64(&mut self, v: f64) {
+        self.put_u64(v.to_bits());
+    }
+}
+
+impl BufMut for BytesMut {
+    fn put_slice(&mut self, src: &[u8]) {
+        self.0.extend_from_slice(src);
+    }
+}
+
+impl BufMut for Vec<u8> {
+    fn put_slice(&mut self, src: &[u8]) {
+        self.extend_from_slice(src);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::{Buf, BufMut, BytesMut};
+
+    #[test]
+    fn roundtrip_mixed_fields() {
+        let mut b = BytesMut::new();
+        b.put_f64(1234.5678);
+        b.put_u16(0xBEEF);
+        b.put_f32(-1.5);
+        let frozen = b.freeze();
+        let mut cur: &[u8] = &frozen;
+        assert_eq!(cur.get_f64(), 1234.5678);
+        assert_eq!(cur.get_u16(), 0xBEEF);
+        assert_eq!(cur.get_f32(), -1.5);
+        assert_eq!(cur.remaining(), 0);
+    }
+
+    #[test]
+    fn len_counts_bytes() {
+        let mut b = BytesMut::new();
+        b.put_u16(1);
+        b.put_f64(2.0);
+        assert_eq!(b.len(), 10);
+    }
+}

@@ -1,0 +1,143 @@
+//! Offline stand-in for [criterion](https://docs.rs/criterion): a minimal
+//! timing harness compatible with the `bench_function` / `criterion_group!`
+//! / `criterion_main!` pattern used by this workspace's benches. Reports
+//! mean and best-of-sample wall time per iteration to stderr. No statistics
+//! engine, no HTML reports — just honest numbers, offline.
+
+use std::hint::black_box as std_black_box;
+use std::time::{Duration, Instant};
+
+/// Re-export so benches may use `criterion::black_box`.
+pub fn black_box<T>(x: T) -> T {
+    std_black_box(x)
+}
+
+/// Bench configuration + registry (the `c` in `fn bench(c: &mut Criterion)`).
+pub struct Criterion {
+    sample_size: usize,
+    /// Soft wall-clock budget per benchmark.
+    max_time: Duration,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Self {
+            sample_size: 20,
+            max_time: Duration::from_secs(3),
+        }
+    }
+}
+
+impl Criterion {
+    pub fn sample_size(mut self, n: usize) -> Self {
+        self.sample_size = n.max(2);
+        self
+    }
+
+    pub fn measurement_time(mut self, t: Duration) -> Self {
+        self.max_time = t;
+        self
+    }
+
+    /// Run one benchmark: a warmup call, then up to `sample_size` timed
+    /// samples bounded by the time budget.
+    pub fn bench_function<F>(&mut self, name: &str, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let mut b = Bencher::default();
+        f(&mut b); // warmup + sizing pass
+        let mut samples: Vec<f64> = Vec::with_capacity(self.sample_size);
+        let budget = Instant::now();
+        for _ in 0..self.sample_size {
+            b.reset();
+            f(&mut b);
+            if b.iters > 0 {
+                samples.push(b.elapsed.as_secs_f64() / b.iters as f64);
+            }
+            if budget.elapsed() > self.max_time {
+                break;
+            }
+        }
+        if samples.is_empty() {
+            eprintln!("bench {name}: no samples");
+            return self;
+        }
+        let mean = samples.iter().sum::<f64>() / samples.len() as f64;
+        let best = samples.iter().cloned().fold(f64::INFINITY, f64::min);
+        eprintln!(
+            "bench {name}: mean {:.3} ms, best {:.3} ms ({} samples)",
+            mean * 1e3,
+            best * 1e3,
+            samples.len()
+        );
+        self
+    }
+}
+
+/// Per-sample timer handle passed to the bench closure.
+#[derive(Default)]
+pub struct Bencher {
+    iters: u64,
+    elapsed: Duration,
+}
+
+impl Bencher {
+    fn reset(&mut self) {
+        self.iters = 0;
+        self.elapsed = Duration::ZERO;
+    }
+
+    /// Time repeated calls of `f` (a single call per sample here; criterion
+    /// would auto-scale the iteration count).
+    pub fn iter<R, F: FnMut() -> R>(&mut self, mut f: F) {
+        let t0 = Instant::now();
+        std_black_box(f());
+        self.elapsed += t0.elapsed();
+        self.iters += 1;
+    }
+}
+
+/// Build a bench group function from targets (both criterion forms).
+#[macro_export]
+macro_rules! criterion_group {
+    (name = $name:ident; config = $config:expr; targets = $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut c = $config;
+            $( $target(&mut c); )+
+        }
+    };
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut c = $crate::Criterion::default();
+            $( $target(&mut c); )+
+        }
+    };
+}
+
+/// Entry point running every group.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::Criterion;
+
+    #[test]
+    fn bench_function_runs_and_reports() {
+        let mut c = Criterion::default().sample_size(3);
+        let mut ran = 0u32;
+        c.bench_function("noop", |b| {
+            b.iter(|| {
+                ran += 1;
+            })
+        });
+        assert!(ran >= 3);
+    }
+}

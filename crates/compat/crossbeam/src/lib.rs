@@ -1,0 +1,154 @@
+//! Offline stand-in for [crossbeam](https://docs.rs/crossbeam) providing the
+//! subset this workspace uses: `channel::{unbounded, bounded}` (multi
+//! producer / single consumer, FIFO per sender) and `thread::scope` with the
+//! crossbeam-style `spawn(|scope| …)` closure signature.
+
+pub mod channel {
+    use std::sync::mpsc;
+
+    /// Sending half — clonable, as with crossbeam.
+    pub enum Sender<T> {
+        Unbounded(mpsc::Sender<T>),
+        Bounded(mpsc::SyncSender<T>),
+    }
+
+    impl<T> Clone for Sender<T> {
+        fn clone(&self) -> Self {
+            match self {
+                Sender::Unbounded(s) => Sender::Unbounded(s.clone()),
+                Sender::Bounded(s) => Sender::Bounded(s.clone()),
+            }
+        }
+    }
+
+    pub struct SendError<T>(pub T);
+
+    // Like the real crate: Debug without requiring T: Debug.
+    impl<T> std::fmt::Debug for SendError<T> {
+        fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+            f.write_str("SendError(..)")
+        }
+    }
+
+    pub use std::sync::mpsc::{Receiver, RecvError};
+
+    impl<T> Sender<T> {
+        /// Send, blocking when a bounded channel is full. Errors only when
+        /// the receiver hung up.
+        pub fn send(&self, value: T) -> Result<(), SendError<T>> {
+            match self {
+                Sender::Unbounded(s) => s.send(value).map_err(|e| SendError(e.0)),
+                Sender::Bounded(s) => s.send(value).map_err(|e| SendError(e.0)),
+            }
+        }
+    }
+
+    /// Channel with unlimited capacity.
+    pub fn unbounded<T>() -> (Sender<T>, Receiver<T>) {
+        let (tx, rx) = mpsc::channel();
+        (Sender::Unbounded(tx), rx)
+    }
+
+    /// Channel that blocks senders beyond `cap` in-flight messages.
+    pub fn bounded<T>(cap: usize) -> (Sender<T>, Receiver<T>) {
+        let (tx, rx) = mpsc::sync_channel(cap);
+        (Sender::Bounded(tx), rx)
+    }
+}
+
+pub mod thread {
+    use std::any::Any;
+
+    /// Panic payload type, as in `std::thread`.
+    pub type ThreadResult<T> = Result<T, Box<dyn Any + Send + 'static>>;
+
+    /// Scope handle passed to `scope` and to each spawned closure.
+    pub struct Scope<'scope, 'env: 'scope> {
+        inner: &'scope std::thread::Scope<'scope, 'env>,
+    }
+
+    pub struct ScopedJoinHandle<'scope, T> {
+        inner: std::thread::ScopedJoinHandle<'scope, T>,
+    }
+
+    impl<'scope, T> ScopedJoinHandle<'scope, T> {
+        pub fn join(self) -> ThreadResult<T> {
+            self.inner.join()
+        }
+    }
+
+    impl<'scope, 'env> Scope<'scope, 'env> {
+        /// Spawn a scoped thread; the closure receives the scope (crossbeam
+        /// signature), enabling nested spawns.
+        pub fn spawn<F, T>(&self, f: F) -> ScopedJoinHandle<'scope, T>
+        where
+            F: FnOnce(&Scope<'scope, 'env>) -> T + Send + 'scope,
+            T: Send + 'scope,
+        {
+            let inner = self.inner;
+            ScopedJoinHandle {
+                inner: inner.spawn(move || {
+                    let scope = Scope { inner };
+                    f(&scope)
+                }),
+            }
+        }
+    }
+
+    /// Run `f` with a thread scope; all spawned threads are joined before
+    /// this returns. Panics from threads joined manually via their handles
+    /// are *not* re-thrown here (the caller already observed them), matching
+    /// how this workspace uses crossbeam.
+    pub fn scope<'env, F, R>(f: F) -> ThreadResult<R>
+    where
+        F: for<'scope> FnOnce(&Scope<'scope, 'env>) -> R,
+    {
+        Ok(std::thread::scope(|s| f(&Scope { inner: s })))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn channel_fifo_and_clone() {
+        let (tx, rx) = super::channel::unbounded();
+        let tx2 = tx.clone();
+        tx.send(1).unwrap();
+        tx2.send(2).unwrap();
+        assert_eq!(rx.recv().unwrap(), 1);
+        assert_eq!(rx.recv().unwrap(), 2);
+    }
+
+    #[test]
+    fn bounded_blocks_then_drains() {
+        let (tx, rx) = super::channel::bounded(1);
+        tx.send(10u32).unwrap();
+        let h = std::thread::spawn(move || tx.send(20).unwrap());
+        assert_eq!(rx.recv().unwrap(), 10);
+        assert_eq!(rx.recv().unwrap(), 20);
+        h.join().unwrap();
+    }
+
+    #[test]
+    fn scope_joins_and_returns() {
+        let sum = super::thread::scope(|s| {
+            let hs: Vec<_> = (0..4).map(|i| s.spawn(move |_| i * 10)).collect();
+            hs.into_iter().map(|h| h.join().unwrap()).sum::<i32>()
+        })
+        .unwrap();
+        assert_eq!(sum, 60);
+    }
+
+    #[test]
+    fn nested_spawn_through_scope_arg() {
+        let v = super::thread::scope(|s| {
+            let h = s.spawn(|inner| {
+                let h2 = inner.spawn(|_| 21);
+                h2.join().unwrap() * 2
+            });
+            h.join().unwrap()
+        })
+        .unwrap();
+        assert_eq!(v, 42);
+    }
+}

@@ -1,0 +1,147 @@
+//! Offline stand-in for [proptest](https://docs.rs/proptest): the
+//! `proptest! { #[test] fn name(arg in strategy, …) { body } }` macro over
+//! range strategies, with `prop_assert!` / `prop_assert_eq!`. Each test runs
+//! `PROPTEST_CASES` (default 64) deterministic cases; failures report the
+//! sampled inputs via the panic message of the underlying assertion.
+//!
+//! Only range strategies (`lo..hi` for the integer and float primitives)
+//! and `Just`-style constants are supported — exactly what this workspace's
+//! property tests use.
+
+pub mod prelude {
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, proptest, Strategy, TestRng};
+}
+
+/// Deterministic RNG for case generation (splitmix64).
+pub struct TestRng(u64);
+
+impl TestRng {
+    pub fn new(seed: u64) -> Self {
+        TestRng(seed)
+    }
+
+    pub fn next_u64(&mut self) -> u64 {
+        self.0 = self.0.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.0;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    /// Uniform in `[0, 1)`.
+    pub fn unit_f64(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+}
+
+/// A value generator (the strategy on the right of `arg in …`).
+pub trait Strategy {
+    type Value;
+    fn generate(&self, rng: &mut TestRng) -> Self::Value;
+}
+
+macro_rules! int_range_strategy {
+    ($($t:ty),*) => {$(
+        impl Strategy for std::ops::Range<$t> {
+            type Value = $t;
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                assert!(self.start < self.end, "empty range strategy");
+                let span = (self.end as i128 - self.start as i128) as u128;
+                let off = (rng.next_u64() as u128) % span;
+                (self.start as i128 + off as i128) as $t
+            }
+        }
+    )*};
+}
+
+int_range_strategy!(usize, isize, u8, u16, u32, u64, i8, i16, i32, i64);
+
+macro_rules! float_range_strategy {
+    ($($t:ty),*) => {$(
+        impl Strategy for std::ops::Range<$t> {
+            type Value = $t;
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                assert!(self.start < self.end, "empty range strategy");
+                self.start + (rng.unit_f64() as $t) * (self.end - self.start)
+            }
+        }
+    )*};
+}
+
+float_range_strategy!(f32, f64);
+
+/// Number of cases per property (env-overridable).
+pub fn cases() -> u64 {
+    std::env::var("PROPTEST_CASES")
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .filter(|&n| n > 0)
+        .unwrap_or(64)
+}
+
+/// FNV-1a of the test name, used as the per-test base seed so cases are
+/// stable across runs and independent across tests.
+pub fn seed_for(name: &str) -> u64 {
+    let mut h = 0xcbf2_9ce4_8422_2325u64;
+    for b in name.bytes() {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x100_0000_01b3);
+    }
+    h
+}
+
+#[macro_export]
+macro_rules! prop_assert {
+    ($($args:tt)*) => { assert!($($args)*) };
+}
+
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($($args:tt)*) => { assert_eq!($($args)*) };
+}
+
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($($args:tt)*) => { assert_ne!($($args)*) };
+}
+
+/// The property-test declaration macro.
+#[macro_export]
+macro_rules! proptest {
+    ($(
+        $(#[$attr:meta])*
+        fn $name:ident( $($arg:ident in $strat:expr),* $(,)? ) $body:block
+    )*) => {$(
+        $(#[$attr])*
+        fn $name() {
+            let base = $crate::seed_for(stringify!($name));
+            for case in 0..$crate::cases() {
+                let mut rng = $crate::TestRng::new(base.wrapping_add(case));
+                $( let $arg = $crate::Strategy::generate(&($strat), &mut rng); )*
+                $body
+            }
+        }
+    )*};
+}
+
+#[cfg(test)]
+mod tests {
+    proptest! {
+        #[test]
+        fn int_ranges_in_bounds(n in 1usize..20, s in -7isize..7) {
+            prop_assert!((1..20).contains(&n));
+            prop_assert!((-7..7).contains(&s));
+        }
+
+        #[test]
+        fn float_ranges_in_bounds(v in -2.5f32..4.0, w in 0.0f64..1.0) {
+            prop_assert!((-2.5..4.0).contains(&v));
+            prop_assert!((0.0..1.0).contains(&w));
+        }
+    }
+
+    #[test]
+    fn seeds_differ_across_names() {
+        assert_ne!(crate::seed_for("a"), crate::seed_for("b"));
+    }
+}

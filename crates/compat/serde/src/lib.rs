@@ -1,0 +1,12 @@
+//! Offline stand-in for [serde](https://docs.rs/serde). The workspace only
+//! uses `#[derive(Serialize, Deserialize)]` as a marker (no serializer is
+//! ever invoked), so the traits are blanket-implemented markers and the
+//! derives are no-ops.
+
+pub use serde_derive::{Deserialize, Serialize};
+
+pub trait Serialize {}
+impl<T: ?Sized> Serialize for T {}
+
+pub trait Deserialize<'de> {}
+impl<'de, T: ?Sized> Deserialize<'de> for T {}

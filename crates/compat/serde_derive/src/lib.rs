@@ -1,0 +1,16 @@
+//! No-op derive macros for the offline serde shim. The workspace only uses
+//! `#[derive(Serialize, Deserialize)]` as documentation of intent — nothing
+//! actually serializes — so the derives expand to nothing. The `serde(...)`
+//! helper attribute is registered so annotated fields stay legal.
+
+use proc_macro::TokenStream;
+
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(_item: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
+
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(_item: TokenStream) -> TokenStream {
+    TokenStream::new()
+}

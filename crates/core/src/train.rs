@@ -8,6 +8,7 @@ use cpipeline::{
     LoaderConfig, NormStats, SnapshotStore, TrainConfig, Trainer, WindowSpec,
 };
 use csurrogate::{SwinConfig, SwinSurrogate};
+use ctensor::backend::BackendChoice;
 use ctensor::prelude::*;
 use std::sync::Arc;
 
@@ -33,6 +34,13 @@ pub struct Scenario {
 }
 
 impl Scenario {
+    /// Pin every stage of this scenario (training, inference, hybrid
+    /// forecasting) to one tensor compute backend.
+    pub fn with_backend(mut self, backend: BackendChoice) -> Self {
+        self.swin.backend = backend;
+        self
+    }
+
     /// Small scenario that trains in seconds (tests/examples).
     pub fn small() -> Scenario {
         let grid_params = cgrid::GridParams {
@@ -55,6 +63,7 @@ impl Scenario {
             window_first: [2, 2, 2, 2],
             window_rest: [2, 2, 2, 2],
             mlp_ratio: 1.5,
+            backend: BackendChoice::default(),
         };
         Scenario {
             grid_params,
@@ -155,6 +164,7 @@ pub fn train_surrogate(scenario: &Scenario, grid: &Grid, archive: &[Snapshot]) -
         mask.clone(),
         TrainConfig {
             lr: scenario.lr,
+            backend: scenario.swin.backend,
             ..Default::default()
         },
     );

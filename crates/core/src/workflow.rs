@@ -68,6 +68,9 @@ impl<'a> HybridForecaster<'a> {
         start: usize,
         n_episodes: usize,
     ) -> HybridOutcome {
+        // Pin the surrogate's configured backend for the whole hybrid run:
+        // episode encode/decode tensor work shares the model's kernels.
+        let _backend = ctensor::backend::scoped(self.surrogate.model.cfg.backend.resolve());
         let t_out = self.surrogate.model.cfg.t_out;
         assert!(
             start + n_episodes * t_out < reference.len(),
@@ -162,12 +165,8 @@ mod tests {
         assert!(r.roms_seconds > 0.0);
 
         // Absurdly loose: every episode is accepted from the AI.
-        let loose = HybridForecaster::new(
-            &grid,
-            &trained,
-            ocean,
-            VerifierConfig { threshold: 1e9 },
-        );
+        let loose =
+            HybridForecaster::new(&grid, &trained, ocean, VerifierConfig { threshold: 1e9 });
         let r = loose.forecast(&test, 0, 2);
         assert_eq!(r.episodes_ai, 2);
         assert_eq!(r.episodes_fallback, 0);
@@ -178,12 +177,7 @@ mod tests {
     fn fallback_episodes_satisfy_conservation() {
         let (grid, trained, test, sc) = setup();
         let ocean = sc.ocean_config(&grid, 1);
-        let fc = HybridForecaster::new(
-            &grid,
-            &trained,
-            ocean,
-            VerifierConfig { threshold: 1e-12 },
-        );
+        let fc = HybridForecaster::new(&grid, &trained, ocean, VerifierConfig { threshold: 1e-12 });
         let r = fc.forecast(&test, 0, 1);
         // Simulator output passes the oceanographic threshold.
         let verifier = Verifier::new(

@@ -78,7 +78,11 @@ impl Grid {
         let mut mask_u = Field2::new(ny, nx + 1);
         for j in 0..ny as isize {
             for i in 0..=(nx as isize) {
-                let west = if i == 0 { mask.get(j, 0) } else { mask.get(j, i - 1) };
+                let west = if i == 0 {
+                    mask.get(j, 0)
+                } else {
+                    mask.get(j, i - 1)
+                };
                 let east = if i == nx as isize {
                     mask.get(j, nx as isize - 1)
                 } else {
@@ -91,13 +95,25 @@ impl Grid {
         let mut mask_v = Field2::new(ny + 1, nx);
         for j in 0..=(ny as isize) {
             for i in 0..nx as isize {
-                let south = if j == 0 { mask.get(0, i) } else { mask.get(j - 1, i) };
+                let south = if j == 0 {
+                    mask.get(0, i)
+                } else {
+                    mask.get(j - 1, i)
+                };
                 let north = if j == ny as isize {
                     mask.get(ny as isize - 1, i)
                 } else {
                     mask.get(j, i)
                 };
-                mask_v.set(j, i, if south == 1.0 && north == 1.0 { 1.0 } else { 0.0 });
+                mask_v.set(
+                    j,
+                    i,
+                    if south == 1.0 && north == 1.0 {
+                        1.0
+                    } else {
+                        0.0
+                    },
+                );
             }
         }
 
@@ -146,7 +162,11 @@ impl Grid {
     /// Depth at a u face (average of adjacent rho cells, clamped at edges).
     #[inline]
     pub fn h_u(&self, j: isize, i: isize) -> f64 {
-        let west = if i == 0 { self.h.get(j, 0) } else { self.h.get(j, i - 1) };
+        let west = if i == 0 {
+            self.h.get(j, 0)
+        } else {
+            self.h.get(j, i - 1)
+        };
         let east = if i == self.nx as isize {
             self.h.get(j, self.nx as isize - 1)
         } else {
@@ -158,7 +178,11 @@ impl Grid {
     /// Depth at a v face.
     #[inline]
     pub fn h_v(&self, j: isize, i: isize) -> f64 {
-        let south = if j == 0 { self.h.get(0, i) } else { self.h.get(j - 1, i) };
+        let south = if j == 0 {
+            self.h.get(0, i)
+        } else {
+            self.h.get(j - 1, i)
+        };
         let north = if j == self.ny as isize {
             self.h.get(self.ny as isize - 1, i)
         } else {

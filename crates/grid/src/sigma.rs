@@ -21,7 +21,11 @@ pub struct SigmaCoords {
 impl SigmaCoords {
     pub fn new(nz: usize, theta_s: f64, theta_b: f64) -> Self {
         assert!(nz >= 1);
-        Self { nz, theta_s, theta_b }
+        Self {
+            nz,
+            theta_s,
+            theta_b,
+        }
     }
 
     /// Uniform layers (no stretching).
@@ -42,9 +46,9 @@ impl SigmaCoords {
         }
         let ts = self.theta_s;
         let tb = self.theta_b;
-        let c = (1.0 - tb) * (ts * s).sinh() / ts.sinh()
-            + tb * ((ts * (s + 0.5)).tanh() / (2.0 * (ts * 0.5).tanh()) - 0.5);
-        c
+
+        (1.0 - tb) * (ts * s).sinh() / ts.sinh()
+            + tb * ((ts * (s + 0.5)).tanh() / (2.0 * (ts * 0.5).tanh()) - 0.5)
     }
 
     /// Depth (negative, m) of interface `k` for water depth `h` and free

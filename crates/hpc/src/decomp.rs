@@ -41,7 +41,10 @@ impl Decomp {
     /// Decompose with an explicit processor grid.
     pub fn with_grid(ny: usize, nx: usize, pr: usize, pc: usize) -> Self {
         assert!(pr >= 1 && pc >= 1);
-        assert!(pr <= ny && pc <= nx, "more tiles than cells: {pr}x{pc} over {ny}x{nx}");
+        assert!(
+            pr <= ny && pc <= nx,
+            "more tiles than cells: {pr}x{pc} over {ny}x{nx}"
+        );
         Self { ny, nx, pr, pc }
     }
 
@@ -52,7 +55,7 @@ impl Decomp {
         let mut best = (1, p);
         let mut best_score = f64::INFINITY;
         for pr in 1..=p {
-            if p % pr != 0 {
+            if !p.is_multiple_of(pr) {
                 continue;
             }
             let pc = p / pr;
@@ -162,7 +165,7 @@ mod tests {
     #[test]
     fn tiles_partition_domain() {
         let d = Decomp::with_grid(10, 13, 2, 3);
-        let mut count = vec![0u8; 10 * 13];
+        let mut count = [0u8; 10 * 13];
         for r in 0..d.size() {
             let t = d.tile(r);
             for j in t.j0..t.j1 {
@@ -171,7 +174,10 @@ mod tests {
                 }
             }
         }
-        assert!(count.iter().all(|&c| c == 1), "each cell owned exactly once");
+        assert!(
+            count.iter().all(|&c| c == 1),
+            "each cell owned exactly once"
+        );
     }
 
     #[test]

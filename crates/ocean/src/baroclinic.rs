@@ -98,8 +98,8 @@ pub fn step_baroclinic(dom: &TileDomain, state: &mut State, phys: &PhysParams, d
             // Mode coupling: replace the depth mean with ubar.
             let mean: f64 = col.iter().zip(&dz).map(|(u, d)| u * d).sum::<f64>() / depth;
             let shift = state.ubar.get(j, i) - mean;
-            for k in 0..nz {
-                state.u.set(k, j, i, col[k] + shift);
+            for (k, &cu) in col.iter().enumerate().take(nz) {
+                state.u.set(k, j, i, cu + shift);
             }
         }
     }
@@ -123,8 +123,8 @@ pub fn step_baroclinic(dom: &TileDomain, state: &mut State, phys: &PhysParams, d
             vertical_solve(&mut col, &dz, phys.kv, phys.drag_cd, dt_slow);
             let mean: f64 = col.iter().zip(&dz).map(|(v, d)| v * d).sum::<f64>() / depth;
             let shift = state.vbar.get(j, i) - mean;
-            for k in 0..nz {
-                state.v.set(k, j, i, col[k] + shift);
+            for (k, &cv) in col.iter().enumerate().take(nz) {
+                state.v.set(k, j, i, cv + shift);
             }
         }
     }
@@ -151,26 +151,10 @@ pub fn diagnose_w(dom: &TileDomain, state: &mut State, phys: &PhysParams) {
             for k in 0..nz {
                 // Layer thicknesses at the four faces.
                 let zw = state.zeta.get(j, i);
-                let dz_w = sigma.dz(
-                    k,
-                    dom.h_u(j, i),
-                    0.5 * (state.zeta.get(j, i - 1) + zw),
-                );
-                let dz_e = sigma.dz(
-                    k,
-                    dom.h_u(j, i + 1),
-                    0.5 * (zw + state.zeta.get(j, i + 1)),
-                );
-                let dz_s = sigma.dz(
-                    k,
-                    dom.h_v(j, i),
-                    0.5 * (state.zeta.get(j - 1, i) + zw),
-                );
-                let dz_n = sigma.dz(
-                    k,
-                    dom.h_v(j + 1, i),
-                    0.5 * (zw + state.zeta.get(j + 1, i)),
-                );
+                let dz_w = sigma.dz(k, dom.h_u(j, i), 0.5 * (state.zeta.get(j, i - 1) + zw));
+                let dz_e = sigma.dz(k, dom.h_u(j, i + 1), 0.5 * (zw + state.zeta.get(j, i + 1)));
+                let dz_s = sigma.dz(k, dom.h_v(j, i), 0.5 * (state.zeta.get(j - 1, i) + zw));
+                let dz_n = sigma.dz(k, dom.h_v(j + 1, i), 0.5 * (zw + state.zeta.get(j + 1, i)));
                 let flux = state.u.get(k, j, i + 1) * dz_e * dom.dy_at(j)
                     - state.u.get(k, j, i) * dz_w * dom.dy_at(j)
                     + state.v.get(k, j + 1, i) * dz_n * dom.dx_at(i)

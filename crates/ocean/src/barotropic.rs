@@ -77,7 +77,9 @@ pub fn apply_boundary_halos(dom: &TileDomain, state: &mut State, forcing: &Tidal
             if i <= nx {
                 state.ubar.set(-1, i, state.ubar.get(0, i));
             }
-            state.vbar.set(-1, i.min(nx - 1), state.vbar.get(0, i.min(nx - 1)));
+            state
+                .vbar
+                .set(-1, i.min(nx - 1), state.vbar.get(0, i.min(nx - 1)));
         }
         state.ubar.set(-1, nx + 1, state.ubar.get(0, nx + 1));
     }
@@ -233,9 +235,7 @@ pub fn step_fast(dom: &TileDomain, state: &mut State, phys: &PhysParams, forcing
 
             let area = dom.dx_at(i) * dom.dy_at(j);
             let dzdt = -(flux_e - flux_w + flux_n - flux_s) / area;
-            state
-                .zeta_next
-                .set(j, i, state.zeta.get(j, i) + dt * dzdt);
+            state.zeta_next.set(j, i, state.zeta.get(j, i) + dt * dzdt);
         }
     }
 

@@ -199,7 +199,7 @@ mod tests {
         let g = grid();
         let decomp = chpc::Decomp::with_grid(24, 20, 2, 2);
         let d0 = TileDomain::from_grid(&g, decomp.tile(0)); // south-west
-        // d0 east halo column = global column i1.
+                                                            // d0 east halo column = global column i1.
         let t = decomp.tile(0);
         for j in 0..t.ny() as isize {
             assert_eq!(

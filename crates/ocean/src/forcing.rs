@@ -171,8 +171,11 @@ mod tests {
         let y0a = TidalForcing::for_year(0);
         let y0b = TidalForcing::for_year(0);
         let y1 = TidalForcing::for_year(1);
-        let probe =
-            |f: &TidalForcing| (0..50).map(|k| f.elevation(0.0, k as f64 * 3571.0)).sum::<f64>();
+        let probe = |f: &TidalForcing| {
+            (0..50)
+                .map(|k| f.elevation(0.0, k as f64 * 3571.0))
+                .sum::<f64>()
+        };
         assert_eq!(probe(&y0a), probe(&y0b));
         assert!((probe(&y0a) - probe(&y1)).abs() > 1e-6);
     }

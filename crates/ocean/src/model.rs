@@ -2,8 +2,8 @@
 
 use cgrid::Grid;
 
-use crate::barotropic::{apply_boundary_halos, step_fast, PhysParams};
 use crate::baroclinic::step_baroclinic;
+use crate::barotropic::{apply_boundary_halos, step_fast, PhysParams};
 use crate::domain::TileDomain;
 use crate::forcing::TidalForcing;
 use crate::snapshot::{load_snapshot, take_snapshot, Snapshot};
@@ -67,10 +67,20 @@ impl Roms {
     pub fn step_slow(&mut self) {
         for _ in 0..self.cfg.ndtfast {
             apply_boundary_halos(&self.dom, &mut self.state, &self.cfg.forcing);
-            step_fast(&self.dom, &mut self.state, &self.cfg.phys, &self.cfg.forcing);
+            step_fast(
+                &self.dom,
+                &mut self.state,
+                &self.cfg.phys,
+                &self.cfg.forcing,
+            );
             self.fast_steps += 1;
         }
-        step_baroclinic(&self.dom, &mut self.state, &self.cfg.phys, self.cfg.dt_slow());
+        step_baroclinic(
+            &self.dom,
+            &mut self.state,
+            &self.cfg.phys,
+            self.cfg.dt_slow(),
+        );
     }
 
     /// Advance by (at least) `seconds`, in whole slow steps.

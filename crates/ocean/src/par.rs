@@ -10,8 +10,8 @@ use cgrid::Grid;
 use chpc::halo::{recv_halo, send_halo};
 use chpc::{run_parallel, Comm, CommStats, Decomp, Side};
 
-use crate::barotropic::{apply_boundary_halos, step_fast};
 use crate::baroclinic::step_baroclinic;
+use crate::barotropic::{apply_boundary_halos, step_fast};
 use crate::domain::TileDomain;
 use crate::model::OceanConfig;
 use crate::snapshot::{take_snapshot, Snapshot};
@@ -152,8 +152,7 @@ fn gather_snapshots(
     if comm.rank() != 0 {
         for (s_idx, snap) in local.iter().enumerate() {
             let tag = TAG_GATHER + s_idx as u64;
-            let mut payload =
-                Vec::with_capacity(1 + snap.zeta.len() + 3 * snap.u.len());
+            let mut payload = Vec::with_capacity(1 + snap.zeta.len() + 3 * snap.u.len());
             payload.push(snap.time);
             payload.extend(snap.zeta.iter().map(|&v| v as f64));
             payload.extend(snap.u.iter().map(|&v| v as f64));
@@ -180,7 +179,12 @@ fn gather_snapshots(
         .collect();
 
     // Place rank 0's own tiles.
-    let place = |dst: &mut Snapshot, tile: chpc::Tile, src_z: &[f64], src_u: &[f64], src_v: &[f64], src_w: &[f64]| {
+    let place = |dst: &mut Snapshot,
+                 tile: chpc::Tile,
+                 src_z: &[f64],
+                 src_u: &[f64],
+                 src_v: &[f64],
+                 src_w: &[f64]| {
         let (tny, tnx) = (tile.ny(), tile.nx());
         for j in 0..tny {
             for i in 0..tnx {

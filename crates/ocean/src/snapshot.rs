@@ -49,8 +49,7 @@ impl Snapshot {
 
     /// Bytes of payload (the paper's I/O accounting).
     pub fn nbytes(&self) -> usize {
-        (self.zeta.len() + self.u.len() + self.v.len() + self.w.len())
-            * std::mem::size_of::<f32>()
+        (self.zeta.len() + self.u.len() + self.v.len() + self.w.len()) * std::mem::size_of::<f32>()
     }
 
     /// Extract the tile interior of this snapshot (global → local crop).
@@ -84,11 +83,7 @@ impl Snapshot {
     /// Root-mean-square difference per variable against another snapshot.
     pub fn rms_diff(&self, other: &Snapshot) -> [f32; 4] {
         fn rms(a: &[f32], b: &[f32]) -> f32 {
-            let s: f64 = a
-                .iter()
-                .zip(b)
-                .map(|(x, y)| ((x - y) as f64).powi(2))
-                .sum();
+            let s: f64 = a.iter().zip(b).map(|(x, y)| ((x - y) as f64).powi(2)).sum();
             ((s / a.len() as f64) as f32).sqrt()
         }
         [
@@ -117,7 +112,11 @@ pub fn take_snapshot(dom: &TileDomain, state: &State) -> Snapshot {
         for i in 0..nx {
             let (js, is_) = (j as isize, i as isize);
             let wet = dom.mask_rho.get(js, is_) > 0.5;
-            snap.zeta[j * nx + i] = if wet { state.zeta.get(js, is_) as f32 } else { 0.0 };
+            snap.zeta[j * nx + i] = if wet {
+                state.zeta.get(js, is_) as f32
+            } else {
+                0.0
+            };
             for k in 0..nz {
                 let dst = (k * ny + j) * nx + i;
                 if wet {
@@ -138,7 +137,11 @@ pub fn take_snapshot(dom: &TileDomain, state: &State) -> Snapshot {
 /// [`take_snapshot`], used when the hybrid workflow hands an AI-predicted
 /// state back to the simulator). Faces average adjacent centers; `w` is
 /// re-diagnosed by the next baroclinic step.
-pub fn load_snapshot(dom: &TileDomain, snap: &Snapshot, phys: &crate::barotropic::PhysParams) -> State {
+pub fn load_snapshot(
+    dom: &TileDomain,
+    snap: &Snapshot,
+    phys: &crate::barotropic::PhysParams,
+) -> State {
     assert_eq!((snap.ny, snap.nx, snap.nz), (dom.ny, dom.nx, dom.nz));
     let (nz, ny, nx) = (dom.nz, dom.ny as isize, dom.nx as isize);
     let mut s = State::rest(dom);
@@ -164,8 +167,16 @@ pub fn load_snapshot(dom: &TileDomain, snap: &Snapshot, phys: &crate::barotropic
                 continue;
             }
             for k in 0..nz {
-                let west = if i > 0 { at3(k, j, i - 1) } else { at3(k, j, 0) };
-                let east = if i < nx { at3(k, j, i) } else { at3(k, j, nx - 1) };
+                let west = if i > 0 {
+                    at3(k, j, i - 1)
+                } else {
+                    at3(k, j, 0)
+                };
+                let east = if i < nx {
+                    at3(k, j, i)
+                } else {
+                    at3(k, j, nx - 1)
+                };
                 s.u.set(k, j, i, 0.5 * (west + east));
             }
         }
@@ -176,8 +187,16 @@ pub fn load_snapshot(dom: &TileDomain, snap: &Snapshot, phys: &crate::barotropic
                 continue;
             }
             for k in 0..nz {
-                let south = if j > 0 { at3v(k, j - 1, i) } else { at3v(k, 0, i) };
-                let north = if j < ny { at3v(k, j, i) } else { at3v(k, ny - 1, i) };
+                let south = if j > 0 {
+                    at3v(k, j - 1, i)
+                } else {
+                    at3v(k, 0, i)
+                };
+                let north = if j < ny {
+                    at3v(k, j, i)
+                } else {
+                    at3v(k, ny - 1, i)
+                };
                 s.v.set(k, j, i, 0.5 * (south + north));
             }
         }

@@ -53,9 +53,7 @@ impl State {
         for j in 0..dom.ny as isize {
             for i in 0..dom.nx as isize {
                 if dom.mask_rho.get(j, i) > 0.5 {
-                    vol += (dom.h.get(j, i) + self.zeta.get(j, i))
-                        * dom.dx_at(i)
-                        * dom.dy_at(j);
+                    vol += (dom.h.get(j, i) + self.zeta.get(j, i)) * dom.dx_at(i) * dom.dy_at(j);
                 }
             }
         }
@@ -76,7 +74,12 @@ impl State {
     pub fn is_finite(&self) -> bool {
         let ok2 = |f: &Field2| f.raw().iter().all(|v| v.is_finite());
         let ok3 = |f: &Field3| (0..f.nz()).all(|k| f.layer(k).raw().iter().all(|v| v.is_finite()));
-        ok2(&self.zeta) && ok2(&self.ubar) && ok2(&self.vbar) && ok3(&self.u) && ok3(&self.v) && ok3(&self.w)
+        ok2(&self.zeta)
+            && ok2(&self.ubar)
+            && ok2(&self.vbar)
+            && ok3(&self.u)
+            && ok3(&self.v)
+            && ok3(&self.w)
     }
 }
 

@@ -60,7 +60,10 @@ fn depth_average(
 /// uses the time-mean of the two snapshots' depth-averaged velocities
 /// (second-order in the snapshot interval).
 pub fn water_mass_residual(grid: &Grid, before: &Snapshot, after: &Snapshot) -> ResidualField {
-    assert_eq!((before.ny, before.nx, before.nz), (after.ny, after.nx, after.nz));
+    assert_eq!(
+        (before.ny, before.nx, before.nz),
+        (after.ny, after.nx, after.nz)
+    );
     assert!(
         after.time > before.time,
         "snapshots must be time-ordered: {} !> {}",
@@ -109,8 +112,8 @@ pub fn water_mass_residual(grid: &Grid, before: &Snapshot, after: &Snapshot) -> 
                 return 0.0;
             }
             let area = grid.cell_area(j, i);
-            let dzeta_dt = (after.zeta[after.idx2(j, i)] - before.zeta[before.idx2(j, i)]) as f64
-                / dt;
+            let dzeta_dt =
+                (after.zeta[after.idx2(j, i)] - before.zeta[before.idx2(j, i)]) as f64 / dt;
             // Storage term per unit area: ∂ζ/∂t (h is constant in time).
             let storage = dzeta_dt;
 
@@ -126,13 +129,27 @@ pub fn water_mass_residual(grid: &Grid, before: &Snapshot, after: &Snapshot) -> 
             };
             let dx = grid.dx[i];
             let dy = grid.dy[j];
-            let flux_e = if i + 1 < nx { face(j, i, j, i + 1, &ubar) * dy } else { 0.0 };
-            let flux_w = if i > 0 { face(j, i, j, i - 1, &ubar) * dy } else {
+            let flux_e = if i + 1 < nx {
+                face(j, i, j, i + 1, &ubar) * dy
+            } else {
+                0.0
+            };
+            let flux_w = if i > 0 {
+                face(j, i, j, i - 1, &ubar) * dy
+            } else {
                 // Open west boundary: use the cell's own value.
                 depth_at(j, i) * ubar[j * nx + i] * dy
             };
-            let flux_n = if j + 1 < ny { face(j, i, j + 1, i, &vbar) * dy_to_dx(dx) } else { 0.0 };
-            let flux_s = if j > 0 { face(j, i, j - 1, i, &vbar) * dy_to_dx(dx) } else { 0.0 };
+            let flux_n = if j + 1 < ny {
+                face(j, i, j + 1, i, &vbar) * dy_to_dx(dx)
+            } else {
+                0.0
+            };
+            let flux_s = if j > 0 {
+                face(j, i, j - 1, i, &vbar) * dy_to_dx(dx)
+            } else {
+                0.0
+            };
 
             let inflow = -(flux_e - flux_w + flux_n - flux_s) / area;
             (storage - inflow).abs()

@@ -88,11 +88,7 @@ pub fn on_ring(j: usize, i: usize, ny: usize, nx: usize, ring: usize) -> bool {
 }
 
 /// Encode `T+1` consecutive snapshots into one episode.
-pub fn encode_episode(
-    snaps: &[Snapshot],
-    stats: &NormStats,
-    cfg: &EncodeConfig,
-) -> Episode {
+pub fn encode_episode(snaps: &[Snapshot], stats: &NormStats, cfg: &EncodeConfig) -> Episode {
     assert!(snaps.len() >= 2, "episode needs at least IC + 1 step");
     let t_out = snaps.len() - 1;
     let (nz, ny, nx) = (snaps[0].nz, snaps[0].ny, snaps[0].nx);
@@ -299,7 +295,9 @@ mod tests {
 
     #[test]
     fn decode_inverts_encode_targets() {
-        let snaps: Vec<Snapshot> = (0..3).map(|t| snap(t as f64 * 10.0, 6, 6, 2, 1.5)).collect();
+        let snaps: Vec<Snapshot> = (0..3)
+            .map(|t| snap(t as f64 * 10.0, 6, 6, 2, 1.5))
+            .collect();
         let stats = NormStats {
             mean: [0.5, 0.0, -0.5, 0.1],
             std: [2.0, 3.0, 0.25, 1.5],

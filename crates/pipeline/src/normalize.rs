@@ -107,7 +107,7 @@ mod tests {
         assert!((stats.mean[0] - 2.0).abs() < 1e-6); // u: 1 and 3
         assert!((stats.std[0] - 1.0).abs() < 1e-6);
         assert!((stats.mean[1] + 2.0).abs() < 1e-6); // v: -1 and -3
-        // ζ: values base..base+3 for base 1 and 3 → mean 3.5
+                                                     // ζ: values base..base+3 for base 1 and 3 → mean 3.5
         assert!((stats.mean[3] - 3.5).abs() < 1e-6);
     }
 
@@ -139,7 +139,7 @@ mod tests {
     #[test]
     fn degenerate_std_floored() {
         let s = snap(2, 2, 1, 0.0); // w identically zero
-        let stats = NormStats::from_snapshots(&[s], &vec![1.0; 4]);
+        let stats = NormStats::from_snapshots(&[s], &[1.0; 4]);
         assert!(stats.std[2] >= 1e-8);
         assert!(stats.normalize(2, 0.0).is_finite());
     }

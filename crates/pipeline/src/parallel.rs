@@ -85,6 +85,11 @@ pub fn train_data_parallel(
     assert!(!episodes.is_empty());
     let t0 = Instant::now();
     let results = run_parallel(workers, |comm| {
+        // Pin the model's configured backend for this replica's whole loop:
+        // the model's own forward scope ends when forward returns, but loss,
+        // backward (including checkpoint replays), and the optimizer update
+        // must run on the same kernels.
+        let _backend = ctensor::backend::scoped(cfg.model.backend.resolve());
         let rank = comm.rank();
         let model = SwinSurrogate::new(cfg.model.clone(), cfg.seed);
         let mut model = model;
@@ -114,9 +119,7 @@ pub fn train_data_parallel(
             let mut flat: Vec<f64> = Vec::new();
             let mut shapes = Vec::with_capacity(params.len());
             for p in &params {
-                let gr = p
-                    .grad()
-                    .unwrap_or_else(|| Tensor::zeros(p.value().shape()));
+                let gr = p.grad().unwrap_or_else(|| Tensor::zeros(p.value().shape()));
                 shapes.push(gr.shape().to_vec());
                 flat.extend(gr.as_slice().iter().map(|&v| v as f64));
             }

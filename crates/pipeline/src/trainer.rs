@@ -18,6 +18,9 @@ pub struct TrainConfig {
     /// whose metered forward peak exceeds it (the paper's 80 GB A100
     /// ceiling that forces batch 1 without checkpointing).
     pub memory_budget: Option<usize>,
+    /// Tensor compute backend pinned for every step (forward, backward
+    /// closures, and optimizer updates all run under it).
+    pub backend: BackendChoice,
 }
 
 impl Default for TrainConfig {
@@ -26,6 +29,7 @@ impl Default for TrainConfig {
             lr: 1e-3,
             grad_clip: 1.0,
             memory_budget: None,
+            backend: BackendChoice::default(),
         }
     }
 }
@@ -74,8 +78,23 @@ impl Trainer {
         }
     }
 
+    /// The backend a step runs under: the trainer's own choice, or — when
+    /// that is `Auto` — the model's pinned backend, so a model built with
+    /// `SwinConfig::with_backend(Scalar)` also bisects its gradient path.
+    fn step_backend(&self) -> std::sync::Arc<dyn ctensor::backend::Backend> {
+        match self.cfg.backend {
+            BackendChoice::Auto => self.model.cfg.backend.resolve(),
+            pinned => pinned.resolve(),
+        }
+    }
+
     /// One forward/backward/update on a (possibly batched) episode.
     pub fn step(&mut self, batch: &Episode) -> StepStats {
+        // Pin the backend for the whole step — the model's own forward
+        // scope ends with forward, but backward closures (including
+        // checkpoint replays) and the optimizer update must run on the
+        // same kernels.
+        let _backend = ctensor::backend::scoped(self.step_backend());
         let t0 = Instant::now();
         let instances = batch.x3d.shape()[0];
         let mut g = Graph::new();
@@ -107,6 +126,7 @@ impl Trainer {
 
     /// Evaluation loss (no gradient, no update).
     pub fn eval(&self, batch: &Episode) -> f32 {
+        let _backend = ctensor::backend::scoped(self.step_backend());
         let mut g = Graph::inference();
         let x3 = g.constant(batch.x3d.clone());
         let x2 = g.constant(batch.x2d.clone());
@@ -151,8 +171,7 @@ impl Trainer {
             let x3 = g.constant(batch.x3d.clone());
             let x2 = g.constant(batch.x2d.clone());
             let (p3, p2) = self.model.forward(&mut g, x3, x2);
-            let _ =
-                episode_loss(&mut g, p3, p2, &batch.target3, &batch.target2, &self.mask);
+            let _ = episode_loss(&mut g, p3, p2, &batch.target3, &batch.target2, &self.mask);
             if g.meter().current <= budget {
                 best = b;
             } else {

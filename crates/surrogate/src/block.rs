@@ -10,9 +10,7 @@ use ctensor::prelude::*;
 use rand::rngs::StdRng;
 
 use crate::config::Win4;
-use crate::window::{
-    attention_mask, cyclic_shift, window_partition, window_reverse,
-};
+use crate::window::{attention_mask, cyclic_shift, window_partition, window_reverse};
 
 /// One attention block (either W-MSA or SW-MSA depending on `shifted`).
 #[derive(Clone)]
@@ -119,8 +117,24 @@ impl SwinBlockPair {
         rng: &mut StdRng,
     ) -> Self {
         Self {
-            w_block: SwinBlock::new(&format!("{name}.w"), dim, heads, window, false, mlp_ratio, rng),
-            sw_block: SwinBlock::new(&format!("{name}.sw"), dim, heads, window, true, mlp_ratio, rng),
+            w_block: SwinBlock::new(
+                &format!("{name}.w"),
+                dim,
+                heads,
+                window,
+                false,
+                mlp_ratio,
+                rng,
+            ),
+            sw_block: SwinBlock::new(
+                &format!("{name}.sw"),
+                dim,
+                heads,
+                window,
+                true,
+                mlp_ratio,
+                rng,
+            ),
         }
     }
 }
@@ -205,6 +219,7 @@ pub struct SwinStage {
 }
 
 impl SwinStage {
+    #[allow(clippy::too_many_arguments)]
     pub fn new(
         name: &str,
         dim: usize,
@@ -217,7 +232,14 @@ impl SwinStage {
     ) -> Self {
         let pairs = (0..n_pairs)
             .map(|p| {
-                SwinBlockPair::new(&format!("{name}.pair{p}"), dim, heads, window, mlp_ratio, rng)
+                SwinBlockPair::new(
+                    &format!("{name}.pair{p}"),
+                    dim,
+                    heads,
+                    window,
+                    mlp_ratio,
+                    rng,
+                )
             })
             .collect();
         let masks = (
@@ -411,6 +433,9 @@ mod tests {
         let x = g.constant(tokens(1, dims, 8, &mut rng));
         let y = stage.forward(&mut g, x);
         assert_eq!(g.value(y).shape(), &[1, 4, 4, 2, 2, 8]);
-        assert_eq!(stage.params().len(), 2 * stage.pairs[0].params().len() / 2 * 2);
+        assert_eq!(
+            stage.params().len(),
+            2 * stage.pairs[0].params().len() / 2 * 2
+        );
     }
 }

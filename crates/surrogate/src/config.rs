@@ -1,5 +1,6 @@
 //! Surrogate model configuration.
 
+use ctensor::backend::BackendChoice;
 use serde::{Deserialize, Serialize};
 
 /// 4-D extent (space × time) used for windows and shifts.
@@ -34,6 +35,10 @@ pub struct SwinConfig {
     pub window_rest: Win4,
     /// MLP hidden width = `mlp_ratio * dim`.
     pub mlp_ratio: f32,
+    /// Tensor compute backend the model pins for its forward passes.
+    /// `Auto` (default) defers to the ambient selection (scope / global /
+    /// `COASTAL_BACKEND`); `Blocked` and `Scalar` pin explicitly.
+    pub backend: BackendChoice,
 }
 
 impl Default for SwinConfig {
@@ -49,6 +54,7 @@ impl Default for SwinConfig {
             window_first: [4, 4, 2, 2],
             window_rest: [2, 2, 2, 2],
             mlp_ratio: 2.0,
+            backend: BackendChoice::default(),
         }
     }
 }
@@ -67,7 +73,14 @@ impl SwinConfig {
             window_first: [2, 2, 2, 2],
             window_rest: [2, 2, 2, 2],
             mlp_ratio: 1.5,
+            backend: BackendChoice::default(),
         }
+    }
+
+    /// Same config pinned to a different compute backend.
+    pub fn with_backend(mut self, backend: BackendChoice) -> Self {
+        self.backend = backend;
+        self
     }
 
     /// Number of encoder stages.
@@ -146,10 +159,12 @@ mod tests {
 
     #[test]
     fn padding_rounds_up() {
-        let mut c = SwinConfig::default();
-        c.ny = 97;
-        c.nx = 63;
-        c.nz = 7;
+        let c = SwinConfig {
+            ny: 97,
+            nx: 63,
+            nz: 7,
+            ..Default::default()
+        };
         let (ph, pw, pd) = c.padded_mesh();
         assert_eq!((ph, pw, pd), (100, 64, 8));
     }

@@ -141,11 +141,8 @@ pub struct PositionalEncoding {
 
 impl PositionalEncoding {
     pub fn new(name: &str, dims: [usize; 4], embed: usize, rng: &mut StdRng) -> Self {
-        let spatial = ctensor::init::trunc_normal(
-            &[1, dims[0], dims[1], dims[2], 1, embed],
-            0.02,
-            rng,
-        );
+        let spatial =
+            ctensor::init::trunc_normal(&[1, dims[0], dims[1], dims[2], 1, embed], 0.02, rng);
         let temporal = ctensor::init::trunc_normal(&[1, 1, 1, 1, dims[3], embed], 0.02, rng);
         Self {
             spatial: Param::new(format!("{name}.spatial"), spatial),
@@ -194,7 +191,13 @@ impl PatchRecover3d {
     ) -> Self {
         let out_features = channels * patch[0] * patch[1] * patch[2];
         Self {
-            expand: Linear::new(&format!("{name}.expand"), embed_dim, out_features, true, rng),
+            expand: Linear::new(
+                &format!("{name}.expand"),
+                embed_dim,
+                out_features,
+                true,
+                rng,
+            ),
             bn: BatchNorm::new(&format!("{name}.bn"), channels),
             head: Linear::new(&format!("{name}.head"), channels, channels, true, rng),
             channels,
@@ -257,7 +260,13 @@ impl PatchRecover2d {
     ) -> Self {
         let out_features = channels * patch[0] * patch[1];
         Self {
-            expand: Linear::new(&format!("{name}.expand"), embed_dim, out_features, true, rng),
+            expand: Linear::new(
+                &format!("{name}.expand"),
+                embed_dim,
+                out_features,
+                true,
+                rng,
+            ),
             bn: BatchNorm::new(&format!("{name}.bn"), channels),
             head: Linear::new(&format!("{name}.head"), channels, channels, true, rng),
             channels,

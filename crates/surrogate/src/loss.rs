@@ -17,8 +17,14 @@ pub fn episode_loss(
     let (ny, nx) = (mask.shape()[0], mask.shape()[1]);
     // Broadcast masks: (1,1,ny,nx,1,1) against (B,3,ny,nx,nz,T) and
     // (1,1,ny,nx,1) against (B,1,ny,nx,T).
-    let m3 = g.constant(mask.reshaped(&[1, 1, ny, nx, 1, 1]).broadcast_to(g_shape(g, pred3).as_slice()));
-    let m2 = g.constant(mask.reshaped(&[1, 1, ny, nx, 1]).broadcast_to(g_shape(g, pred2).as_slice()));
+    let m3 = g.constant(
+        mask.reshaped(&[1, 1, ny, nx, 1, 1])
+            .broadcast_to(g_shape(g, pred3).as_slice()),
+    );
+    let m2 = g.constant(
+        mask.reshaped(&[1, 1, ny, nx, 1])
+            .broadcast_to(g_shape(g, pred2).as_slice()),
+    );
     let t3 = g.constant(target3.clone());
     let t2 = g.constant(target2.clone());
     let l3 = g.masked_mse_loss(pred3, t3, m3);
@@ -51,7 +57,7 @@ pub fn evaluate_errors(
     let mut out = [(0.0, 0.0); 4];
 
     // 3-D variables.
-    for c in 0..3 {
+    for (c, slot) in out.iter_mut().enumerate().take(3) {
         let mut abs_sum = 0.0f64;
         let mut sq_sum = 0.0f64;
         let mut n = 0usize;
@@ -74,7 +80,7 @@ pub fn evaluate_errors(
             }
         }
         let n = n.max(1) as f64;
-        out[c] = (abs_sum / n, (sq_sum / n).sqrt());
+        *slot = (abs_sum / n, (sq_sum / n).sqrt());
     }
 
     // ζ.
@@ -146,9 +152,9 @@ mod tests {
         let tgt2 = Tensor::full(&[1, 1, 1, 2, 1], 1.0);
         let mask = Tensor::ones(&[1, 2]);
         let e = evaluate_errors(&pred3, &tgt3, &pred2, &tgt2, &mask);
-        for c in 0..3 {
-            assert!((e[c].0 - 1.0).abs() < 1e-9, "mae {c}");
-            assert!((e[c].1 - 1.0).abs() < 1e-9, "rmse {c}");
+        for (c, (mae, rmse)) in e.iter().enumerate().take(3) {
+            assert!((mae - 1.0).abs() < 1e-9, "mae {c}");
+            assert!((rmse - 1.0).abs() < 1e-9, "rmse {c}");
         }
         assert!((e[3].0 - 2.0).abs() < 1e-9);
         assert!((e[3].1 - 2.0).abs() < 1e-9);

@@ -8,7 +8,9 @@ use rand::SeedableRng;
 use crate::block::{merged_dims, PatchMerge, SwinStage};
 use crate::config::{SwinConfig, Win4};
 use crate::decoder::UpsampleBlock;
-use crate::embed::{PatchEmbed2d, PatchEmbed3d, PatchRecover2d, PatchRecover3d, PositionalEncoding};
+use crate::embed::{
+    PatchEmbed2d, PatchEmbed3d, PatchRecover2d, PatchRecover3d, PositionalEncoding,
+};
 
 /// Activation-checkpointing policy (paper §III-D: keep the SW-MSA
 /// activations, discard and recompute the rest).
@@ -67,7 +69,11 @@ impl SwinSurrogate {
                 &mut rng,
             ));
             if s + 1 < cfg.n_stages() {
-                merges.push(PatchMerge::new(&format!("merge{s}"), cfg.dim_at(s), &mut rng));
+                merges.push(PatchMerge::new(
+                    &format!("merge{s}"),
+                    cfg.dim_at(s),
+                    &mut rng,
+                ));
                 stage_dims.push(merged_dims(dims));
             }
         }
@@ -109,7 +115,11 @@ impl SwinSurrogate {
     ///
     /// Returns `(pred3d, pred2d)`: `(B, 3, ny, nx, nz, T)` and
     /// `(B, 1, ny, nx, T)` — the T forecast frames.
+    ///
+    /// The whole pass runs under the backend this model's config selects
+    /// (`cfg.backend`), overriding the thread's default for its duration.
     pub fn forward(&self, g: &mut Graph, x3d: Var, x2d: Var) -> (Var, Var) {
+        let _backend = ctensor::backend::scoped(self.cfg.backend.resolve());
         let cfg = &self.cfg;
         let t_in = cfg.t_in();
         {
@@ -170,12 +180,12 @@ impl SwinSurrogate {
                     let blk = pair.w_block.clone();
                     let dims = stage.dims;
                     let mask = stage.mask_plain().clone();
-                    cur = g.checkpoint(&[cur], move |g, ins| {
-                        blk.forward(g, ins[0], dims, &mask)
-                    });
+                    cur = g.checkpoint(&[cur], move |g, ins| blk.forward(g, ins[0], dims, &mask));
                     // SW-MSA block stays resident (the expensive one to
                     // recompute, per the paper).
-                    cur = pair.sw_block.forward(g, cur, stage.dims, stage.mask_shifted());
+                    cur = pair
+                        .sw_block
+                        .forward(g, cur, stage.dims, stage.mask_shifted());
                 }
                 cur
             }
@@ -350,10 +360,7 @@ mod tests {
         let (l_ck, g_ck, m_ck) = run(CheckpointPolicy::DiscardWMsa);
         assert!((l_plain - l_ck).abs() < 1e-5, "{l_plain} vs {l_ck}");
         for (a, b) in g_plain.iter().zip(&g_ck) {
-            assert!(
-                a.allclose(b, 1e-4),
-                "checkpointed grads must match plain"
-            );
+            assert!(a.allclose(b, 1e-4), "checkpointed grads must match plain");
         }
         assert!(
             m_ck.current < m_plain.current,

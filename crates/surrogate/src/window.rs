@@ -47,10 +47,7 @@ pub fn window_partition(g: &mut Graph, x: Var, dims: Win4, win: Win4) -> Var {
         ],
     );
     let (n0, n1, n2, n3) = (p[0] / win[0], p[1] / win[1], p[2] / win[2], p[3] / win[3]);
-    let x = g.reshape(
-        x,
-        &[b, n0, win[0], n1, win[1], n2, win[2], n3, win[3], e],
-    );
+    let x = g.reshape(x, &[b, n0, win[0], n1, win[1], n2, win[2], n3, win[3], e]);
     // (B, n0, w0, n1, w1, n2, w2, n3, w3, E)
     //  0   1   2   3   4   5   6   7   8  9
     let x = g.permute(x, &[0, 1, 3, 5, 7, 2, 4, 6, 8, 9]);
@@ -65,10 +62,7 @@ pub fn window_reverse(g: &mut Graph, x: Var, b: usize, dims: Win4, win: Win4) ->
     let p = padded_dims(dims, win);
     let (n0, n1, n2, n3) = (p[0] / win[0], p[1] / win[1], p[2] / win[2], p[3] / win[3]);
     let e = *g.value(x).shape().last().unwrap();
-    let x = g.reshape(
-        x,
-        &[b, n0, n1, n2, n3, win[0], win[1], win[2], win[3], e],
-    );
+    let x = g.reshape(x, &[b, n0, n1, n2, n3, win[0], win[1], win[2], win[3], e]);
     // -> (B, n0, w0, n1, w1, n2, w2, n3, w3, E)
     let x = g.permute(x, &[0, 1, 5, 2, 6, 3, 7, 4, 8, 9]);
     let x = g.reshape(x, &[b, p[0], p[1], p[2], p[3], e]);
@@ -163,8 +157,7 @@ pub fn attention_mask(dims: Win4, win: Win4, shifted: bool) -> Tensor {
                         for i1 in 0..win[1] {
                             for i2 in 0..win[2] {
                                 for i3 in 0..win[3] {
-                                    let lab = ((l0[b0 * win[0] + i0] * 3
-                                        + l1[b1 * win[1] + i1])
+                                    let lab = ((l0[b0 * win[0] + i0] * 3 + l1[b1 * win[1] + i1])
                                         * 3
                                         + l2[b2 * win[2] + i2])
                                         * 3
@@ -215,10 +208,7 @@ mod tests {
         let mut g = Graph::inference();
         let x = g.constant(x0.clone());
         let w = window_partition(&mut g, x, dims, win);
-        assert_eq!(
-            g.value(w).shape(),
-            &[2 * window_count(dims, win), 16, 3]
-        );
+        assert_eq!(g.value(w).shape(), &[2 * window_count(dims, win), 16, 3]);
         let back = window_reverse(&mut g, w, 2, dims, win);
         assert_eq!(g.value(back).as_slice(), x0.as_slice());
     }

@@ -52,7 +52,12 @@ impl GradBuf {
         }
         let slot = &mut self.grads[v.idx()];
         *slot = Some(match slot.take() {
-            Some(prev) => prev.add(&g),
+            Some(mut prev) => {
+                // In-place accumulate through the backend — the gradient
+                // hot path allocates nothing when `prev` owns its buffer.
+                prev.add_assign(&g);
+                prev
+            }
             None => g,
         });
     }
@@ -215,11 +220,7 @@ impl Graph {
     /// Reverse sweep with an explicit output gradient.
     pub fn backward_seeded(&mut self, out: Var, seed: Tensor) -> GradBuf {
         assert!(self.recording, "backward on a non-recording graph");
-        assert_eq!(
-            self.value(out).shape(),
-            seed.shape(),
-            "seed shape mismatch"
-        );
+        assert_eq!(self.value(out).shape(), seed.shape(), "seed shape mismatch");
         let enabled: Vec<bool> = self.nodes.iter().map(|n| n.back.is_some()).collect();
         let mut buf = GradBuf::new(enabled);
         buf.accum(out, seed);
@@ -293,7 +294,10 @@ impl Param {
             inner.name
         );
         inner.grad = Some(match inner.grad.take() {
-            Some(prev) => prev.add(g),
+            Some(mut prev) => {
+                prev.add_assign(g);
+                prev
+            }
             None => g.clone(),
         });
     }

@@ -6,6 +6,7 @@
 //! [`Tensor::sum_to`], the adjoint of broadcasting.
 
 use super::{Graph, Var};
+use crate::backend::{self, AttentionSpec, UnaryOp};
 use crate::tensor::ops::{gelu_grad_scalar, gelu_scalar};
 use crate::tensor::Tensor;
 
@@ -100,10 +101,7 @@ impl Graph {
     /// Multiply by a scalar constant.
     pub fn scale(&mut self, a: Var, c: f32) -> Var {
         let out = self.value(a).scale(c);
-        self.push(
-            out,
-            Some(Box::new(move |g, buf| buf.accum(a, g.scale(c)))),
-        )
+        self.push(out, Some(Box::new(move |g, buf| buf.accum(a, g.scale(c)))))
     }
 
     /// Add a scalar constant.
@@ -148,10 +146,7 @@ impl Graph {
     pub fn exp(&mut self, a: Var) -> Var {
         let out = self.value(a).exp();
         let y = out.clone();
-        self.push(
-            out,
-            Some(Box::new(move |g, buf| buf.accum(a, g.mul(&y)))),
-        )
+        self.push(out, Some(Box::new(move |g, buf| buf.accum(a, g.mul(&y)))))
     }
 
     /// Elementwise tanh.
@@ -358,9 +353,142 @@ impl Graph {
 
     // ------------------------------------------------------------- composites
 
+    /// Fused linear layer `x @ w + bias` — forward goes through the
+    /// backend's bias-seeded matmul kernel (one pass, no separate
+    /// broadcast-add); backward shares the standard matmul adjoints.
+    ///
+    /// `x`: `(rows, in)`, `w`: `(in, out)`, `bias`: `(out)`.
+    pub fn linear(&mut self, x: Var, w: Var, bias: Option<Var>) -> Var {
+        let Some(bvar) = bias else {
+            return self.matmul(x, w);
+        };
+        let vx = self.value(x).clone();
+        let vw = self.value(w).clone();
+        let vb = self.value(bvar).clone();
+        let out = vx.matmul_bias(&vw, &vb);
+        let (sx, sw, sb) = (
+            vx.shape().to_vec(),
+            vw.shape().to_vec(),
+            vb.shape().to_vec(),
+        );
+        self.push(
+            out,
+            Some(Box::new(move |g, buf| {
+                // dX = g @ Wᵀ, dW = Xᵀ @ g, dB = Σ_rows g.
+                buf.accum(x, g.matmul(&vw.transpose_last()).sum_to(&sx));
+                buf.accum(w, vx.transpose_last().matmul(g).sum_to(&sw));
+                buf.accum(bvar, g.sum_to(&sb));
+            })),
+        )
+    }
+
+    /// Linear layer with a fused activation. In inference graphs the
+    /// activation runs in place on the matmul output (zero extra
+    /// allocations); recording graphs fall back to the differentiable
+    /// composite. Only `Gelu`/`Relu`/`Tanh`/`Exp` are accepted — checked
+    /// in both modes, so a call that works in inference cannot start
+    /// panicking the first time it runs on a recording graph.
+    pub fn linear_act(&mut self, x: Var, w: Var, bias: Option<Var>, act: UnaryOp) -> Var {
+        assert!(
+            matches!(
+                act,
+                UnaryOp::Gelu | UnaryOp::Relu | UnaryOp::Tanh | UnaryOp::Exp
+            ),
+            "linear_act: unsupported differentiable activation {act:?}"
+        );
+        if !self.is_recording() {
+            // Build the matmul output off-tape so the activation mutates a
+            // uniquely-owned buffer — one kernel pass, zero extra copies.
+            let mut t = match bias {
+                Some(bvar) => self.value(x).matmul_bias(self.value(w), self.value(bvar)),
+                None => self.value(x).matmul(self.value(w)),
+            };
+            t.unary_op_inplace(act);
+            return self.push(t, None);
+        }
+        let y = self.linear(x, w, bias);
+        match act {
+            UnaryOp::Gelu => self.gelu(y),
+            UnaryOp::Relu => self.relu(y),
+            UnaryOp::Tanh => self.tanh(y),
+            UnaryOp::Exp => self.exp(y),
+            _ => unreachable!("validated above"),
+        }
+    }
+
+    /// Multi-head attention core: `softmax(q·kᵀ·scale + mask) @ v`.
+    ///
+    /// `q`, `k`, `v`: `(B, H, N, hd)`; `mask`: `(num_windows, N, N)`
+    /// additive, with `B` a multiple of `num_windows` (Swin layout).
+    ///
+    /// Inference graphs run the backend's fused kernel — the `(B, H, N, N)`
+    /// score tensor is never materialized. Recording graphs decompose into
+    /// matmul/softmax nodes (whose kernels are the same backend's), keeping
+    /// the probabilities on the tape for backward.
+    pub fn attention(&mut self, q: Var, k: Var, v: Var, mask: Option<&Tensor>, scale: f32) -> Var {
+        let shape = self.value(q).shape().to_vec();
+        assert_eq!(shape.len(), 4, "attention expects (B, H, N, hd) operands");
+        let (b, h, n, hd) = (shape[0], shape[1], shape[2], shape[3]);
+        assert_eq!(self.value(k).shape(), &shape[..], "q/k shape mismatch");
+        assert_eq!(self.value(v).shape(), &shape[..], "q/v shape mismatch");
+        let nw = mask.map_or(1, |m| {
+            assert_eq!(m.ndim(), 3, "mask must be (num_windows, N, N)");
+            let nw = m.shape()[0];
+            assert_eq!(m.shape(), &[nw, n, n], "mask must be (num_windows, N, N)");
+            assert_eq!(b % nw, 0, "batch {b} not a multiple of num_windows {nw}");
+            nw
+        });
+
+        if !self.is_recording() {
+            let spec = AttentionSpec {
+                batch: b * h,
+                heads: h,
+                n,
+                d: hd,
+                scale,
+                mask: mask.map(|m| m.as_slice()),
+                mask_windows: nw,
+            };
+            let mut out = vec![0.0f32; b * h * n * hd];
+            backend::current().attention(
+                self.value(q).as_slice(),
+                self.value(k).as_slice(),
+                self.value(v).as_slice(),
+                &mut out,
+                &spec,
+            );
+            return self.push(Tensor::from_vec(out, &shape), None);
+        }
+
+        let kt = self.permute(k, &[0, 1, 3, 2]); // (B, H, hd, N)
+        let scores = self.matmul(q, kt); // (B, H, N, N)
+        let mut scores = self.scale(scores, scale);
+        if let Some(m) = mask {
+            let batch = b / nw;
+            // (B,H,N,N) -> (batch, nW, H, N, N) + (1, nW, 1, N, N)
+            let s5 = self.reshape(scores, &[batch, nw, h, n, n]);
+            let m5 = self.constant(m.reshaped(&[1, nw, 1, n, n]));
+            let s5 = self.add(s5, m5);
+            scores = self.reshape(s5, &[b, h, n, n]);
+        }
+        let attn = self.softmax_last(scores);
+        self.matmul(attn, v)
+    }
+
     /// Layer normalization over the last axis (no affine; compose with
     /// `mul`/`add` for gamma/beta).
+    ///
+    /// Inference graphs use the backend's fused row kernel; recording
+    /// graphs build the differentiable composite.
     pub fn layer_norm(&mut self, x: Var, eps: f32) -> Var {
+        if !self.is_recording() {
+            let vx = self.value(x);
+            let row = *vx.shape().last().expect("layer_norm needs ndim >= 1");
+            let mut out = vec![0.0f32; vx.numel()];
+            backend::current().layernorm_rows(vx.as_slice(), &mut out, row, eps);
+            let shape = vx.shape().to_vec();
+            return self.push(Tensor::from_vec(out, &shape), None);
+        }
         let last = self.value(x).ndim() - 1;
         let mu = self.mean_axes_keepdims(x, &[last]);
         let centered = self.sub(x, mu);
@@ -438,7 +566,9 @@ mod tests {
 
     fn test_input(n: usize) -> Tensor {
         Tensor::from_vec(
-            (0..n).map(|i| ((i * 7 % 11) as f32 - 5.0) * 0.31 + 0.05).collect(),
+            (0..n)
+                .map(|i| ((i * 7 % 11) as f32 - 5.0) * 0.31 + 0.05)
+                .collect(),
             &[n],
         )
     }

@@ -1,0 +1,668 @@
+//! `Blocked`: the default fast backend.
+//!
+//! - **matmul** — GEBP-style: the B operand is packed into `NR`-wide column
+//!   panels per `KC`-deep K-block, A into `MR`-tall row strips, and an
+//!   `MR×NR` register-tile microkernel runs over the packed panels. Batches
+//!   and row blocks parallelize over rayon.
+//! - **attention** — fused `softmax(Q·Kᵀ·scale + mask)·V`: query rows are
+//!   processed in blocks of [`QB`] so each K/V row streams from cache once
+//!   per block, and the `(n, n)` score matrix is never materialized.
+//! - **elementwise / reductions / softmax** — rayon-parallel above the
+//!   runtime-tunable [`Blocked::par_threshold`] element count, with
+//!   in-place variants that skip the output allocation entirely.
+
+use rayon::prelude::*;
+
+use super::{AttentionSpec, Backend, BinaryOp, MatmulSpec, UnaryOp};
+
+/// Default parallelism threshold (elements) — overridable per instance and
+/// via `COASTAL_PAR_THRESHOLD`.
+pub const DEFAULT_PAR_THRESHOLD: usize = 32 * 1024;
+
+/// Microkernel tile: MR rows of A × NR columns of B held in registers.
+const MR: usize = 4;
+const NR: usize = 16;
+/// K-blocking depth: one packed B panel spans `KC × NR` floats (16 KiB at
+/// 256×16), sized to stay L1/L2-resident under streaming.
+const KC: usize = 256;
+/// Query-row block of the fused attention kernel.
+const QB: usize = 8;
+/// Serial cutoff: problems under this many flops aren't worth fan-out.
+const MIN_PAR_FLOPS: usize = 64 * 1024;
+
+#[derive(Debug, Clone)]
+pub struct Blocked {
+    par_threshold: usize,
+}
+
+impl Default for Blocked {
+    fn default() -> Self {
+        Self {
+            par_threshold: DEFAULT_PAR_THRESHOLD,
+        }
+    }
+}
+
+impl Blocked {
+    /// Backend with an explicit parallelism threshold (elements).
+    pub fn new(par_threshold: usize) -> Self {
+        Self {
+            par_threshold: par_threshold.max(1),
+        }
+    }
+
+    /// Default threshold unless `COASTAL_PAR_THRESHOLD` overrides it.
+    pub fn from_env() -> Self {
+        let t = std::env::var("COASTAL_PAR_THRESHOLD")
+            .ok()
+            .and_then(|s| s.parse::<usize>().ok())
+            .filter(|&n| n > 0)
+            .unwrap_or(DEFAULT_PAR_THRESHOLD);
+        Self::new(t)
+    }
+
+    #[inline]
+    fn parallel(&self, n: usize) -> bool {
+        n >= self.par_threshold && rayon::current_num_threads() > 1
+    }
+
+    fn run_unary(&self, x: &[f32], out: &mut [f32], f: impl Fn(f32) -> f32 + Sync + Send) {
+        if self.parallel(out.len()) {
+            out.par_iter_mut()
+                .zip(x.par_iter())
+                .for_each(|(o, &v)| *o = f(v));
+        } else {
+            for (o, &v) in out.iter_mut().zip(x) {
+                *o = f(v);
+            }
+        }
+    }
+
+    fn run_unary_inplace(&self, x: &mut [f32], f: impl Fn(f32) -> f32 + Sync + Send) {
+        if self.parallel(x.len()) {
+            x.par_iter_mut().for_each(|v| *v = f(*v));
+        } else {
+            for v in x.iter_mut() {
+                *v = f(*v);
+            }
+        }
+    }
+
+    fn run_binary(
+        &self,
+        a: &[f32],
+        b: &[f32],
+        out: &mut [f32],
+        f: impl Fn(f32, f32) -> f32 + Sync + Send,
+    ) {
+        if self.parallel(out.len()) {
+            out.par_iter_mut()
+                .zip(a.par_iter().zip(b.par_iter()))
+                .for_each(|(o, (&x, &y))| *o = f(x, y));
+        } else {
+            for ((o, &x), &y) in out.iter_mut().zip(a).zip(b) {
+                *o = f(x, y);
+            }
+        }
+    }
+
+    fn run_binary_inplace(
+        &self,
+        acc: &mut [f32],
+        b: &[f32],
+        f: impl Fn(f32, f32) -> f32 + Sync + Send,
+    ) {
+        if self.parallel(acc.len()) {
+            acc.par_iter_mut()
+                .zip(b.par_iter())
+                .for_each(|(x, &y)| *x = f(*x, y));
+        } else {
+            for (x, &y) in acc.iter_mut().zip(b) {
+                *x = f(*x, y);
+            }
+        }
+    }
+}
+
+impl Backend for Blocked {
+    fn name(&self) -> &'static str {
+        "blocked"
+    }
+
+    fn par_threshold(&self) -> usize {
+        self.par_threshold
+    }
+
+    fn unary(&self, op: UnaryOp, x: &[f32], out: &mut [f32]) {
+        match op {
+            UnaryOp::Scale(c) => self.run_unary(x, out, move |v| v * c),
+            UnaryOp::AddScalar(c) => self.run_unary(x, out, move |v| v + c),
+            _ => self.run_unary(x, out, move |v| op.apply(v)),
+        }
+    }
+
+    fn unary_inplace(&self, op: UnaryOp, x: &mut [f32]) {
+        match op {
+            UnaryOp::Scale(c) => self.run_unary_inplace(x, move |v| v * c),
+            UnaryOp::AddScalar(c) => self.run_unary_inplace(x, move |v| v + c),
+            _ => self.run_unary_inplace(x, move |v| op.apply(v)),
+        }
+    }
+
+    fn binary(&self, op: BinaryOp, a: &[f32], b: &[f32], out: &mut [f32]) {
+        match op {
+            BinaryOp::Add => self.run_binary(a, b, out, |x, y| x + y),
+            BinaryOp::Sub => self.run_binary(a, b, out, |x, y| x - y),
+            BinaryOp::Mul => self.run_binary(a, b, out, |x, y| x * y),
+            BinaryOp::Div => self.run_binary(a, b, out, |x, y| x / y),
+        }
+    }
+
+    fn binary_inplace(&self, op: BinaryOp, acc: &mut [f32], b: &[f32]) {
+        match op {
+            BinaryOp::Add => self.run_binary_inplace(acc, b, |x, y| x + y),
+            BinaryOp::Sub => self.run_binary_inplace(acc, b, |x, y| x - y),
+            BinaryOp::Mul => self.run_binary_inplace(acc, b, |x, y| x * y),
+            BinaryOp::Div => self.run_binary_inplace(acc, b, |x, y| x / y),
+        }
+    }
+
+    fn binary_strided(
+        &self,
+        op: BinaryOp,
+        a: &[f32],
+        sa: &[usize],
+        b: &[f32],
+        sb: &[usize],
+        out_shape: &[usize],
+        out: &mut [f32],
+    ) {
+        let nd = out_shape.len();
+        let n = out.len();
+        // Odometer walk with incrementally-maintained operand offsets — one
+        // add per dimension step instead of a full unravel per element.
+        let compute = |start: usize, chunk: &mut [f32]| {
+            let mut idx = vec![0usize; nd];
+            crate::shape::unravel(start, out_shape, &mut idx);
+            let mut off_a: usize = idx.iter().zip(sa).map(|(&i, &s)| i * s).sum();
+            let mut off_b: usize = idx.iter().zip(sb).map(|(&i, &s)| i * s).sum();
+            for o in chunk.iter_mut() {
+                *o = op.apply(a[off_a], b[off_b]);
+                for d in (0..nd).rev() {
+                    idx[d] += 1;
+                    off_a += sa[d];
+                    off_b += sb[d];
+                    if idx[d] < out_shape[d] {
+                        break;
+                    }
+                    off_a -= sa[d] * out_shape[d];
+                    off_b -= sb[d] * out_shape[d];
+                    idx[d] = 0;
+                }
+            }
+        };
+        if self.parallel(n) {
+            let chunk = n
+                .div_ceil(rayon::current_num_threads().max(1) * 4)
+                .max(1024);
+            out.par_chunks_mut(chunk)
+                .enumerate()
+                .for_each(|(ci, c)| compute(ci * chunk, c));
+        } else {
+            compute(0, out);
+        }
+    }
+
+    fn sum(&self, x: &[f32]) -> f64 {
+        if self.parallel(x.len()) {
+            x.par_chunks(4096)
+                .map(|c| c.iter().map(|&v| v as f64).sum::<f64>())
+                .sum()
+        } else {
+            x.iter().map(|&v| v as f64).sum()
+        }
+    }
+
+    fn softmax_rows(&self, x: &[f32], out: &mut [f32], row: usize) {
+        if row == 0 {
+            return;
+        }
+        let body = |xr: &[f32], or: &mut [f32]| {
+            let m = xr.iter().copied().fold(f32::NEG_INFINITY, f32::max);
+            let mut denom = 0.0f32;
+            for (o, &v) in or.iter_mut().zip(xr) {
+                let e = (v - m).exp();
+                *o = e;
+                denom += e;
+            }
+            let inv = 1.0 / denom;
+            for o in or.iter_mut() {
+                *o *= inv;
+            }
+        };
+        if self.parallel(x.len()) && x.len() > row {
+            out.par_chunks_mut(row)
+                .zip(x.par_chunks(row))
+                .for_each(|(or, xr)| body(xr, or));
+        } else {
+            for (xr, or) in x.chunks(row).zip(out.chunks_mut(row)) {
+                body(xr, or);
+            }
+        }
+    }
+
+    fn layernorm_rows(&self, x: &[f32], out: &mut [f32], row: usize, eps: f32) {
+        if row == 0 {
+            return;
+        }
+        let body = |xr: &[f32], or: &mut [f32]| {
+            let mean = xr.iter().sum::<f32>() / row as f32;
+            let var = xr.iter().map(|&v| (v - mean) * (v - mean)).sum::<f32>() / row as f32;
+            let inv = 1.0 / (var + eps).sqrt();
+            for (o, &v) in or.iter_mut().zip(xr) {
+                *o = (v - mean) * inv;
+            }
+        };
+        if self.parallel(x.len()) && x.len() > row {
+            out.par_chunks_mut(row)
+                .zip(x.par_chunks(row))
+                .for_each(|(or, xr)| body(xr, or));
+        } else {
+            for (xr, or) in x.chunks(row).zip(out.chunks_mut(row)) {
+                body(xr, or);
+            }
+        }
+    }
+
+    fn matmul(&self, a: &[f32], b: &[f32], out: &mut [f32], spec: &MatmulSpec) {
+        let (m, k, n) = (spec.m, spec.k, spec.n);
+        let n_batch = spec.batch_offsets.len();
+        let o_mat = m * n;
+        if o_mat == 0 || n_batch == 0 {
+            return; // degenerate output; chunks_mut(0) below would panic
+        }
+        let flops = 2 * n_batch * m * n * k;
+        let threads = rayon::current_num_threads();
+
+        if flops < MIN_PAR_FLOPS || threads <= 1 {
+            for (bi, o) in out.chunks_mut(o_mat).enumerate() {
+                let (ao, bo) = spec.batch_offsets[bi];
+                gebp(
+                    &a[ao * m * k..(ao + 1) * m * k],
+                    &b[bo * k * n..(bo + 1) * k * n],
+                    o,
+                    m,
+                    k,
+                    n,
+                    spec.bias,
+                );
+            }
+        } else if n_batch >= threads {
+            // Many batches: one task per output matrix.
+            out.par_chunks_mut(o_mat).enumerate().for_each(|(bi, o)| {
+                let (ao, bo) = spec.batch_offsets[bi];
+                gebp(
+                    &a[ao * m * k..(ao + 1) * m * k],
+                    &b[bo * k * n..(bo + 1) * k * n],
+                    o,
+                    m,
+                    k,
+                    n,
+                    spec.bias,
+                );
+            });
+        } else {
+            // Few batches: split row blocks within each matrix. Row blocks
+            // are MR-aligned so no two tasks share a microkernel tile.
+            let rows_per_task = m.div_ceil(threads.div_ceil(n_batch)).div_ceil(MR).max(1) * MR;
+            let tasks: Vec<(usize, usize, usize)> = (0..n_batch)
+                .flat_map(|bi| {
+                    (0..m)
+                        .step_by(rows_per_task)
+                        .map(move |r0| (bi, r0, (r0 + rows_per_task).min(m)))
+                })
+                .collect();
+            // Hand each task its disjoint slice of `out`.
+            type RowTask<'a> = (&'a mut [f32], (usize, usize, usize));
+            let mut slices: Vec<RowTask<'_>> = Vec::with_capacity(tasks.len());
+            {
+                let mut rest = out;
+                let mut prev_end = 0usize;
+                for &(bi, r0, r1) in &tasks {
+                    let start = bi * o_mat + r0 * n;
+                    let end = bi * o_mat + r1 * n;
+                    let (_, tail) = rest.split_at_mut(start - prev_end);
+                    let (mine, tail) = tail.split_at_mut(end - start);
+                    rest = tail;
+                    prev_end = end;
+                    slices.push((mine, (bi, r0, r1)));
+                }
+            }
+            slices.par_iter_mut().for_each(|(o, (bi, r0, r1))| {
+                let (ao, bo) = spec.batch_offsets[*bi];
+                let a_mat = &a[ao * m * k..(ao + 1) * m * k];
+                gebp(
+                    &a_mat[*r0 * k..*r1 * k],
+                    &b[bo * k * n..(bo + 1) * k * n],
+                    o,
+                    *r1 - *r0,
+                    k,
+                    n,
+                    spec.bias,
+                );
+            });
+        }
+    }
+
+    fn attention(&self, q: &[f32], k: &[f32], v: &[f32], out: &mut [f32], spec: &AttentionSpec) {
+        let (n, d) = (spec.n, spec.d);
+        let mat = n * d;
+        if mat == 0 || spec.batch == 0 {
+            return;
+        }
+        let flops = 4 * spec.batch * n * n * d;
+        if flops >= MIN_PAR_FLOPS && rayon::current_num_threads() > 1 && spec.batch > 1 {
+            out.par_chunks_mut(mat).enumerate().for_each(|(bh, om)| {
+                attention_one(
+                    &q[bh * mat..(bh + 1) * mat],
+                    &k[bh * mat..(bh + 1) * mat],
+                    &v[bh * mat..(bh + 1) * mat],
+                    om,
+                    bh,
+                    spec,
+                );
+            });
+        } else {
+            for (bh, om) in out.chunks_mut(mat).enumerate() {
+                attention_one(
+                    &q[bh * mat..(bh + 1) * mat],
+                    &k[bh * mat..(bh + 1) * mat],
+                    &v[bh * mat..(bh + 1) * mat],
+                    om,
+                    bh,
+                    spec,
+                );
+            }
+        }
+    }
+}
+
+/// Fused attention for one `(n, d)` head: blocked two-pass streaming of K
+/// then V per [`QB`]-row query block; scores live in a `QB×n` scratch.
+fn attention_one(
+    qm: &[f32],
+    km: &[f32],
+    vm: &[f32],
+    om: &mut [f32],
+    bh: usize,
+    spec: &AttentionSpec,
+) {
+    let (n, d) = (spec.n, spec.d);
+    let mut scores = vec![0.0f32; QB * n];
+    for i0 in (0..n).step_by(QB) {
+        let ib = (n - i0).min(QB);
+        // Pass 1: scores = Q_block · Kᵀ · scale + mask. Each K row is
+        // loaded once and dotted against every query row of the block.
+        for j in 0..n {
+            let k_row = &km[j * d..(j + 1) * d];
+            for r in 0..ib {
+                let q_row = &qm[(i0 + r) * d..(i0 + r + 1) * d];
+                let mut acc = 0.0f32;
+                for c in 0..d {
+                    acc += q_row[c] * k_row[c];
+                }
+                scores[r * n + j] = acc * spec.scale;
+            }
+        }
+        // Softmax per query row (with the additive mask).
+        for r in 0..ib {
+            let row = &mut scores[r * n..(r + 1) * n];
+            if let Some(mr) = spec.mask_row(bh, i0 + r) {
+                for (s, &mv) in row.iter_mut().zip(mr) {
+                    *s += mv;
+                }
+            }
+            let mx = row.iter().copied().fold(f32::NEG_INFINITY, f32::max);
+            let mut denom = 0.0f32;
+            for s in row.iter_mut() {
+                *s = (*s - mx).exp();
+                denom += *s;
+            }
+            let inv = 1.0 / denom;
+            for s in row.iter_mut() {
+                *s *= inv;
+            }
+        }
+        // Pass 2: out_block = P · V. Each V row is loaded once and
+        // accumulated into every output row of the block.
+        for r in 0..ib {
+            om[(i0 + r) * d..(i0 + r + 1) * d].fill(0.0);
+        }
+        for j in 0..n {
+            let v_row = &vm[j * d..(j + 1) * d];
+            for r in 0..ib {
+                let w = scores[r * n + j];
+                let o_row = &mut om[(i0 + r) * d..(i0 + r + 1) * d];
+                for c in 0..d {
+                    o_row[c] += w * v_row[c];
+                }
+            }
+        }
+    }
+}
+
+/// Single-matrix GEBP: C (m×n, pre-zeroed or bias-seeded) += A (m×k) · B (k×n).
+fn gebp(a: &[f32], b: &[f32], c: &mut [f32], m: usize, k: usize, n: usize, bias: Option<&[f32]>) {
+    // Seed the output rows.
+    if let Some(bias) = bias {
+        for row in c.chunks_mut(n) {
+            row.copy_from_slice(bias);
+        }
+    }
+    let panels = n.div_ceil(NR);
+    let mut bpack = vec![0.0f32; panels * KC * NR];
+    let mut apack = [0.0f32; MR * KC];
+    for kc0 in (0..k).step_by(KC) {
+        let kc = (k - kc0).min(KC);
+        // Pack B[kc0..kc0+kc, :] into NR-wide panels: panel p holds columns
+        // [p·NR, p·NR+NR), laid out kk-major so the microkernel streams it
+        // linearly. Ragged right edge is zero-padded.
+        for p in 0..panels {
+            let j0 = p * NR;
+            let jw = (n - j0).min(NR);
+            let dst = &mut bpack[p * KC * NR..p * KC * NR + kc * NR];
+            for kk in 0..kc {
+                let src = &b[(kc0 + kk) * n + j0..(kc0 + kk) * n + j0 + jw];
+                let d = &mut dst[kk * NR..kk * NR + NR];
+                d[..jw].copy_from_slice(src);
+                d[jw..].fill(0.0);
+            }
+        }
+        for i0 in (0..m).step_by(MR) {
+            let mi = (m - i0).min(MR);
+            // Pack the A strip kk-major (zero-padding short strips).
+            for kk in 0..kc {
+                for r in 0..MR {
+                    apack[kk * MR + r] = if r < mi {
+                        a[(i0 + r) * k + kc0 + kk]
+                    } else {
+                        0.0
+                    };
+                }
+            }
+            for p in 0..panels {
+                let j0 = p * NR;
+                let jw = (n - j0).min(NR);
+                // MR×NR register tile.
+                let mut acc = [[0.0f32; NR]; MR];
+                let panel = &bpack[p * KC * NR..];
+                for kk in 0..kc {
+                    let brow = &panel[kk * NR..kk * NR + NR];
+                    for r in 0..MR {
+                        let av = apack[kk * MR + r];
+                        let arow = &mut acc[r];
+                        for cix in 0..NR {
+                            arow[cix] += av * brow[cix];
+                        }
+                    }
+                }
+                for r in 0..mi {
+                    let crow = &mut c[(i0 + r) * n + j0..(i0 + r) * n + j0 + jw];
+                    for (co, &av) in crow.iter_mut().zip(&acc[r][..jw]) {
+                        *co += av;
+                    }
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::super::ScalarRef;
+    use super::*;
+
+    fn fill(n: usize, f: impl Fn(usize) -> f32) -> Vec<f32> {
+        (0..n).map(f).collect()
+    }
+
+    #[test]
+    fn gebp_matches_reference_odd_sizes() {
+        for &(m, k, n) in &[
+            (1usize, 1usize, 1usize),
+            (3, 5, 7),
+            (17, 33, 19),
+            (64, 70, 48),
+        ] {
+            let a = fill(m * k, |i| ((i * 7 % 13) as f32) - 6.0);
+            let b = fill(k * n, |i| ((i * 5 % 11) as f32) * 0.25 - 1.0);
+            let spec = MatmulSpec {
+                m,
+                k,
+                n,
+                batch_offsets: &[(0, 0)],
+                bias: None,
+            };
+            let mut fast = vec![0.0f32; m * n];
+            Blocked::default().matmul(&a, &b, &mut fast, &spec);
+            let mut slow = vec![0.0f32; m * n];
+            ScalarRef.matmul(&a, &b, &mut slow, &spec);
+            for (x, y) in fast.iter().zip(&slow) {
+                assert!((x - y).abs() < 1e-3, "{m}x{k}x{n}: {x} vs {y}");
+            }
+        }
+    }
+
+    #[test]
+    fn matmul_bias_seeds_rows() {
+        let (m, k, n) = (5, 4, 6);
+        let a = fill(m * k, |i| i as f32 * 0.1);
+        let b = fill(k * n, |i| 1.0 - i as f32 * 0.05);
+        let bias = fill(n, |i| 100.0 + i as f32);
+        let spec = MatmulSpec {
+            m,
+            k,
+            n,
+            batch_offsets: &[(0, 0)],
+            bias: Some(&bias),
+        };
+        let mut fast = vec![0.0f32; m * n];
+        Blocked::default().matmul(&a, &b, &mut fast, &spec);
+        let mut slow = vec![0.0f32; m * n];
+        ScalarRef.matmul(&a, &b, &mut slow, &spec);
+        for (x, y) in fast.iter().zip(&slow) {
+            assert!((x - y).abs() < 1e-3);
+        }
+    }
+
+    #[test]
+    fn parallel_row_split_matches_reference() {
+        // Few batches + many rows exercises the row-splitting branch.
+        let (m, k, n) = (133, 40, 37);
+        let a = fill(2 * m * k, |i| ((i % 17) as f32 - 8.0) * 0.3);
+        let b = fill(2 * k * n, |i| ((i % 7) as f32 - 3.0) * 0.5);
+        let spec = MatmulSpec {
+            m,
+            k,
+            n,
+            batch_offsets: &[(0, 0), (1, 1)],
+            bias: None,
+        };
+        let mut fast = vec![0.0f32; 2 * m * n];
+        Blocked::default().matmul(&a, &b, &mut fast, &spec);
+        let mut slow = vec![0.0f32; 2 * m * n];
+        ScalarRef.matmul(&a, &b, &mut slow, &spec);
+        for (x, y) in fast.iter().zip(&slow) {
+            assert!((x - y).abs() < 2e-2, "{x} vs {y}");
+        }
+    }
+
+    #[test]
+    fn fused_attention_matches_reference_with_mask() {
+        let (batch, heads, n, d) = (4, 2, 10, 8);
+        let q = fill(batch * n * d, |i| ((i * 3 % 23) as f32 - 11.0) * 0.1);
+        let k = fill(batch * n * d, |i| ((i * 5 % 19) as f32 - 9.0) * 0.1);
+        let v = fill(batch * n * d, |i| ((i * 7 % 29) as f32 - 14.0) * 0.1);
+        let nw = 2;
+        let mask = fill(nw * n * n, |i| if i % 13 == 0 { -1e9 } else { 0.0 });
+        let spec = AttentionSpec {
+            batch,
+            heads,
+            n,
+            d,
+            scale: 1.0 / (d as f32).sqrt(),
+            mask: Some(&mask),
+            mask_windows: nw,
+        };
+        let mut fast = vec![0.0f32; batch * n * d];
+        Blocked::default().attention(&q, &k, &v, &mut fast, &spec);
+        let mut slow = vec![0.0f32; batch * n * d];
+        ScalarRef.attention(&q, &k, &v, &mut slow, &spec);
+        for (x, y) in fast.iter().zip(&slow) {
+            assert!((x - y).abs() < 1e-4, "{x} vs {y}");
+        }
+    }
+
+    #[test]
+    fn zero_sized_matmul_and_attention_are_noops() {
+        // m==0 / n==0 outputs must not panic (chunks_mut(0)) on any path.
+        for &(m, k, n) in &[(0usize, 3usize, 4usize), (4, 3, 0), (0, 0, 0), (2, 0, 3)] {
+            let a = vec![0.0f32; m * k];
+            let b = vec![0.0f32; k * n];
+            let spec = MatmulSpec {
+                m,
+                k,
+                n,
+                batch_offsets: &[(0, 0)],
+                bias: None,
+            };
+            // Per the trait contract `out` is pre-zeroed.
+            let mut out = vec![0.0f32; m * n];
+            Blocked::default().matmul(&a, &b, &mut out, &spec);
+            let mut slow = vec![0.0f32; m * n];
+            ScalarRef.matmul(&a, &b, &mut slow, &spec);
+            assert_eq!(out, slow, "{m}x{k}x{n}");
+        }
+        let spec = AttentionSpec {
+            batch: 2,
+            heads: 1,
+            n: 0,
+            d: 4,
+            scale: 1.0,
+            mask: None,
+            mask_windows: 1,
+        };
+        let mut out: Vec<f32> = vec![];
+        Blocked::default().attention(&[], &[], &[], &mut out, &spec);
+        ScalarRef.attention(&[], &[], &[], &mut out, &spec);
+        let mut empty: Vec<f32> = vec![];
+        Blocked::default().softmax_rows(&[], &mut empty, 0);
+        ScalarRef.softmax_rows(&[], &mut empty, 0);
+    }
+
+    #[test]
+    fn env_threshold_constructor() {
+        let b = Blocked::new(7);
+        assert_eq!(b.par_threshold(), 7);
+    }
+}

@@ -1,0 +1,423 @@
+//! Pluggable compute backends for the tensor kernel layer.
+//!
+//! Every hot kernel of the crate — elementwise chains, reductions, softmax,
+//! batched matmul, and the attention score-softmax-value composite — is
+//! expressed against the [`Backend`] trait, with two implementations:
+//!
+//! - [`ScalarRef`]: simple, obviously-correct serial loops. The correctness
+//!   oracle that property tests compare against, and a debugging fallback.
+//! - [`Blocked`] (the default): rayon-parallel, cache-blocked and
+//!   panel-packed matmul, fused attention, and in-place elementwise
+//!   variants that avoid the one-allocation-per-op pattern.
+//!
+//! Dispatch happens once per kernel call (an `Arc<dyn Backend>` virtual
+//! call), never per element. Selection is layered:
+//!
+//! 1. a thread-local scope stack ([`scoped`]) — used by models/trainers to
+//!    pin a backend for one forward/backward pass;
+//! 2. the process-wide default ([`set_global`]);
+//! 3. the environment: `COASTAL_BACKEND=scalar|blocked` (default `blocked`),
+//!    with `COASTAL_PAR_THRESHOLD=<elems>` tuning when [`Blocked`] kernels
+//!    go parallel.
+
+mod blocked;
+mod scalar;
+
+pub use blocked::Blocked;
+pub use scalar::ScalarRef;
+
+use std::cell::RefCell;
+use std::fmt;
+use std::sync::{Arc, OnceLock, RwLock};
+
+// ----------------------------------------------------------------- errors
+
+/// Typed shape mismatch, surfaced instead of a panic so callers (e.g. the
+/// pipeline) can report bad batch shapes.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ShapeError {
+    /// Elementwise broadcast failure.
+    Broadcast { lhs: Vec<usize>, rhs: Vec<usize> },
+    /// Contracted dimensions disagree: `(..., m, k) @ (..., k', n)`.
+    MatmulInner { lhs: Vec<usize>, rhs: Vec<usize> },
+    /// Leading (batch) dims of a matmul don't broadcast.
+    MatmulBatch { lhs: Vec<usize>, rhs: Vec<usize> },
+    /// Operand rank too small for the operation.
+    Rank {
+        op: &'static str,
+        shape: Vec<usize>,
+        min_ndim: usize,
+    },
+}
+
+impl fmt::Display for ShapeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ShapeError::Broadcast { lhs, rhs } => {
+                write!(f, "broadcast {lhs:?} vs {rhs:?}")
+            }
+            ShapeError::MatmulInner { lhs, rhs } => {
+                write!(f, "matmul inner dim mismatch: {lhs:?} @ {rhs:?}")
+            }
+            ShapeError::MatmulBatch { lhs, rhs } => {
+                write!(f, "matmul batch broadcast {lhs:?} vs {rhs:?}")
+            }
+            ShapeError::Rank {
+                op,
+                shape,
+                min_ndim,
+            } => {
+                write!(f, "{op} needs ndim >= {min_ndim}, got {shape:?}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ShapeError {}
+
+// -------------------------------------------------------------- op enums
+
+/// Named elementwise unary kernels (dispatch once, not per element).
+#[derive(Copy, Clone, Debug, PartialEq)]
+pub enum UnaryOp {
+    Neg,
+    Abs,
+    Square,
+    Sqrt,
+    Rsqrt,
+    Exp,
+    Tanh,
+    Relu,
+    Gelu,
+    GeluGrad,
+    Scale(f32),
+    AddScalar(f32),
+}
+
+impl UnaryOp {
+    /// Scalar semantics of the op (shared by every backend).
+    #[inline]
+    pub fn apply(self, x: f32) -> f32 {
+        match self {
+            UnaryOp::Neg => -x,
+            UnaryOp::Abs => x.abs(),
+            UnaryOp::Square => x * x,
+            UnaryOp::Sqrt => x.sqrt(),
+            UnaryOp::Rsqrt => 1.0 / x.sqrt(),
+            UnaryOp::Exp => x.exp(),
+            UnaryOp::Tanh => x.tanh(),
+            UnaryOp::Relu => x.max(0.0),
+            UnaryOp::Gelu => crate::tensor::ops::gelu_scalar(x),
+            UnaryOp::GeluGrad => crate::tensor::ops::gelu_grad_scalar(x),
+            UnaryOp::Scale(c) => x * c,
+            UnaryOp::AddScalar(c) => x + c,
+        }
+    }
+}
+
+/// Named elementwise binary kernels.
+#[derive(Copy, Clone, Debug, PartialEq, Eq)]
+pub enum BinaryOp {
+    Add,
+    Sub,
+    Mul,
+    Div,
+}
+
+impl BinaryOp {
+    #[inline]
+    pub fn apply(self, a: f32, b: f32) -> f32 {
+        match self {
+            BinaryOp::Add => a + b,
+            BinaryOp::Sub => a - b,
+            BinaryOp::Mul => a * b,
+            BinaryOp::Div => a / b,
+        }
+    }
+}
+
+// -------------------------------------------------------------- kernel specs
+
+/// Geometry of a batched matmul with broadcast-resolved batch indices.
+///
+/// `a` is `batch_offsets.len()` matrices of `m×k` (indexed by the first
+/// element of each pair, in units of whole matrices), `b` likewise `k×n`;
+/// `out` is dense `m×n` per output batch.
+pub struct MatmulSpec<'a> {
+    pub m: usize,
+    pub k: usize,
+    pub n: usize,
+    /// Per output batch: (a matrix index, b matrix index).
+    pub batch_offsets: &'a [(usize, usize)],
+    /// Optional row of length `n` added to every output row (fused linear
+    /// bias).
+    pub bias: Option<&'a [f32]>,
+}
+
+/// Geometry of a fused `softmax(Q·Kᵀ·scale + mask)·V` kernel.
+///
+/// `q`, `k`, `v`, `out` are each `batch` contiguous `n×d` matrices, where
+/// `batch = B·heads` flattened row-major as `(B, heads)`.
+pub struct AttentionSpec<'a> {
+    pub batch: usize,
+    pub heads: usize,
+    pub n: usize,
+    pub d: usize,
+    pub scale: f32,
+    /// Additive mask `(windows, n, n)`; batch matrix `i` uses window
+    /// `(i / heads) % windows` (the Swin shifted-window layout).
+    pub mask: Option<&'a [f32]>,
+    pub mask_windows: usize,
+}
+
+impl AttentionSpec<'_> {
+    /// Mask row for (batch matrix `bh`, query row `i`), if any.
+    #[inline]
+    pub fn mask_row(&self, bh: usize, i: usize) -> Option<&[f32]> {
+        self.mask.map(|m| {
+            let w = (bh / self.heads) % self.mask_windows;
+            let base = (w * self.n + i) * self.n;
+            &m[base..base + self.n]
+        })
+    }
+}
+
+// ------------------------------------------------------------------ trait
+
+/// The kernel surface every compute backend implements.
+///
+/// All slices are dense row-major `f32`; shape/stride resolution happens in
+/// the tensor layer, so backends only see flat geometry.
+pub trait Backend: Send + Sync + fmt::Debug {
+    /// Short identifier (`"scalar"`, `"blocked"`).
+    fn name(&self) -> &'static str;
+
+    /// Element count above which elementwise/layout kernels may go
+    /// parallel. `usize::MAX` keeps a backend strictly serial.
+    fn par_threshold(&self) -> usize;
+
+    /// `out[i] = op(x[i])`.
+    fn unary(&self, op: UnaryOp, x: &[f32], out: &mut [f32]);
+
+    /// `x[i] = op(x[i])` — fused in-place variant (no allocation).
+    fn unary_inplace(&self, op: UnaryOp, x: &mut [f32]) {
+        // Default: serial in-place loop; backends may parallelize.
+        for v in x.iter_mut() {
+            *v = op.apply(*v);
+        }
+    }
+
+    /// `out[i] = op(a[i], b[i])` for equal-shape operands.
+    fn binary(&self, op: BinaryOp, a: &[f32], b: &[f32], out: &mut [f32]);
+
+    /// `acc[i] = op(acc[i], b[i])` in place for equal-shape operands.
+    fn binary_inplace(&self, op: BinaryOp, acc: &mut [f32], b: &[f32]) {
+        for (x, &y) in acc.iter_mut().zip(b) {
+            *x = op.apply(*x, y);
+        }
+    }
+
+    /// Broadcast elementwise: `sa`/`sb` are per-output-dim strides into the
+    /// operands (0 on broadcast dims), `out` is dense over `out_shape`.
+    #[allow(clippy::too_many_arguments)]
+    fn binary_strided(
+        &self,
+        op: BinaryOp,
+        a: &[f32],
+        sa: &[usize],
+        b: &[f32],
+        sb: &[usize],
+        out_shape: &[usize],
+        out: &mut [f32],
+    );
+
+    /// Sum of all elements with an f64 accumulator.
+    fn sum(&self, x: &[f32]) -> f64;
+
+    /// Row-wise numerically-stable softmax: `x` and `out` are `len/row`
+    /// rows of `row` elements.
+    fn softmax_rows(&self, x: &[f32], out: &mut [f32], row: usize);
+
+    /// Row-wise layer normalization (no affine): zero mean / unit variance
+    /// per row of `row` elements.
+    fn layernorm_rows(&self, x: &[f32], out: &mut [f32], row: usize, eps: f32);
+
+    /// Batched matmul; `out` must be zero-filled (the kernel accumulates,
+    /// seeding rows from `spec.bias` when present).
+    fn matmul(&self, a: &[f32], b: &[f32], out: &mut [f32], spec: &MatmulSpec);
+
+    /// Fused attention `softmax(Q·Kᵀ·scale + mask)·V` without
+    /// materializing the `(batch, n, n)` score tensor (backends may choose
+    /// to materialize per-row/block internally).
+    fn attention(&self, q: &[f32], k: &[f32], v: &[f32], out: &mut [f32], spec: &AttentionSpec);
+}
+
+// -------------------------------------------------------------- selection
+
+static GLOBAL: RwLock<Option<Arc<dyn Backend>>> = RwLock::new(None);
+
+thread_local! {
+    static SCOPE_STACK: RefCell<Vec<Arc<dyn Backend>>> = const { RefCell::new(Vec::new()) };
+}
+
+/// Process default from the environment (`COASTAL_BACKEND`), computed once.
+fn env_default() -> Arc<dyn Backend> {
+    static D: OnceLock<Arc<dyn Backend>> = OnceLock::new();
+    D.get_or_init(|| {
+        match std::env::var("COASTAL_BACKEND").as_deref() {
+            Ok("scalar") | Ok("scalar_ref") | Ok("ref") => Arc::new(ScalarRef),
+            // Unknown names fall back to the fast path: kernels must never
+            // silently disappear because of a typo'd env var.
+            _ => Arc::new(Blocked::from_env()) as Arc<dyn Backend>,
+        }
+    })
+    .clone()
+}
+
+/// The backend active on this thread: innermost [`scoped`] override, else
+/// the global default, else the environment default ([`Blocked`]).
+pub fn current() -> Arc<dyn Backend> {
+    if let Some(b) = SCOPE_STACK.with(|s| s.borrow().last().cloned()) {
+        return b;
+    }
+    if let Some(b) = GLOBAL.read().unwrap_or_else(|e| e.into_inner()).clone() {
+        return b;
+    }
+    env_default()
+}
+
+/// Replace the process-wide default backend.
+pub fn set_global(b: Arc<dyn Backend>) {
+    *GLOBAL.write().unwrap_or_else(|e| e.into_inner()) = Some(b);
+}
+
+/// Look up a backend by name (`"scalar"` / `"blocked"`).
+pub fn by_name(name: &str) -> Result<Arc<dyn Backend>, String> {
+    match name {
+        "scalar" | "scalar_ref" | "ref" => Ok(Arc::new(ScalarRef)),
+        "blocked" | "default" | "fast" => Ok(Arc::new(Blocked::from_env())),
+        other => Err(format!(
+            "unknown backend '{other}' (expected 'scalar' or 'blocked')"
+        )),
+    }
+}
+
+/// Declarative backend selection for configs (`SwinConfig`, trainer and
+/// scenario configs) — resolved to a live backend at use sites.
+#[derive(Copy, Clone, Debug, PartialEq, Eq, Default)]
+pub enum BackendChoice {
+    /// Defer to the ambient selection (innermost scope, else the global
+    /// default, else `COASTAL_BACKEND`). The default, so env/global
+    /// selection reaches model and trainer passes unless a config pins
+    /// a backend explicitly.
+    #[default]
+    Auto,
+    /// The blocked/fused/parallel fast path.
+    Blocked,
+    /// The serial reference implementation.
+    Scalar,
+}
+
+impl BackendChoice {
+    pub fn name(self) -> &'static str {
+        match self {
+            BackendChoice::Auto => "auto",
+            BackendChoice::Blocked => "blocked",
+            BackendChoice::Scalar => "scalar",
+        }
+    }
+
+    /// Instantiate the chosen backend (Blocked honors
+    /// `COASTAL_PAR_THRESHOLD`; Auto resolves to [`current`]).
+    ///
+    /// Resolution sits on the hot path (every trainer step / model
+    /// forward), so the explicit variants are memoized.
+    pub fn resolve(self) -> Arc<dyn Backend> {
+        static BLOCKED: OnceLock<Arc<dyn Backend>> = OnceLock::new();
+        static SCALAR: OnceLock<Arc<dyn Backend>> = OnceLock::new();
+        match self {
+            BackendChoice::Auto => current(),
+            BackendChoice::Blocked => BLOCKED
+                .get_or_init(|| Arc::new(Blocked::from_env()))
+                .clone(),
+            BackendChoice::Scalar => SCALAR.get_or_init(|| Arc::new(ScalarRef)).clone(),
+        }
+    }
+
+    pub fn parse(s: &str) -> Result<Self, String> {
+        match s {
+            "auto" | "inherit" => Ok(BackendChoice::Auto),
+            "blocked" | "default" | "fast" => Ok(BackendChoice::Blocked),
+            "scalar" | "scalar_ref" | "ref" => Ok(BackendChoice::Scalar),
+            other => Err(format!(
+                "unknown backend '{other}' (expected 'auto', 'scalar' or 'blocked')"
+            )),
+        }
+    }
+}
+
+/// RAII guard pinning `b` as this thread's backend until dropped.
+///
+/// Guards nest; drop order must match scope order (guaranteed when bound to
+/// locals).
+pub struct ScopedBackend {
+    _private: (),
+}
+
+pub fn scoped(b: Arc<dyn Backend>) -> ScopedBackend {
+    SCOPE_STACK.with(|s| s.borrow_mut().push(b));
+    ScopedBackend { _private: () }
+}
+
+impl Drop for ScopedBackend {
+    fn drop(&mut self) {
+        SCOPE_STACK.with(|s| {
+            s.borrow_mut().pop();
+        });
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scoped_overrides_then_restores() {
+        let outer = current().name();
+        {
+            let _g = scoped(Arc::new(ScalarRef));
+            assert_eq!(current().name(), "scalar");
+            {
+                let _g2 = scoped(Arc::new(Blocked::from_env()));
+                assert_eq!(current().name(), "blocked");
+            }
+            assert_eq!(current().name(), "scalar");
+        }
+        assert_eq!(current().name(), outer);
+    }
+
+    #[test]
+    fn by_name_roundtrip() {
+        assert_eq!(by_name("scalar").unwrap().name(), "scalar");
+        assert_eq!(by_name("blocked").unwrap().name(), "blocked");
+        assert!(by_name("cuda").is_err());
+    }
+
+    #[test]
+    fn shape_error_messages_name_shapes() {
+        let e = ShapeError::MatmulInner {
+            lhs: vec![2, 3],
+            rhs: vec![4, 5],
+        };
+        let msg = e.to_string();
+        assert!(msg.contains("[2, 3]") && msg.contains("[4, 5]"), "{msg}");
+    }
+
+    #[test]
+    fn scoped_override_is_thread_local() {
+        let _g = scoped(Arc::new(ScalarRef));
+        assert_eq!(current().name(), "scalar");
+        let name = std::thread::spawn(|| current().name()).join().unwrap();
+        assert_ne!(name, "scalar", "other threads must not see this scope");
+    }
+}

@@ -1,0 +1,148 @@
+//! `ScalarRef`: the obviously-correct serial reference backend.
+//!
+//! Every kernel is the shortest loop that implements the spec — no
+//! parallelism, no blocking, no packing, no fusion tricks. This is the
+//! correctness oracle the property tests compare [`super::Blocked`]
+//! against, and a bisection tool when a fast kernel is suspect.
+
+use super::{AttentionSpec, Backend, BinaryOp, MatmulSpec, UnaryOp};
+
+#[derive(Debug, Clone, Copy, Default)]
+pub struct ScalarRef;
+
+impl Backend for ScalarRef {
+    fn name(&self) -> &'static str {
+        "scalar"
+    }
+
+    fn par_threshold(&self) -> usize {
+        usize::MAX // strictly serial
+    }
+
+    fn unary(&self, op: UnaryOp, x: &[f32], out: &mut [f32]) {
+        for (o, &v) in out.iter_mut().zip(x) {
+            *o = op.apply(v);
+        }
+    }
+
+    fn binary(&self, op: BinaryOp, a: &[f32], b: &[f32], out: &mut [f32]) {
+        for ((o, &x), &y) in out.iter_mut().zip(a).zip(b) {
+            *o = op.apply(x, y);
+        }
+    }
+
+    fn binary_strided(
+        &self,
+        op: BinaryOp,
+        a: &[f32],
+        sa: &[usize],
+        b: &[f32],
+        sb: &[usize],
+        out_shape: &[usize],
+        out: &mut [f32],
+    ) {
+        // Plain per-element index arithmetic: unravel the flat output
+        // index, dot with the operand strides.
+        let nd = out_shape.len();
+        let mut idx = vec![0usize; nd];
+        for (flat, o) in out.iter_mut().enumerate() {
+            crate::shape::unravel(flat, out_shape, &mut idx);
+            let oa: usize = idx.iter().zip(sa).map(|(&i, &s)| i * s).sum();
+            let ob: usize = idx.iter().zip(sb).map(|(&i, &s)| i * s).sum();
+            *o = op.apply(a[oa], b[ob]);
+        }
+    }
+
+    fn sum(&self, x: &[f32]) -> f64 {
+        x.iter().map(|&v| v as f64).sum()
+    }
+
+    fn softmax_rows(&self, x: &[f32], out: &mut [f32], row: usize) {
+        if row == 0 {
+            return;
+        }
+        for (xr, or) in x.chunks(row).zip(out.chunks_mut(row)) {
+            let m = xr.iter().copied().fold(f32::NEG_INFINITY, f32::max);
+            let mut denom = 0.0f32;
+            for (o, &v) in or.iter_mut().zip(xr) {
+                *o = (v - m).exp();
+                denom += *o;
+            }
+            for o in or.iter_mut() {
+                *o /= denom;
+            }
+        }
+    }
+
+    fn layernorm_rows(&self, x: &[f32], out: &mut [f32], row: usize, eps: f32) {
+        if row == 0 {
+            return;
+        }
+        for (xr, or) in x.chunks(row).zip(out.chunks_mut(row)) {
+            let mean = xr.iter().sum::<f32>() / row as f32;
+            let var = xr.iter().map(|&v| (v - mean) * (v - mean)).sum::<f32>() / row as f32;
+            let inv = 1.0 / (var + eps).sqrt();
+            for (o, &v) in or.iter_mut().zip(xr) {
+                *o = (v - mean) * inv;
+            }
+        }
+    }
+
+    fn matmul(&self, a: &[f32], b: &[f32], out: &mut [f32], spec: &MatmulSpec) {
+        let (m, k, n) = (spec.m, spec.k, spec.n);
+        for (bi, &(ao, bo)) in spec.batch_offsets.iter().enumerate() {
+            let a_mat = &a[ao * m * k..(ao + 1) * m * k];
+            let b_mat = &b[bo * k * n..(bo + 1) * k * n];
+            let o_mat = &mut out[bi * m * n..(bi + 1) * m * n];
+            for i in 0..m {
+                for j in 0..n {
+                    // Textbook dot product, f32 accumulator.
+                    let mut acc = spec.bias.map_or(0.0, |bias| bias[j]);
+                    for kk in 0..k {
+                        acc += a_mat[i * k + kk] * b_mat[kk * n + j];
+                    }
+                    o_mat[i * n + j] = acc;
+                }
+            }
+        }
+    }
+
+    fn attention(&self, q: &[f32], k: &[f32], v: &[f32], out: &mut [f32], spec: &AttentionSpec) {
+        let (n, d) = (spec.n, spec.d);
+        let mut scores = vec![0.0f32; n];
+        for bh in 0..spec.batch {
+            let qm = &q[bh * n * d..(bh + 1) * n * d];
+            let km = &k[bh * n * d..(bh + 1) * n * d];
+            let vm = &v[bh * n * d..(bh + 1) * n * d];
+            let om = &mut out[bh * n * d..(bh + 1) * n * d];
+            for i in 0..n {
+                let q_row = &qm[i * d..(i + 1) * d];
+                let mask_row = spec.mask_row(bh, i);
+                for (j, s) in scores.iter_mut().enumerate() {
+                    let k_row = &km[j * d..(j + 1) * d];
+                    let mut acc = 0.0f32;
+                    for c in 0..d {
+                        acc += q_row[c] * k_row[c];
+                    }
+                    *s = acc * spec.scale + mask_row.map_or(0.0, |mr| mr[j]);
+                }
+                // Softmax over the score row.
+                let mx = scores.iter().copied().fold(f32::NEG_INFINITY, f32::max);
+                let mut denom = 0.0f32;
+                for s in scores.iter_mut() {
+                    *s = (*s - mx).exp();
+                    denom += *s;
+                }
+                let o_row = &mut om[i * d..(i + 1) * d];
+                o_row.fill(0.0);
+                for (j, &p) in scores.iter().enumerate() {
+                    let w = p / denom;
+                    let v_row = &vm[j * d..(j + 1) * d];
+                    for c in 0..d {
+                        o_row[c] += w * v_row[c];
+                    }
+                }
+            }
+        }
+    }
+}

@@ -43,7 +43,9 @@ pub fn xavier_uniform(fan_in: usize, fan_out: usize, rng: &mut StdRng) -> Tensor
     let bound = (6.0 / (fan_in + fan_out) as f32).sqrt();
     let n = fan_in * fan_out;
     Tensor::from_vec(
-        (0..n).map(|_| rng.gen::<f32>() * 2.0 * bound - bound).collect(),
+        (0..n)
+            .map(|_| rng.gen::<f32>() * 2.0 * bound - bound)
+            .collect(),
         &[fan_in, fan_out],
     )
 }

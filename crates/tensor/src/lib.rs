@@ -31,6 +31,7 @@
 //! ```
 
 pub mod autograd;
+pub mod backend;
 pub mod f16;
 pub mod init;
 pub mod nn;
@@ -41,6 +42,7 @@ pub mod tensor;
 /// Convenient glob import.
 pub mod prelude {
     pub use crate::autograd::{GradBuf, Graph, MemMeter, Param, Var};
+    pub use crate::backend::{Backend, BackendChoice, Blocked, ScalarRef, ShapeError};
     pub use crate::f16::F16;
     pub use crate::nn::{
         average_states, load_state_dict, state_dict, BatchNorm, LayerNorm, Linear, Mlp, Module,

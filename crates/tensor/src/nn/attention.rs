@@ -22,7 +22,11 @@ pub struct MultiHeadAttention {
 
 impl MultiHeadAttention {
     pub fn new(name: &str, dim: usize, num_heads: usize, rng: &mut StdRng) -> Self {
-        assert_eq!(dim % num_heads, 0, "dim {dim} not divisible by heads {num_heads}");
+        assert_eq!(
+            dim % num_heads,
+            0,
+            "dim {dim} not divisible by heads {num_heads}"
+        );
         Self {
             qkv: Linear::new(&format!("{name}.qkv"), dim, 3 * dim, true, rng),
             proj: Linear::new(&format!("{name}.proj"), dim, dim, true, rng),
@@ -36,6 +40,10 @@ impl MultiHeadAttention {
     /// `mask`: `(num_windows, N, N)` with 0 for allowed pairs and a large
     /// negative value for disallowed ones. When given, `B` of the input
     /// must be `batch * num_windows`.
+    ///
+    /// The score-softmax-value core runs through [`Graph::attention`]: in
+    /// inference graphs the active backend's fused kernel computes it
+    /// without materializing the `(B, H, N, N)` score tensor.
     pub fn forward_masked(&self, g: &mut Graph, x: Var, mask: Option<&Tensor>) -> Var {
         let shape = g.value(x).shape().to_vec();
         assert_eq!(shape.len(), 3, "attention expects (B, N, C)");
@@ -54,28 +62,7 @@ impl MultiHeadAttention {
         let v = g.narrow(qkv, 0, 2, 1);
         let v = g.reshape(v, &[b, h, n, hd]);
 
-        let kt = g.permute(k, &[0, 1, 3, 2]); // (B, H, hd, N)
-        let scores = g.matmul(q, kt); // (B, H, N, N)
-        let mut scores = g.scale(scores, 1.0 / (hd as f32).sqrt());
-
-        if let Some(m) = mask {
-            let nw = m.shape()[0];
-            assert_eq!(
-                m.shape(),
-                &[nw, n, n],
-                "mask must be (num_windows, N, N)"
-            );
-            assert_eq!(b % nw, 0, "batch {b} not a multiple of num_windows {nw}");
-            let batch = b / nw;
-            // (B,H,N,N) -> (batch, nW, H, N, N) + (1, nW, 1, N, N)
-            let s5 = g.reshape(scores, &[batch, nw, h, n, n]);
-            let m5 = g.constant(m.reshaped(&[1, nw, 1, n, n]));
-            let s5 = g.add(s5, m5);
-            scores = g.reshape(s5, &[b, h, n, n]);
-        }
-
-        let attn = g.softmax_last(scores);
-        let out = g.matmul(attn, v); // (B, H, N, hd)
+        let out = g.attention(q, k, v, mask, 1.0 / (hd as f32).sqrt()); // (B, H, N, hd)
         let out = g.permute(out, &[0, 2, 1, 3]); // (B, N, H, hd)
         let out = g.reshape(out, &[b, n, c]);
         self.proj.forward(g, out)

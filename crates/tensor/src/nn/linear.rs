@@ -4,6 +4,7 @@ use rand::rngs::StdRng;
 
 use super::Module;
 use crate::autograd::{Graph, Param, Var};
+use crate::backend::UnaryOp;
 use crate::init;
 use crate::tensor::Tensor;
 
@@ -46,10 +47,13 @@ impl Linear {
     pub fn out_features(&self) -> usize {
         self.out_features
     }
-}
 
-impl Module for Linear {
-    fn forward(&self, g: &mut Graph, x: Var) -> Var {
+    /// Forward with an optional fused activation.
+    ///
+    /// Routes through [`Graph::linear`] / [`Graph::linear_act`], so the
+    /// bias-add is fused into the backend matmul kernel (and, in inference
+    /// graphs, the activation runs in place on the matmul output).
+    pub fn forward_act(&self, g: &mut Graph, x: Var, act: Option<UnaryOp>) -> Var {
         let in_shape = g.value(x).shape().to_vec();
         assert_eq!(
             *in_shape.last().expect("linear input must have rank >= 1"),
@@ -61,14 +65,20 @@ impl Module for Linear {
         let rows: usize = in_shape[..in_shape.len() - 1].iter().product();
         let flat = g.reshape(x, &[rows, self.in_features]);
         let w = g.param(&self.weight);
-        let mut y = g.matmul(flat, w);
-        if let Some(b) = &self.bias {
-            let bv = g.param(b);
-            y = g.add(y, bv);
-        }
+        let bias = self.bias.as_ref().map(|b| g.param(b));
+        let y = match act {
+            Some(op) => g.linear_act(flat, w, bias, op),
+            None => g.linear(flat, w, bias),
+        };
         let mut out_shape = in_shape;
         *out_shape.last_mut().unwrap() = self.out_features;
         g.reshape(y, &out_shape)
+    }
+}
+
+impl Module for Linear {
+    fn forward(&self, g: &mut Graph, x: Var) -> Var {
+        self.forward_act(g, x, None)
     }
 
     fn collect_params(&self, out: &mut Vec<Param>) {

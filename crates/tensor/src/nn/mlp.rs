@@ -4,6 +4,7 @@ use rand::rngs::StdRng;
 
 use super::{Linear, Module};
 use crate::autograd::{Graph, Param, Var};
+use crate::backend::UnaryOp;
 
 /// `fc2(gelu(fc1(x)))` with a configurable hidden width.
 #[derive(Clone)]
@@ -23,8 +24,9 @@ impl Mlp {
 
 impl Module for Mlp {
     fn forward(&self, g: &mut Graph, x: Var) -> Var {
-        let h = self.fc1.forward(g, x);
-        let a = g.gelu(h);
+        // fc1 + GELU fuse through the backend (in-place activation on the
+        // matmul output in inference graphs).
+        let a = self.fc1.forward_act(g, x, Some(UnaryOp::Gelu));
         self.fc2.forward(g, a)
     }
 

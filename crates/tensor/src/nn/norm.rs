@@ -247,7 +247,10 @@ mod tests {
         let bn = BatchNorm::new("bn", 2);
         let mut g = Graph::new();
         g.training = true;
-        let x = g.leaf(Tensor::from_vec((0..8).map(|i| i as f32 * 0.5).collect(), &[2, 2, 2]));
+        let x = g.leaf(Tensor::from_vec(
+            (0..8).map(|i| i as f32 * 0.5).collect(),
+            &[2, 2, 2],
+        ));
         let y = bn.forward(&mut g, x);
         let sq = g.square(y);
         let loss = g.mean_all(sq);

@@ -9,7 +9,11 @@ pub fn clip_grad_norm(params: &[Param], max_norm: f32) -> f32 {
     let mut total = 0.0f64;
     for p in params {
         if let Some(g) = p.grad() {
-            total += g.as_slice().iter().map(|&v| (v as f64) * (v as f64)).sum::<f64>();
+            total += g
+                .as_slice()
+                .iter()
+                .map(|&v| (v as f64) * (v as f64))
+                .sum::<f64>();
         }
     }
     let norm = (total.sqrt()) as f32;
@@ -212,7 +216,7 @@ mod tests {
     fn clip_grad_norm_scales() {
         let p = Param::new("w", Tensor::zeros(&[4]));
         p.accum_grad(&Tensor::from_vec(vec![3.0, 4.0, 0.0, 0.0], &[4]));
-        let pre = clip_grad_norm(&[p.clone()], 1.0);
+        let pre = clip_grad_norm(std::slice::from_ref(&p), 1.0);
         assert!((pre - 5.0).abs() < 1e-5);
         let g = p.grad().unwrap();
         let post: f32 = g.as_slice().iter().map(|v| v * v).sum::<f32>().sqrt();
@@ -223,7 +227,7 @@ mod tests {
     fn clip_noop_when_below_threshold() {
         let p = Param::new("w", Tensor::zeros(&[2]));
         p.accum_grad(&Tensor::from_vec(vec![0.1, 0.1], &[2]));
-        clip_grad_norm(&[p.clone()], 10.0);
+        clip_grad_norm(std::slice::from_ref(&p), 10.0);
         assert_eq!(p.grad().unwrap().as_slice(), &[0.1, 0.1]);
     }
 }

@@ -47,8 +47,16 @@ pub fn broadcast_shapes(a: &[usize], b: &[usize]) -> Option<Vec<usize>> {
     let n = a.len().max(b.len());
     let mut out = vec![0; n];
     for i in 0..n {
-        let da = if i < n - a.len() { 1 } else { a[i - (n - a.len())] };
-        let db = if i < n - b.len() { 1 } else { b[i - (n - b.len())] };
+        let da = if i < n - a.len() {
+            1
+        } else {
+            a[i - (n - a.len())]
+        };
+        let db = if i < n - b.len() {
+            1
+        } else {
+            b[i - (n - b.len())]
+        };
         out[i] = if da == db {
             da
         } else if da == 1 {
@@ -68,9 +76,7 @@ pub fn broadcastable_to(from: &[usize], to: &[usize]) -> bool {
         return false;
     }
     let off = to.len() - from.len();
-    from.iter()
-        .zip(&to[off..])
-        .all(|(&f, &t)| f == t || f == 1)
+    from.iter().zip(&to[off..]).all(|(&f, &t)| f == t || f == 1)
 }
 
 /// Strides to iterate a tensor of shape `from` as if it had shape `to`

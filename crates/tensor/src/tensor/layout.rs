@@ -5,7 +5,7 @@
 
 use rayon::prelude::*;
 
-use super::{Tensor, PAR_THRESHOLD};
+use super::{par_threshold, Tensor};
 use crate::shape::{numel, strides_for, unravel};
 
 impl Tensor {
@@ -44,8 +44,10 @@ impl Tensor {
             }
         };
         let mut out = vec![0.0f32; n];
-        if n >= PAR_THRESHOLD {
-            let chunk = n.div_ceil(rayon::current_num_threads().max(1) * 4).max(1024);
+        if n >= par_threshold() {
+            let chunk = n
+                .div_ceil(rayon::current_num_threads().max(1) * 4)
+                .max(1024);
             out.par_chunks_mut(chunk)
                 .enumerate()
                 .for_each(|(ci, c)| fill(ci * chunk, c));
@@ -140,11 +142,7 @@ impl Tensor {
             assert_eq!(p.ndim(), nd, "concat rank mismatch");
             for d in 0..nd {
                 if d != axis {
-                    assert_eq!(
-                        p.shape()[d],
-                        parts[0].shape()[d],
-                        "concat dim {d} mismatch"
-                    );
+                    assert_eq!(p.shape()[d], parts[0].shape()[d], "concat dim {d} mismatch");
                 }
             }
         }
@@ -213,8 +211,10 @@ impl Tensor {
                 }
             }
         };
-        if n >= PAR_THRESHOLD {
-            let chunk = n.div_ceil(rayon::current_num_threads().max(1) * 4).max(1024);
+        if n >= par_threshold() {
+            let chunk = n
+                .div_ceil(rayon::current_num_threads().max(1) * 4)
+                .max(1024);
             out.par_chunks_mut(chunk)
                 .enumerate()
                 .for_each(|(ci, c)| fill(ci * chunk, c));

@@ -1,12 +1,14 @@
 //! Batched matrix multiplication, the dominant kernel of the surrogate.
 //!
 //! `matmul` treats the trailing two axes as matrices and broadcasts the
-//! leading (batch) axes NumPy-style. The inner kernel is a cache-friendly
-//! i-k-j loop parallelized with rayon over (batch × row-block) tasks.
-
-use rayon::prelude::*;
+//! leading (batch) axes NumPy-style. Shape/stride resolution happens here;
+//! the flat kernel itself is the active [`crate::backend::Backend`]'s
+//! `matmul` (cache-blocked + panel-packed + rayon-parallel under
+//! [`crate::backend::Blocked`], a naive triple loop under
+//! [`crate::backend::ScalarRef`]).
 
 use super::Tensor;
+use crate::backend::{self, MatmulSpec, ShapeError};
 use crate::shape::{broadcast_shapes, broadcast_strides, numel, unravel};
 
 impl Tensor {
@@ -14,7 +16,15 @@ impl Tensor {
     ///
     /// Shapes: `(..., m, k) @ (..., k, n) -> (broadcast(...), m, n)`.
     /// 1-D operands are promoted like NumPy (`[k] @ [k, n]`, `[m, k] @ [k]`).
+    ///
+    /// # Panics
+    /// On shape mismatch; use [`Tensor::try_matmul`] for a typed error.
     pub fn matmul(&self, other: &Tensor) -> Tensor {
+        self.try_matmul(other).unwrap_or_else(|e| panic!("{e}"))
+    }
+
+    /// [`Tensor::matmul`] with a typed [`ShapeError`] instead of a panic.
+    pub fn try_matmul(&self, other: &Tensor) -> Result<Tensor, ShapeError> {
         // Promote 1-D operands.
         let a = if self.ndim() == 1 {
             self.reshaped(&[1, self.shape()[0]])
@@ -26,9 +36,9 @@ impl Tensor {
         } else {
             other.clone()
         };
-        let out = matmul_nd(&a, &b);
+        let out = try_matmul_nd(&a, &b, None)?;
         // Undo promotion.
-        match (self.ndim(), other.ndim()) {
+        Ok(match (self.ndim(), other.ndim()) {
             (1, 1) => out.reshaped(&[]),
             (1, _) => {
                 let mut s = out.shape().to_vec();
@@ -41,42 +51,62 @@ impl Tensor {
                 out.reshaped(&s)
             }
             _ => out,
+        })
+    }
+
+    /// Fused `self @ other + bias` (bias broadcast over rows) — the linear
+    /// layer's kernel, saving the separate broadcast-add pass.
+    pub fn matmul_bias(&self, other: &Tensor, bias: &Tensor) -> Tensor {
+        self.try_matmul_bias(other, bias)
+            .unwrap_or_else(|e| panic!("{e}"))
+    }
+
+    /// [`Tensor::matmul_bias`] with a typed error.
+    pub fn try_matmul_bias(&self, other: &Tensor, bias: &Tensor) -> Result<Tensor, ShapeError> {
+        if self.ndim() < 2 || other.ndim() < 2 {
+            return Err(ShapeError::Rank {
+                op: "matmul_bias",
+                shape: if self.ndim() < 2 {
+                    self.shape().to_vec()
+                } else {
+                    other.shape().to_vec()
+                },
+                min_ndim: 2,
+            });
         }
+        let n = other.shape()[other.ndim() - 1];
+        if bias.shape() != [n] {
+            return Err(ShapeError::Broadcast {
+                lhs: bias.shape().to_vec(),
+                rhs: vec![n],
+            });
+        }
+        try_matmul_nd(self, other, Some(bias))
     }
 }
 
-fn matmul_nd(a: &Tensor, b: &Tensor) -> Tensor {
+fn try_matmul_nd(a: &Tensor, b: &Tensor, bias: Option<&Tensor>) -> Result<Tensor, ShapeError> {
     let (am, ak) = (a.shape()[a.ndim() - 2], a.shape()[a.ndim() - 1]);
     let (bk, bn) = (b.shape()[b.ndim() - 2], b.shape()[b.ndim() - 1]);
-    assert_eq!(
-        ak, bk,
-        "matmul inner dim mismatch: {:?} @ {:?}",
-        a.shape(),
-        b.shape()
-    );
+    if ak != bk {
+        return Err(ShapeError::MatmulInner {
+            lhs: a.shape().to_vec(),
+            rhs: b.shape().to_vec(),
+        });
+    }
     let a_batch = &a.shape()[..a.ndim() - 2];
     let b_batch = &b.shape()[..b.ndim() - 2];
-    let batch_shape = broadcast_shapes(a_batch, b_batch)
-        .unwrap_or_else(|| panic!("matmul batch broadcast {:?} vs {:?}", a_batch, b_batch));
+    let batch_shape =
+        broadcast_shapes(a_batch, b_batch).ok_or_else(|| ShapeError::MatmulBatch {
+            lhs: a.shape().to_vec(),
+            rhs: b.shape().to_vec(),
+        })?;
     let n_batch = numel(&batch_shape);
 
-    // Per-batch element offsets honoring broadcast.
+    // Per-batch matrix indices honoring broadcast.
     let a_bstrides = broadcast_strides(a_batch, &batch_shape);
     let b_bstrides = broadcast_strides(b_batch, &batch_shape);
-    let a_mat = am * ak;
-    let b_mat = bk * bn;
-    let o_mat = am * bn;
-
-    let mut out_shape = batch_shape.clone();
-    out_shape.push(am);
-    out_shape.push(bn);
-    let mut out = vec![0.0f32; n_batch * o_mat];
-
-    let ad = a.as_slice();
-    let bd = b.as_slice();
     let nd = batch_shape.len();
-
-    // Offsets (in matrices) for each flat batch index.
     let batch_offsets: Vec<(usize, usize)> = (0..n_batch)
         .map(|bi| {
             let mut idx = vec![0usize; nd];
@@ -87,64 +117,19 @@ fn matmul_nd(a: &Tensor, b: &Tensor) -> Tensor {
         })
         .collect();
 
-    let kernel = |bi: usize, rows: std::ops::Range<usize>, out_chunk: &mut [f32]| {
-        let (ao, bo) = batch_offsets[bi];
-        let a_sub = &ad[ao * a_mat..ao * a_mat + a_mat];
-        let b_sub = &bd[bo * b_mat..bo * b_mat + b_mat];
-        for (local_i, i) in rows.enumerate() {
-            let out_row = &mut out_chunk[local_i * bn..(local_i + 1) * bn];
-            let a_row = &a_sub[i * ak..(i + 1) * ak];
-            for (kk, &av) in a_row.iter().enumerate() {
-                if av == 0.0 {
-                    continue;
-                }
-                let b_row = &b_sub[kk * bn..(kk + 1) * bn];
-                for (o, &bv) in out_row.iter_mut().zip(b_row) {
-                    *o += av * bv;
-                }
-            }
-        }
+    let mut out_shape = batch_shape.clone();
+    out_shape.push(am);
+    out_shape.push(bn);
+    let mut out = vec![0.0f32; n_batch * am * bn];
+    let spec = MatmulSpec {
+        m: am,
+        k: ak,
+        n: bn,
+        batch_offsets: &batch_offsets,
+        bias: bias.map(|t| t.as_slice()),
     };
-
-    let total_flops = n_batch * am * bn * ak;
-    if total_flops < 64 * 1024 {
-        // Small problem: run serially.
-        for bi in 0..n_batch {
-            let o = &mut out[bi * o_mat..(bi + 1) * o_mat];
-            kernel(bi, 0..am, o);
-        }
-    } else if n_batch >= rayon::current_num_threads() {
-        // Many batches: one task per batch matrix.
-        out.par_chunks_mut(o_mat).enumerate().for_each(|(bi, o)| {
-            kernel(bi, 0..am, o);
-        });
-    } else {
-        // Few batches: split rows within each matrix.
-        let row_block = am.div_ceil(rayon::current_num_threads().max(1)).max(8);
-        out.par_chunks_mut(row_block * bn)
-            .enumerate()
-            .for_each(|(ci, o)| {
-                // Chunks run through batches back-to-back: chunk ci covers
-                // rows [ci*row_block, …) of batch (ci*row_block)/am when
-                // o_mat is a multiple of the chunk — ensured by construction
-                // only when am % row_block == 0; handle the general case by
-                // recomputing from the flat row index.
-                let flat_row = ci * row_block;
-                let bi = flat_row / am;
-                let r0 = flat_row % am;
-                let nrows = o.len() / bn;
-                if r0 + nrows <= am {
-                    kernel(bi, r0..r0 + nrows, o);
-                } else {
-                    // Chunk straddles a batch boundary: split it.
-                    let first = am - r0;
-                    let (o1, o2) = o.split_at_mut(first * bn);
-                    kernel(bi, r0..am, o1);
-                    kernel(bi + 1, 0..nrows - first, o2);
-                }
-            });
-    }
-    Tensor::from_vec(out, &out_shape)
+    backend::current().matmul(a.as_slice(), b.as_slice(), &mut out, &spec);
+    Ok(Tensor::from_vec(out, &out_shape))
 }
 
 #[cfg(test)]
@@ -180,7 +165,10 @@ mod tests {
         let a1 = a.narrow(0, 1, 1).reshaped(&[2, 3]);
         let b1 = b.narrow(0, 1, 1).reshaped(&[3, 2]);
         let c1 = a1.matmul(&b1);
-        assert_eq!(c.narrow(0, 1, 1).reshaped(&[2, 2]).as_slice(), c1.as_slice());
+        assert_eq!(
+            c.narrow(0, 1, 1).reshaped(&[2, 2]).as_slice(),
+            c1.as_slice()
+        );
     }
 
     #[test]
@@ -246,5 +234,52 @@ mod tests {
                 .reshaped(&[40, 20])
                 .allclose(&ci, 1e-4));
         }
+    }
+
+    #[test]
+    fn zero_row_matmul_yields_empty_output() {
+        let a = Tensor::from_vec(vec![], &[0, 3]);
+        let b = Tensor::ones(&[3, 4]);
+        let c = a.matmul(&b);
+        assert_eq!(c.shape(), &[0, 4]);
+        assert_eq!(c.numel(), 0);
+    }
+
+    #[test]
+    fn try_matmul_reports_typed_errors() {
+        let a = Tensor::ones(&[2, 3]);
+        let b = Tensor::ones(&[4, 5]);
+        match a.try_matmul(&b) {
+            Err(ShapeError::MatmulInner { lhs, rhs }) => {
+                assert_eq!(lhs, vec![2, 3]);
+                assert_eq!(rhs, vec![4, 5]);
+            }
+            other => panic!("expected MatmulInner, got {other:?}"),
+        }
+        // Incompatible batch dims.
+        let a = Tensor::ones(&[2, 3, 4]);
+        let b = Tensor::ones(&[5, 4, 6]);
+        assert!(matches!(
+            a.try_matmul(&b),
+            Err(ShapeError::MatmulBatch { .. })
+        ));
+    }
+
+    #[test]
+    #[should_panic(expected = "matmul inner dim mismatch")]
+    fn matmul_mismatch_panics_with_message() {
+        let _ = Tensor::ones(&[2, 3]).matmul(&Tensor::ones(&[4, 5]));
+    }
+
+    #[test]
+    fn matmul_bias_matches_unfused() {
+        let a = Tensor::arange(6).reshaped(&[2, 3]);
+        let w = Tensor::arange(12).reshaped(&[3, 4]);
+        let bias = Tensor::from_vec(vec![1.0, -2.0, 0.5, 3.0], &[4]);
+        let fused = a.matmul_bias(&w, &bias);
+        let unfused = a.matmul(&w).add(&bias);
+        assert!(fused.allclose(&unfused, 1e-5));
+        // Bad bias length is a typed error.
+        assert!(a.try_matmul_bias(&w, &Tensor::ones(&[3])).is_err());
     }
 }

@@ -4,8 +4,8 @@
 //! materialize a new contiguous buffer. Mutation goes through
 //! [`Tensor::as_mut_slice`], which copies-on-write when the buffer is shared.
 
-mod linalg;
 mod layout;
+mod linalg;
 pub mod ops;
 
 use std::fmt;
@@ -13,8 +13,14 @@ use std::sync::Arc;
 
 use crate::shape::{self, numel};
 
-/// Element count above which elementwise kernels switch to rayon.
-pub(crate) const PAR_THRESHOLD: usize = 32 * 1024;
+/// Element count above which elementwise/layout kernels switch to rayon —
+/// resolved from the active backend, so it is runtime-tunable (the
+/// [`crate::backend::Blocked`] constructor / `COASTAL_PAR_THRESHOLD`) and
+/// `usize::MAX` (never parallel) under [`crate::backend::ScalarRef`].
+#[inline]
+pub(crate) fn par_threshold() -> usize {
+    crate::backend::current().par_threshold()
+}
 
 /// A dense, contiguous, row-major tensor of `f32`.
 #[derive(Clone)]
@@ -105,7 +111,12 @@ impl Tensor {
 
     /// Value of a rank-0 or single-element tensor.
     pub fn item(&self) -> f32 {
-        assert_eq!(self.numel(), 1, "item() on tensor with {} elems", self.numel());
+        assert_eq!(
+            self.numel(),
+            1,
+            "item() on tensor with {} elems",
+            self.numel()
+        );
         self.data[0]
     }
 

@@ -1,15 +1,25 @@
-//! Elementwise and reduction kernels (broadcast-aware, rayon-parallel).
+//! Elementwise and reduction operations.
+//!
+//! Every *named* op (add/mul/…, exp/tanh/…, softmax, sums) dispatches
+//! through the active [`crate::backend::Backend`] — one virtual call per
+//! kernel, shared by forward and backward passes. The generic [`Tensor::map`]
+//! / [`Tensor::zip`] closures remain for one-off derivatives that have no
+//! named kernel.
 
 use rayon::prelude::*;
 
-use super::{Tensor, PAR_THRESHOLD};
+use super::{par_threshold, Tensor};
+use crate::backend::{self, BinaryOp, ShapeError, UnaryOp};
 use crate::shape::{broadcast_shapes, broadcast_strides, normalize_axes, numel, strides_for};
 
 impl Tensor {
     /// Apply `f` elementwise, producing a new tensor.
+    ///
+    /// For the named elementwise kernels prefer the dedicated methods
+    /// (`exp`, `tanh`, …) — those dispatch through the compute backend.
     pub fn map(&self, f: impl Fn(f32) -> f32 + Sync) -> Tensor {
         let mut out = vec![0.0f32; self.numel()];
-        if self.numel() >= PAR_THRESHOLD {
+        if self.numel() >= par_threshold() {
             out.par_iter_mut()
                 .zip(self.as_slice().par_iter())
                 .for_each(|(o, &x)| *o = f(x));
@@ -21,14 +31,43 @@ impl Tensor {
         Tensor::from_vec(out, self.shape())
     }
 
+    /// Named unary kernel through the active backend.
+    pub fn unary_op(&self, op: UnaryOp) -> Tensor {
+        let mut out = vec![0.0f32; self.numel()];
+        backend::current().unary(op, self.as_slice(), &mut out);
+        Tensor::from_vec(out, self.shape())
+    }
+
+    /// Named unary kernel in place (copy-on-write; allocation-free when
+    /// this tensor owns its buffer).
+    pub fn unary_op_inplace(&mut self, op: UnaryOp) {
+        backend::current().unary_inplace(op, self.as_mut_slice());
+    }
+
     /// Apply `f(self[i], other[j])` with NumPy broadcasting.
+    ///
+    /// # Panics
+    /// If the shapes don't broadcast; use [`Tensor::try_zip`] to handle the
+    /// mismatch.
     pub fn zip(&self, other: &Tensor, f: impl Fn(f32, f32) -> f32 + Sync) -> Tensor {
-        let out_shape = broadcast_shapes(self.shape(), other.shape())
-            .unwrap_or_else(|| panic!("broadcast {:?} vs {:?}", self.shape(), other.shape()));
+        self.try_zip(other, f).unwrap_or_else(|e| panic!("{e}"))
+    }
+
+    /// Broadcasting `zip` with a typed shape error.
+    pub fn try_zip(
+        &self,
+        other: &Tensor,
+        f: impl Fn(f32, f32) -> f32 + Sync,
+    ) -> Result<Tensor, ShapeError> {
+        let out_shape =
+            broadcast_shapes(self.shape(), other.shape()).ok_or_else(|| ShapeError::Broadcast {
+                lhs: self.shape().to_vec(),
+                rhs: other.shape().to_vec(),
+            })?;
         // Fast path: identical shapes — straight zip, no index math.
         if self.shape() == other.shape() {
             let mut out = vec![0.0f32; self.numel()];
-            if self.numel() >= PAR_THRESHOLD {
+            if self.numel() >= par_threshold() {
                 out.par_iter_mut()
                     .zip(self.as_slice().par_iter().zip(other.as_slice().par_iter()))
                     .for_each(|(o, (&a, &b))| *o = f(a, b));
@@ -37,7 +76,7 @@ impl Tensor {
                     *o = f(a, b);
                 }
             }
-            return Tensor::from_vec(out, &out_shape);
+            return Ok(Tensor::from_vec(out, &out_shape));
         }
         let sa = broadcast_strides(self.shape(), &out_shape);
         let sb = broadcast_strides(other.shape(), &out_shape);
@@ -68,102 +107,144 @@ impl Tensor {
             }
         };
         let mut out = vec![0.0f32; n];
-        if n >= PAR_THRESHOLD {
-            let chunk = n.div_ceil(rayon::current_num_threads().max(1) * 4).max(1024);
+        if n >= par_threshold() {
+            let chunk = n
+                .div_ceil(rayon::current_num_threads().max(1) * 4)
+                .max(1024);
             out.par_chunks_mut(chunk).enumerate().for_each(|(ci, c)| {
                 compute(ci * chunk, c);
             });
         } else {
             compute(0, &mut out);
         }
-        Tensor::from_vec(out, &out_shape)
+        Ok(Tensor::from_vec(out, &out_shape))
+    }
+
+    /// Named binary kernel with broadcasting through the active backend.
+    pub fn try_binary_op(&self, other: &Tensor, op: BinaryOp) -> Result<Tensor, ShapeError> {
+        let out_shape =
+            broadcast_shapes(self.shape(), other.shape()).ok_or_else(|| ShapeError::Broadcast {
+                lhs: self.shape().to_vec(),
+                rhs: other.shape().to_vec(),
+            })?;
+        let be = backend::current();
+        let mut out = vec![0.0f32; numel(&out_shape)];
+        if self.shape() == other.shape() {
+            be.binary(op, self.as_slice(), other.as_slice(), &mut out);
+        } else {
+            let sa = broadcast_strides(self.shape(), &out_shape);
+            let sb = broadcast_strides(other.shape(), &out_shape);
+            be.binary_strided(
+                op,
+                self.as_slice(),
+                &sa,
+                other.as_slice(),
+                &sb,
+                &out_shape,
+                &mut out,
+            );
+        }
+        Ok(Tensor::from_vec(out, &out_shape))
+    }
+
+    fn binary_op(&self, other: &Tensor, op: BinaryOp) -> Tensor {
+        self.try_binary_op(other, op)
+            .unwrap_or_else(|e| panic!("{e}"))
+    }
+
+    /// In-place `self = op(self, other)` for equal shapes; falls back to an
+    /// allocating broadcast op otherwise.
+    pub fn binary_assign(&mut self, other: &Tensor, op: BinaryOp) {
+        if self.shape() == other.shape() {
+            backend::current().binary_inplace(op, self.as_mut_slice(), other.as_slice());
+        } else {
+            *self = self.binary_op(other, op);
+        }
     }
 
     /// Elementwise addition with broadcasting.
     pub fn add(&self, other: &Tensor) -> Tensor {
-        self.zip(other, |a, b| a + b)
+        self.binary_op(other, BinaryOp::Add)
+    }
+
+    /// In-place addition (the gradient-accumulation hot path).
+    pub fn add_assign(&mut self, other: &Tensor) {
+        self.binary_assign(other, BinaryOp::Add);
     }
 
     /// Elementwise subtraction with broadcasting.
     pub fn sub(&self, other: &Tensor) -> Tensor {
-        self.zip(other, |a, b| a - b)
+        self.binary_op(other, BinaryOp::Sub)
     }
 
     /// Elementwise multiplication with broadcasting.
     pub fn mul(&self, other: &Tensor) -> Tensor {
-        self.zip(other, |a, b| a * b)
+        self.binary_op(other, BinaryOp::Mul)
     }
 
     /// Elementwise division with broadcasting.
     pub fn div(&self, other: &Tensor) -> Tensor {
-        self.zip(other, |a, b| a / b)
+        self.binary_op(other, BinaryOp::Div)
     }
 
     /// Multiply by a scalar.
     pub fn scale(&self, c: f32) -> Tensor {
-        self.map(|x| x * c)
+        self.unary_op(UnaryOp::Scale(c))
     }
 
     /// Add a scalar.
     pub fn add_scalar(&self, c: f32) -> Tensor {
-        self.map(|x| x + c)
+        self.unary_op(UnaryOp::AddScalar(c))
     }
 
     /// Elementwise negation.
     pub fn neg(&self) -> Tensor {
-        self.map(|x| -x)
+        self.unary_op(UnaryOp::Neg)
     }
 
     /// Elementwise square.
     pub fn square(&self) -> Tensor {
-        self.map(|x| x * x)
+        self.unary_op(UnaryOp::Square)
     }
 
     /// Elementwise square root.
     pub fn sqrt(&self) -> Tensor {
-        self.map(f32::sqrt)
+        self.unary_op(UnaryOp::Sqrt)
     }
 
     /// Elementwise reciprocal square root.
     pub fn rsqrt(&self) -> Tensor {
-        self.map(|x| 1.0 / x.sqrt())
+        self.unary_op(UnaryOp::Rsqrt)
     }
 
     /// Elementwise exponential.
     pub fn exp(&self) -> Tensor {
-        self.map(f32::exp)
+        self.unary_op(UnaryOp::Exp)
     }
 
     /// Elementwise absolute value.
     pub fn abs(&self) -> Tensor {
-        self.map(f32::abs)
+        self.unary_op(UnaryOp::Abs)
     }
 
     /// Elementwise hyperbolic tangent.
     pub fn tanh(&self) -> Tensor {
-        self.map(f32::tanh)
+        self.unary_op(UnaryOp::Tanh)
     }
 
     /// Elementwise ReLU.
     pub fn relu(&self) -> Tensor {
-        self.map(|x| x.max(0.0))
+        self.unary_op(UnaryOp::Relu)
     }
 
     /// GELU activation (tanh approximation, matching common DL frameworks).
     pub fn gelu(&self) -> Tensor {
-        self.map(gelu_scalar)
+        self.unary_op(UnaryOp::Gelu)
     }
 
     /// Sum of all elements (f64 accumulator for stability).
     pub fn sum_all(&self) -> f32 {
-        if self.numel() >= PAR_THRESHOLD {
-            self.as_slice()
-                .par_chunks(4096)
-                .map(|c| c.iter().map(|&x| x as f64).sum::<f64>())
-                .sum::<f64>() as f32
-        } else {
-            self.as_slice().iter().map(|&x| x as f64).sum::<f64>() as f32
-        }
+        backend::current().sum(self.as_slice()) as f32
     }
 
     /// Mean of all elements.
@@ -173,12 +254,18 @@ impl Tensor {
 
     /// Maximum element.
     pub fn max_all(&self) -> f32 {
-        self.as_slice().iter().copied().fold(f32::NEG_INFINITY, f32::max)
+        self.as_slice()
+            .iter()
+            .copied()
+            .fold(f32::NEG_INFINITY, f32::max)
     }
 
     /// Minimum element.
     pub fn min_all(&self) -> f32 {
-        self.as_slice().iter().copied().fold(f32::INFINITY, f32::min)
+        self.as_slice()
+            .iter()
+            .copied()
+            .fold(f32::INFINITY, f32::min)
     }
 
     /// Sum over the given axes, keeping them as size-1 dims.
@@ -221,7 +308,9 @@ impl Tensor {
     pub fn mean_axes_keepdims(&self, axes: &[usize]) -> Tensor {
         let axes = normalize_axes(axes, self.ndim());
         let count: usize = axes.iter().map(|&a| self.shape()[a]).product();
-        self.sum_axes_keepdims(&axes).scale(1.0 / count as f32)
+        let mut out = self.sum_axes_keepdims(&axes);
+        out.unary_op_inplace(UnaryOp::Scale(1.0 / count as f32));
+        out
     }
 
     /// Reduce this tensor (by summation) down to `target` shape — the adjoint
@@ -273,28 +362,8 @@ impl Tensor {
     /// Softmax over the last axis, numerically stabilized.
     pub fn softmax_last(&self) -> Tensor {
         let n = *self.shape().last().expect("softmax needs ndim >= 1");
-        let rows = self.numel() / n;
         let mut out = vec![0.0f32; self.numel()];
-        let data = self.as_slice();
-        let body = |(r, chunk): (usize, &mut [f32])| {
-            let row = &data[r * n..(r + 1) * n];
-            let m = row.iter().copied().fold(f32::NEG_INFINITY, f32::max);
-            let mut denom = 0.0f32;
-            for (o, &x) in chunk.iter_mut().zip(row) {
-                let e = (x - m).exp();
-                *o = e;
-                denom += e;
-            }
-            let inv = 1.0 / denom;
-            for o in chunk.iter_mut() {
-                *o *= inv;
-            }
-        };
-        if rows * n >= PAR_THRESHOLD && rows > 1 {
-            out.par_chunks_mut(n).enumerate().for_each(body);
-        } else {
-            out.chunks_mut(n).enumerate().for_each(body);
-        }
+        backend::current().softmax_rows(self.as_slice(), &mut out, n);
         Tensor::from_vec(out, self.shape())
     }
 }
@@ -342,6 +411,52 @@ mod tests {
         let a = Tensor::from_vec(vec![1., 2.], &[2]);
         let s = Tensor::scalar(5.0);
         assert_eq!(a.mul(&s).as_slice(), &[5., 10.]);
+    }
+
+    #[test]
+    fn incompatible_shapes_error_is_typed() {
+        let a = Tensor::ones(&[2, 3]);
+        let b = Tensor::ones(&[4]);
+        match a.try_binary_op(&b, BinaryOp::Add) {
+            Err(ShapeError::Broadcast { lhs, rhs }) => {
+                assert_eq!(lhs, vec![2, 3]);
+                assert_eq!(rhs, vec![4]);
+            }
+            other => panic!("expected Broadcast error, got {other:?}"),
+        }
+        assert!(a.try_zip(&b, |x, y| x + y).is_err());
+    }
+
+    #[test]
+    #[should_panic(expected = "broadcast")]
+    fn incompatible_add_panics() {
+        let _ = Tensor::ones(&[2, 3]).add(&Tensor::ones(&[4]));
+    }
+
+    #[test]
+    fn add_assign_matches_add() {
+        let mut a = Tensor::from_vec(vec![1., 2., 3.], &[3]);
+        let b = Tensor::from_vec(vec![0.5, -1.0, 2.0], &[3]);
+        let expect = a.add(&b);
+        a.add_assign(&b);
+        assert_eq!(a.as_slice(), expect.as_slice());
+        // Broadcasting fallback still works in place.
+        let mut c = Tensor::ones(&[2, 3]);
+        c.add_assign(&Tensor::from_vec(vec![1., 2., 3.], &[3]));
+        assert_eq!(c.as_slice(), &[2., 3., 4., 2., 3., 4.]);
+    }
+
+    #[test]
+    fn inplace_unary_copy_on_write() {
+        let mut a = Tensor::from_vec(vec![1., 4., 9.], &[3]);
+        let shared = a.clone();
+        a.unary_op_inplace(UnaryOp::Sqrt);
+        assert_eq!(a.as_slice(), &[1., 2., 3.]);
+        assert_eq!(
+            shared.as_slice(),
+            &[1., 4., 9.],
+            "clone must not observe mutation"
+        );
     }
 
     #[test]

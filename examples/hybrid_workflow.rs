@@ -17,7 +17,8 @@ fn main() {
     let ocean = scenario.ocean_config(&grid, 1);
 
     for (label, threshold) in [("strict", 1e-9), ("loose", 1e-1)] {
-        let fc = HybridForecaster::new(&grid, &trained, ocean.clone(), VerifierConfig { threshold });
+        let fc =
+            HybridForecaster::new(&grid, &trained, ocean.clone(), VerifierConfig { threshold });
         let r = fc.forecast(&test, 0, 3);
         println!(
             "{label:>7} threshold {threshold:.0e}: {} AI episodes, {} fallbacks, \

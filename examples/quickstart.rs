@@ -4,9 +4,9 @@
 //!
 //! Run with: `cargo run --release --example quickstart`
 
-use coastal::{train_surrogate, Scenario};
 use coastal::physics::{Verifier, VerifierConfig};
 use coastal::tensor::nn::Module;
+use coastal::{train_surrogate, Scenario};
 
 fn main() {
     // 1. A scaled Charlotte-Harbor-like scenario (see DESIGN.md §1).
@@ -14,12 +14,19 @@ fn main() {
     let grid = scenario.grid();
     println!(
         "estuary mesh {}x{}x{} with {} wet cells",
-        grid.ny, grid.nx, grid.sigma.nz, grid.wet_cells()
+        grid.ny,
+        grid.nx,
+        grid.sigma.nz,
+        grid.wet_cells()
     );
 
     // 2. Simulate the "training year" with the ROMS-like solver.
     let archive = scenario.simulate_archive(&grid, 0, 40);
-    println!("simulated {} snapshots ({} s apart)", archive.len(), scenario.snapshot_interval);
+    println!(
+        "simulated {} snapshots ({} s apart)",
+        archive.len(),
+        scenario.snapshot_interval
+    );
 
     // 3. Train the surrogate (patch embedding → 4D Swin → decoder).
     let trained = train_surrogate(&scenario, &grid, &archive);
@@ -41,7 +48,11 @@ fn main() {
         println!(
             "step {k}: residual {:.3e} m/s → {}",
             v.mean_residual,
-            if v.passed { "PASS" } else { "FAIL (would fall back to ROMS)" }
+            if v.passed {
+                "PASS"
+            } else {
+                "FAIL (would fall back to ROMS)"
+            }
         );
     }
 }

@@ -36,6 +36,10 @@ fn main() {
     }
     println!("\nζ at probe ({pj},{pi}) [ROMS vs AI]:");
     for (t, (r, p)) in reference.iter().zip(&predicted).enumerate() {
-        println!("  t={t:<3} {:+.3}  {:+.3}", r.zeta_at(pj, pi), p.zeta_at(pj, pi));
+        println!(
+            "  t={t:<3} {:+.3}  {:+.3}",
+            r.zeta_at(pj, pi),
+            p.zeta_at(pj, pi)
+        );
     }
 }

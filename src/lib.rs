@@ -15,6 +15,5 @@ pub use csurrogate as surrogate;
 pub use ctensor as tensor;
 
 pub use ccore::{
-    train_surrogate, DualModelForecaster, ErrorTable, HybridForecaster, Scenario,
-    TrainedSurrogate,
+    train_surrogate, DualModelForecaster, ErrorTable, HybridForecaster, Scenario, TrainedSurrogate,
 };

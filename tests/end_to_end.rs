@@ -18,7 +18,10 @@ fn simulate_train_predict_verify_loop() {
 
     // Errors are bounded by the tidal signal scale (sanity, not accuracy).
     let e = ErrorTable::between(&grid, &test[1..], &pred);
-    assert!(e.rmse[3] < 1.0, "ζ RMSE must stay under the tidal range: {e:?}");
+    assert!(
+        e.rmse[3] < 1.0,
+        "ζ RMSE must stay under the tidal range: {e:?}"
+    );
 
     // The verifier runs and produces residuals on the prediction.
     let verifier = Verifier::new(&grid, VerifierConfig::default());
@@ -57,7 +60,12 @@ fn hybrid_workflow_tracks_reference_better_than_unverified_ai() {
 
     // Strict hybrid (all fallback) must track the reference closely —
     // the fallback is the simulator itself.
-    let strict = HybridForecaster::new(&grid, &trained, ocean.clone(), VerifierConfig { threshold: 1e-12 });
+    let strict = HybridForecaster::new(
+        &grid,
+        &trained,
+        ocean.clone(),
+        VerifierConfig { threshold: 1e-12 },
+    );
     let r_strict = strict.forecast(&test, 0, 2);
     let e_strict = ErrorTable::between(&grid, &test[1..=2 * sc.t_out], &r_strict.snapshots);
 

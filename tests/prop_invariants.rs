@@ -1,9 +1,30 @@
 //! Property-based invariants across crates (proptest).
 
 use coastal::grid::SigmaCoords;
+use coastal::tensor::autograd::Graph;
+use coastal::tensor::backend::{self, Backend, Blocked, ScalarRef};
 use coastal::tensor::f16::F16;
+use coastal::tensor::init::randn;
 use coastal::tensor::tensor::Tensor;
 use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::sync::Arc;
+
+/// Run `f` once under the `ScalarRef` oracle and once under `Blocked` with
+/// `par_threshold = 1` (forcing the rayon/blocked code paths even on
+/// test-sized tensors), returning `(reference, fast)`.
+fn under_both<T>(f: impl Fn() -> T) -> (T, T) {
+    let reference = {
+        let _g = backend::scoped(Arc::new(ScalarRef) as Arc<dyn Backend>);
+        f()
+    };
+    let fast = {
+        let _g = backend::scoped(Arc::new(Blocked::new(1)) as Arc<dyn Backend>);
+        f()
+    };
+    (reference, fast)
+}
 
 proptest! {
     /// f16 roundtrip error is within half-ULP of the 11-bit significand.
@@ -69,5 +90,139 @@ proptest! {
         for (x, y) in back.as_slice().iter().zip(t.as_slice()) {
             prop_assert!((x - y * b as f32).abs() < 1e-5);
         }
+    }
+
+    /// Blocked matmul ≡ ScalarRef over randomized broadcast batch shapes.
+    #[test]
+    fn backend_parity_matmul(
+        b in 1usize..4,
+        m in 1usize..10,
+        k in 1usize..13,
+        n in 1usize..10,
+        mode in 0u8..3,
+        seed in 0u64..1_000_000,
+    ) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        // mode selects which operand carries the batch dim (the other
+        // broadcasts over it).
+        let (sa, sb) = match mode {
+            0 => (vec![b, m, k], vec![b, k, n]),
+            1 => (vec![b, m, k], vec![k, n]),
+            _ => (vec![m, k], vec![b, k, n]),
+        };
+        let a = randn(&sa, 1.0, &mut rng);
+        let c = randn(&sb, 1.0, &mut rng);
+        let (reference, fast) = under_both(|| a.matmul(&c));
+        prop_assert_eq!(reference.shape(), fast.shape());
+        let d = reference.max_abs_diff(&fast);
+        prop_assert!(d < 1e-4, "matmul {sa:?} @ {sb:?}: max diff {d}");
+    }
+
+    /// Blocked fused-bias matmul ≡ ScalarRef.
+    #[test]
+    fn backend_parity_matmul_bias(
+        m in 1usize..12,
+        k in 1usize..12,
+        n in 1usize..12,
+        seed in 0u64..1_000_000,
+    ) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let a = randn(&[m, k], 1.0, &mut rng);
+        let w = randn(&[k, n], 1.0, &mut rng);
+        let bias = randn(&[n], 1.0, &mut rng);
+        let (reference, fast) = under_both(|| a.matmul_bias(&w, &bias));
+        let d = reference.max_abs_diff(&fast);
+        prop_assert!(d < 1e-4, "matmul_bias {m}x{k}x{n}: max diff {d}");
+    }
+
+    /// Blocked row softmax ≡ ScalarRef, and rows stay normalized.
+    #[test]
+    fn backend_parity_softmax(
+        rows in 1usize..8,
+        cols in 1usize..33,
+        seed in 0u64..1_000_000,
+    ) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let x = randn(&[rows, cols], 3.0, &mut rng);
+        let (reference, fast) = under_both(|| x.softmax_last());
+        let d = reference.max_abs_diff(&fast);
+        prop_assert!(d < 1e-4, "softmax {rows}x{cols}: max diff {d}");
+        for row in fast.as_slice().chunks(cols) {
+            let s: f32 = row.iter().sum();
+            prop_assert!((s - 1.0).abs() < 1e-4, "row sums to {s}");
+        }
+    }
+
+    /// Blocked reductions (full and per-axis) ≡ ScalarRef.
+    #[test]
+    fn backend_parity_reductions(
+        d0 in 1usize..6,
+        d1 in 1usize..6,
+        d2 in 1usize..6,
+        axis in 0usize..3,
+        seed in 0u64..1_000_000,
+    ) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let x = randn(&[d0, d1, d2], 1.0, &mut rng);
+        let (s_ref, s_fast) = under_both(|| x.sum_all());
+        prop_assert!((s_ref - s_fast).abs() < 1e-4 * (1.0 + s_ref.abs()));
+        let (a_ref, a_fast) = under_both(|| x.sum_axes_keepdims(&[axis]));
+        let d = a_ref.max_abs_diff(&a_fast);
+        prop_assert!(d < 1e-4, "sum over axis {axis}: max diff {d}");
+        let (m_ref, m_fast) = under_both(|| x.mean_all());
+        prop_assert!((m_ref - m_fast).abs() < 1e-4);
+    }
+
+    /// Blocked fused attention (inference path) ≡ ScalarRef, with and
+    /// without a shifted-window additive mask.
+    #[test]
+    fn backend_parity_attention(
+        b in 1usize..3,
+        h in 1usize..3,
+        n in 1usize..10,
+        d in 1usize..8,
+        masked in 0u8..2,
+        seed in 0u64..1_000_000,
+    ) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let q = randn(&[b, h, n, d], 1.0, &mut rng);
+        let k = randn(&[b, h, n, d], 1.0, &mut rng);
+        let v = randn(&[b, h, n, d], 1.0, &mut rng);
+        // One window whose mask forbids a pseudo-random ~15% of pairs.
+        let mask = (masked == 1).then(|| {
+            let raw = randn(&[1, n, n], 1.0, &mut rng);
+            Tensor::from_vec(
+                raw.as_slice().iter().map(|&x| if x > 1.0 { -1e9 } else { 0.0 }).collect(),
+                &[1, n, n],
+            )
+        });
+        let run = || {
+            let mut g = Graph::inference();
+            let qv = g.constant(q.clone());
+            let kv = g.constant(k.clone());
+            let vv = g.constant(v.clone());
+            let o = g.attention(qv, kv, vv, mask.as_ref(), 1.0 / (d as f32).sqrt());
+            g.value(o).clone()
+        };
+        let (reference, fast) = under_both(run);
+        let diff = reference.max_abs_diff(&fast);
+        prop_assert!(diff < 1e-4, "attention b={b} h={h} n={n} d={d}: max diff {diff}");
+    }
+
+    /// Elementwise chains (unary + broadcast binary) agree across backends.
+    #[test]
+    fn backend_parity_elementwise(
+        r in 1usize..6,
+        c in 1usize..6,
+        seed in 0u64..1_000_000,
+    ) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let x = randn(&[r, c], 1.0, &mut rng);
+        let row = randn(&[c], 1.0, &mut rng);
+        // `mul` with a [c] row against [r, c] exercises the strided
+        // broadcast kernel, not just the equal-shape fast path.
+        let (reference, fast) = under_both(|| x.gelu().mul(&row).add(&x).tanh());
+        let d = reference.max_abs_diff(&fast);
+        prop_assert!(d < 1e-4, "elementwise chain: max diff {d}");
     }
 }
