@@ -1,0 +1,228 @@
+//! Serving-throughput benchmark: the micro-batched replica server vs the
+//! sequential (batch=1) baseline, emitting `BENCH_serve.json`.
+//!
+//! Two workloads, 64 concurrent requests each, both on the Blocked
+//! backend with the forecast cache disabled (so every win is earned by
+//! the serving machinery, not by memoized results):
+//!
+//! - **distinct**: 64 unique episode windows swept over
+//!   `(workers, max_batch)` — pure batched-compute scaling. On multi-core
+//!   hosts this is where stacked forwards pull ahead; the JSON records
+//!   whatever the hardware gives.
+//! - **mixed** (the headline): 64 requests drawn round-robin from 8
+//!   distinct windows — the paper's deployment traffic, where many users
+//!   ask for the same storm forecast. Single-flight coalescing collapses
+//!   duplicates onto one in-flight computation and the 8 leaders form one
+//!   micro-batch, so the server answers 64 requests with 8 forwards. The
+//!   sequential baseline (one `predict_episode` per request, no serving
+//!   stack) recomputes all 64.
+//!
+//! Headline criterion: mixed-traffic micro-batched throughput ≥ 3× the
+//! sequential baseline.
+//!
+//! `--smoke` trims training so CI finishes in seconds; the measured
+//! points and the JSON schema are identical.
+
+use std::io::Write;
+use std::time::{Duration, Instant};
+
+use ccore::{train_surrogate, Scenario, SurrogateSpec};
+use cocean::Snapshot;
+use cserve::{ForecastRequest, ForecastServer, ServeConfig};
+use ctensor::backend::BackendChoice;
+
+struct RunResult {
+    workers: usize,
+    max_batch: usize,
+    wall_s: f64,
+    rps: f64,
+    speedup: f64,
+    p50_ms: f64,
+    p95_ms: f64,
+    p99_ms: f64,
+    mean_batch: f64,
+    coalesced: u64,
+}
+
+fn episode_windows(archive: &[Snapshot], t_out: usize, n: usize) -> Vec<Vec<Snapshot>> {
+    // Stride-1 sliding windows: n distinct requests (distinct cache keys).
+    (0..n).map(|i| archive[i..i + t_out + 1].to_vec()).collect()
+}
+
+/// Push `requests` through a fresh server and measure wall-clock
+/// first-submit → last-response.
+fn serve_run(
+    spec: &SurrogateSpec,
+    requests: &[Vec<Snapshot>],
+    t_out: usize,
+    workers: usize,
+    max_batch: usize,
+    seq_rps: f64,
+) -> RunResult {
+    let server = ForecastServer::new(
+        spec.clone(),
+        ServeConfig {
+            workers,
+            max_batch,
+            max_wait: Duration::from_millis(2),
+            queue_capacity: requests.len() * 2,
+            cache_capacity: 0, // measure the serving machinery, not the LRU
+            backend: BackendChoice::Blocked,
+            scenario_id: None,
+        },
+    );
+    let t0 = Instant::now();
+    let handles: Vec<_> = requests
+        .iter()
+        .map(|w| {
+            server
+                .submit(ForecastRequest::new(0, w.clone(), t_out))
+                .expect("benchmark stays under queue capacity")
+        })
+        .collect();
+    for h in handles {
+        h.wait().expect("request answered");
+    }
+    let wall = t0.elapsed().as_secs_f64();
+    let m = server.metrics();
+    let rps = requests.len() as f64 / wall;
+    RunResult {
+        workers,
+        max_batch,
+        wall_s: wall,
+        rps,
+        speedup: rps / seq_rps,
+        p50_ms: m.p50_ms,
+        p95_ms: m.p95_ms,
+        p99_ms: m.p99_ms,
+        mean_batch: m.mean_batch_size(),
+        coalesced: m.coalesced,
+    }
+}
+
+fn result_json(r: &RunResult) -> String {
+    format!(
+        "{{\"workers\": {}, \"max_batch\": {}, \"wall_s\": {:.4}, \"throughput_rps\": {:.2}, \
+         \"speedup_vs_sequential\": {:.3}, \"p50_ms\": {:.3}, \"p95_ms\": {:.3}, \"p99_ms\": {:.3}, \
+         \"mean_batch\": {:.2}, \"coalesced\": {}}}",
+        r.workers,
+        r.max_batch,
+        r.wall_s,
+        r.rps,
+        r.speedup,
+        r.p50_ms,
+        r.p95_ms,
+        r.p99_ms,
+        r.mean_batch,
+        r.coalesced
+    )
+}
+
+fn main() {
+    let smoke = std::env::args().any(|a| a == "--smoke");
+    let n_requests = 64usize;
+    let n_distinct_mixed = 8usize;
+
+    let mut sc = Scenario::small().with_backend(BackendChoice::Blocked);
+    sc.epochs = if smoke { 1 } else { 3 };
+    let grid = sc.grid();
+    eprintln!("[serve] simulating training archive…");
+    let train_archive = sc.simulate_archive(&grid, 0, 40);
+    eprintln!("[serve] training surrogate ({} epochs)…", sc.epochs);
+    let trained = train_surrogate(&sc, &grid, &train_archive);
+    eprintln!("[serve] simulating test archive…");
+    let test_archive = sc.simulate_archive(&grid, 1, n_requests + sc.t_out + 1);
+    let distinct = episode_windows(&test_archive, sc.t_out, n_requests);
+    // Mixed traffic: 64 requests round-robin over 8 distinct forecasts.
+    let mixed: Vec<Vec<Snapshot>> = (0..n_requests)
+        .map(|i| distinct[i % n_distinct_mixed].clone())
+        .collect();
+    let spec = trained.spec();
+
+    // ------------------------------------------------ sequential baseline
+    // One thread, one `predict_episode` per request, no serving stack —
+    // the pre-serving deployment recomputes every request, so distinct
+    // and mixed traffic cost the same.
+    let _pin = ctensor::backend::scoped(BackendChoice::Blocked.resolve());
+    let t0 = Instant::now();
+    for w in &distinct {
+        std::hint::black_box(trained.predict_episode(w));
+    }
+    let seq_wall = t0.elapsed().as_secs_f64();
+    drop(_pin);
+    let seq_rps = n_requests as f64 / seq_wall;
+    eprintln!("[serve] sequential baseline: {seq_rps:.1} req/s ({seq_wall:.3} s for {n_requests})");
+
+    // ------------------------------------------- distinct-request sweep
+    let points: &[(usize, usize)] = if smoke {
+        &[(1, 1), (1, 8), (2, 16)]
+    } else {
+        &[(1, 1), (1, 4), (1, 8), (1, 16), (2, 8), (2, 16), (4, 16)]
+    };
+    let mut sweep = Vec::new();
+    for &(w, b) in points {
+        let r = serve_run(&spec, &distinct, sc.t_out, w, b, seq_rps);
+        eprintln!(
+            "[serve] distinct workers={w} max_batch={b:>2}: {:>7.1} req/s ({:.2}x seq), \
+             p50 {:.1} ms, p99 {:.1} ms, mean batch {:.1}",
+            r.rps, r.speedup, r.p50_ms, r.p99_ms, r.mean_batch
+        );
+        sweep.push(r);
+    }
+
+    // ------------------------------------------- mixed-traffic headline
+    let workers = 2;
+    let mixed_run = serve_run(&spec, &mixed, sc.t_out, workers, 16, seq_rps);
+    eprintln!(
+        "[serve] mixed ({n_distinct_mixed} distinct / {n_requests} requests) workers={workers} \
+         max_batch=16: {:>7.1} req/s ({:.2}x seq), {} coalesced, mean batch {:.1}",
+        mixed_run.rps, mixed_run.speedup, mixed_run.coalesced, mixed_run.mean_batch
+    );
+
+    // ------------------------------------------------------------- report
+    let mut json = format!(
+        "{{\n  \"bench\": \"serve\",\n  \"smoke\": {smoke},\n  \"requests\": {n_requests},\n  \
+         \"threads\": {},\n  \"backend\": \"blocked\",\n  \
+         \"sequential\": {{\"wall_s\": {seq_wall:.4}, \"throughput_rps\": {seq_rps:.2}}},\n  \
+         \"distinct_results\": [\n",
+        rayon::current_num_threads()
+    );
+    for (i, r) in sweep.iter().enumerate() {
+        json.push_str("    ");
+        json.push_str(&result_json(r));
+        json.push_str(if i + 1 < sweep.len() { ",\n" } else { "\n" });
+    }
+    json.push_str(&format!(
+        "  ],\n  \"mixed\": {{\"distinct\": {n_distinct_mixed}, \"result\": {}}},\n",
+        result_json(&mixed_run)
+    ));
+    json.push_str(&format!(
+        "  \"headline\": {{\"workload\": \"mixed\", \
+         \"mechanism\": \"single-flight coalescing + micro-batching\", \
+         \"note\": \"distinct-request batching alone is ~1x on single-core hosts (see distinct_results); the headline win comes from answering {} duplicate requests with {} batched forwards\", \
+         \"workers\": {}, \"max_batch\": {}, \
+         \"throughput_rps\": {:.2}, \"speedup_vs_sequential\": {:.3}}}\n}}\n",
+        mixed_run.coalesced,
+        n_requests as u64 - mixed_run.coalesced,
+        mixed_run.workers,
+        mixed_run.max_batch,
+        mixed_run.rps,
+        mixed_run.speedup
+    ));
+
+    let path = std::env::var("BENCH_SERVE_OUT").unwrap_or_else(|_| "BENCH_serve.json".into());
+    std::fs::File::create(&path)
+        .and_then(|mut f| f.write_all(json.as_bytes()))
+        .unwrap_or_else(|e| eprintln!("[serve] could not write {path}: {e}"));
+    println!("{json}");
+
+    eprintln!(
+        "[serve] headline serving speedup (mixed traffic; coalescing + micro-batching): {:.1}x ({})",
+        mixed_run.speedup,
+        if mixed_run.speedup >= 3.0 {
+            "PASS >= 3x"
+        } else {
+            "below 3x target"
+        }
+    );
+}

@@ -51,7 +51,9 @@ fn main() {
             ocean.clone(),
             VerifierConfig { threshold },
         );
-        let r = fc.forecast(&ctx.test_archive, 0, n_episodes);
+        let r = fc
+            .forecast(&ctx.test_archive, 0, n_episodes)
+            .expect("reference long enough");
         let total = r.total_seconds();
         let speedup = roms_wall / total;
         println!(

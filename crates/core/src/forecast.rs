@@ -5,6 +5,7 @@
 
 use cocean::Snapshot;
 
+use crate::error::ForecastError;
 use crate::train::TrainedSurrogate;
 
 /// Coarse + fine surrogate composition.
@@ -22,23 +23,33 @@ impl<'a> DualModelForecaster<'a> {
     /// `fine_per_coarse` fine steps per coarse interval.
     ///
     /// Returns the concatenated fine-resolution trajectory (length
-    /// `coarse.t_out × fine.t_out` when `fine_per_coarse == fine.t_out`).
+    /// `coarse.t_out × fine.t_out` when `fine_per_coarse == fine.t_out`),
+    /// or a typed error when the reference trajectories cannot supply the
+    /// required boundary frames — a malformed request must not panic a
+    /// serving worker.
     pub fn forecast(
         &self,
         coarse_reference: &[Snapshot],
         fine_reference: &[Snapshot],
         start_fine: usize,
-    ) -> Vec<Snapshot> {
+    ) -> Result<Vec<Snapshot>, ForecastError> {
         let ct = self.coarse.model.cfg.t_out;
         let ft = self.fine.model.cfg.t_out;
-        assert!(coarse_reference.len() > ct, "need coarse window");
-        assert!(
-            fine_reference.len() > start_fine + ct * ft,
-            "need fine reference for boundary frames"
-        );
+        if coarse_reference.len() <= ct {
+            return Err(ForecastError::ReferenceTooShort {
+                needed: ct + 1,
+                got: coarse_reference.len(),
+            });
+        }
+        if fine_reference.len() <= start_fine + ct * ft {
+            return Err(ForecastError::ReferenceTooShort {
+                needed: start_fine + ct * ft + 1,
+                got: fine_reference.len(),
+            });
+        }
 
         // 1. Coarse sweep across the horizon.
-        let coarse_pred = self.coarse.predict_episode(&coarse_reference[..=ct]);
+        let coarse_pred = self.coarse.try_predict_episode(&coarse_reference[..=ct])?;
 
         // 2. Refine each coarse interval with the fine model, seeded by
         //    the previous coarse snapshot (the IC), boundary frames from
@@ -54,11 +65,11 @@ impl<'a> DualModelForecaster<'a> {
             for s in &fine_reference[f0 + 1..=f0 + ft] {
                 window.push(s.clone());
             }
-            let fine_pred = self.fine.predict_episode(&window);
+            let fine_pred = self.fine.try_predict_episode(&window)?;
             out.extend(fine_pred);
             ic = coarse_snap.clone();
         }
-        out
+        Ok(out)
     }
 }
 
@@ -88,9 +99,17 @@ mod tests {
             coarse: &coarse,
             fine: &fine,
         };
-        let out = dual.forecast(&coarse_archive, &archive, 0);
+        let out = dual
+            .forecast(&coarse_archive, &archive, 0)
+            .expect("references are long enough");
         assert_eq!(out.len(), sc_coarse.t_out * sc_fine.t_out);
         assert!(out.iter().all(|s| s.zeta.iter().all(|v| v.is_finite())));
+
+        // A truncated reference is a typed error, not a panic.
+        let err = dual.forecast(&coarse_archive[..2], &archive, 0);
+        assert!(matches!(err, Err(ForecastError::ReferenceTooShort { .. })));
+        let err = dual.forecast(&coarse_archive, &archive[..3], 0);
+        assert!(matches!(err, Err(ForecastError::ReferenceTooShort { .. })));
         // Times increase monotonically within each refined interval.
         for w in out.windows(2) {
             if w[1].time > w[0].time {

@@ -17,12 +17,16 @@
 //! assert_eq!(forecast.len(), sc.t_out);
 //! ```
 
+pub mod error;
 pub mod forecast;
 pub mod metrics;
 pub mod train;
 pub mod workflow;
 
+pub use error::ForecastError;
 pub use forecast::DualModelForecaster;
 pub use metrics::ErrorTable;
-pub use train::{train_surrogate, Scenario, TrainedSurrogate};
+pub use train::{
+    train_surrogate, validate_episode_window, Scenario, SurrogateSpec, TrainedSurrogate,
+};
 pub use workflow::{HybridForecaster, HybridOutcome};

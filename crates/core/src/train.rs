@@ -4,13 +4,16 @@
 use cgrid::Grid;
 use cocean::{OceanConfig, Roms, Snapshot, TidalForcing};
 use cpipeline::{
-    decode_prediction, encode_episode, stack_episodes, DataLoader, EncodeConfig, Episode,
-    LoaderConfig, NormStats, SnapshotStore, TrainConfig, Trainer, WindowSpec,
+    decode_prediction, decode_prediction_batch, encode_episode, stack_episodes, DataLoader,
+    EncodeConfig, Episode, LoaderConfig, NormStats, SnapshotStore, TrainConfig, Trainer,
+    WindowSpec,
 };
 use csurrogate::{SwinConfig, SwinSurrogate};
 use ctensor::backend::BackendChoice;
 use ctensor::prelude::*;
 use std::sync::Arc;
+
+use crate::error::ForecastError;
 
 /// Scenario: the mesh, forcing, episode shape and training budget used by
 /// an experiment.
@@ -131,6 +134,85 @@ pub struct TrainedSurrogate {
     pub last_epoch: cpipeline::EpochStats,
 }
 
+/// Everything needed to reconstruct a [`TrainedSurrogate`] in another
+/// thread or process: the model config, its parameter tensors, and the
+/// encode/decode context.
+///
+/// Unlike the live model (whose parameters are `Rc`-shared and therefore
+/// thread-local), a spec is `Send + Sync` — tensors are immutable
+/// `Arc`-backed buffers — so replica pools can ship one spec to every
+/// worker and rebuild identical models locally.
+#[derive(Clone)]
+pub struct SurrogateSpec {
+    pub swin: SwinConfig,
+    /// Parameter tensors in `state_dict` order.
+    pub state: Vec<Tensor>,
+    /// Non-trainable buffers (BatchNorm running statistics) — without
+    /// these a rebuilt model normalizes with fresh stats and drifts from
+    /// the trained one.
+    pub buffers: Vec<Tensor>,
+    pub stats: NormStats,
+    pub mask: Tensor,
+    pub encode: EncodeConfig,
+    pub snapshot_interval: f64,
+}
+
+impl SurrogateSpec {
+    /// Forecast steps per episode.
+    pub fn t_out(&self) -> usize {
+        self.swin.t_out
+    }
+
+    /// Expected mesh `(nz, ny, nx)` of request snapshots.
+    pub fn mesh(&self) -> (usize, usize, usize) {
+        (self.swin.nz, self.swin.ny, self.swin.nx)
+    }
+
+    /// Rebuild a live surrogate from this spec (e.g. inside a worker
+    /// thread). The reconstruction is exact: parameters are loaded from
+    /// the recorded state, not re-initialized.
+    pub fn instantiate(&self) -> TrainedSurrogate {
+        let model = SwinSurrogate::from_state(self.swin.clone(), &self.state);
+        model.load_buffers(&self.buffers);
+        TrainedSurrogate {
+            model,
+            stats: self.stats,
+            mask: self.mask.clone(),
+            encode: self.encode.clone(),
+            snapshot_interval: self.snapshot_interval,
+            last_epoch: cpipeline::EpochStats::default(),
+        }
+    }
+}
+
+/// The single source of truth for what a valid episode window is: the
+/// initial condition plus `t_out` boundary frames, every snapshot on the
+/// `(nz, ny, nx)` mesh. Shared by [`TrainedSurrogate`] and the serving
+/// front end so admission and execution can never disagree.
+pub fn validate_episode_window(
+    t_out: usize,
+    mesh: (usize, usize, usize),
+    window: &[Snapshot],
+) -> Result<(), ForecastError> {
+    let needed = t_out + 1;
+    if window.len() != needed {
+        return Err(ForecastError::WindowLength {
+            needed,
+            got: window.len(),
+        });
+    }
+    for s in window {
+        let got = (s.nz, s.ny, s.nx);
+        if got != mesh {
+            return Err(ForecastError::MeshMismatch {
+                expected: mesh,
+                got,
+            });
+        }
+    }
+    Ok(())
+}
+
 /// Train a surrogate on a snapshot archive.
 pub fn train_surrogate(scenario: &Scenario, grid: &Grid, archive: &[Snapshot]) -> TrainedSurrogate {
     let mask_vec: Vec<f64> = (0..grid.ny)
@@ -183,12 +265,85 @@ pub fn train_surrogate(scenario: &Scenario, grid: &Grid, archive: &[Snapshot]) -
 }
 
 impl TrainedSurrogate {
+    /// Extract the `Send + Sync` spec that reconstructs this surrogate in
+    /// another thread (cheap: tensors are `Arc` clones).
+    pub fn spec(&self) -> SurrogateSpec {
+        SurrogateSpec {
+            swin: self.model.cfg.clone(),
+            state: state_dict(&self.model),
+            buffers: self.model.buffers(),
+            stats: self.stats,
+            mask: self.mask.clone(),
+            encode: self.encode.clone(),
+            snapshot_interval: self.snapshot_interval,
+        }
+    }
+
+    /// Validate that `window` is a well-formed episode for this model:
+    /// the initial condition plus `t_out` boundary frames, all on the
+    /// configured mesh.
+    pub fn validate_window(&self, window: &[Snapshot]) -> Result<(), ForecastError> {
+        validate_episode_window(
+            self.model.cfg.t_out,
+            (self.model.cfg.nz, self.model.cfg.ny, self.model.cfg.nx),
+            window,
+        )
+    }
+
     /// Predict one episode: `window[0]` is the initial condition; the
     /// boundary conditions are taken from `window[1..]` (as the paper
     /// feeds future lateral BCs). Returns the predicted snapshots.
     pub fn predict_episode(&self, window: &[Snapshot]) -> Vec<Snapshot> {
         let ep = encode_episode(window, &self.stats, &self.encode);
         self.predict_encoded(&ep)
+    }
+
+    /// Fallible [`Self::predict_episode`]: window validation surfaces as a
+    /// typed error instead of a panic deeper in the encode/forward path.
+    pub fn try_predict_episode(&self, window: &[Snapshot]) -> Result<Vec<Snapshot>, ForecastError> {
+        self.validate_window(window)?;
+        Ok(self.predict_episode(window))
+    }
+
+    /// Predict a batch of episodes in one forward pass.
+    ///
+    /// The episodes are stacked along the batch axis (the Table I timing
+    /// path promoted to a first-class API), so the batched matmul /
+    /// attention kernels amortize per-op overhead across requests —
+    /// serving throughput scales with batch size, not request count.
+    /// Results match per-episode [`Self::predict_episode`] calls within
+    /// numerical tolerance.
+    pub fn predict_batch(
+        &self,
+        windows: &[&[Snapshot]],
+    ) -> Result<Vec<Vec<Snapshot>>, ForecastError> {
+        if windows.is_empty() {
+            return Err(ForecastError::EmptyBatch);
+        }
+        for w in windows {
+            self.validate_window(w)?;
+        }
+        let eps: Vec<Episode> = windows
+            .iter()
+            .map(|w| encode_episode(w, &self.stats, &self.encode))
+            .collect();
+        let t0s: Vec<f64> = eps.iter().map(|e| e.t0).collect();
+        let batch = stack_episodes(&eps);
+        let mut g = Graph::inference();
+        let x3 = g.constant(batch.x3d);
+        let x2 = g.constant(batch.x2d);
+        let (p3, p2) = self.model.forward(&mut g, x3, x2);
+        let mut out = decode_prediction_batch(
+            g.value(p3),
+            g.value(p2),
+            &self.stats,
+            &t0s,
+            self.snapshot_interval,
+        );
+        for snaps in &mut out {
+            self.mask_land(snaps);
+        }
+        Ok(out)
     }
 
     /// Predict from an already-encoded episode.
@@ -204,8 +359,13 @@ impl TrainedSurrogate {
             ep.t0,
             self.snapshot_interval,
         );
-        // Zero land cells (the model is only trained on water).
-        for s in &mut snaps {
+        self.mask_land(&mut snaps);
+        snaps
+    }
+
+    /// Zero land cells (the model is only trained on water).
+    fn mask_land(&self, snaps: &mut [Snapshot]) {
+        for s in snaps.iter_mut() {
             for j in 0..s.ny {
                 for i in 0..s.nx {
                     if self.mask.at(&[j, i]) < 0.5 {
@@ -221,7 +381,6 @@ impl TrainedSurrogate {
                 }
             }
         }
-        snaps
     }
 
     /// Wall-clock one batched inference (Table I / IV timing).
@@ -261,6 +420,75 @@ mod tests {
         assert_eq!(pred.len(), sc.t_out);
         assert_eq!(pred[0].ny, grid.ny);
         assert!(pred.iter().all(|s| s.zeta.iter().all(|v| v.is_finite())));
+    }
+
+    #[test]
+    fn predict_batch_matches_sequential() {
+        let sc = Scenario::small();
+        let grid = sc.grid();
+        let archive = sc.simulate_archive(&grid, 0, 24);
+        let mut sc1 = sc.clone();
+        sc1.epochs = 1;
+        let trained = train_surrogate(&sc1, &grid, &archive);
+
+        let len = sc.t_out + 1;
+        let windows: Vec<&[Snapshot]> = archive.chunks_exact(len).collect();
+        assert!(windows.len() >= 3);
+        let batched = trained.predict_batch(&windows).unwrap();
+        assert_eq!(batched.len(), windows.len());
+        for (w, b) in windows.iter().zip(&batched) {
+            let seq = trained.predict_episode(w);
+            assert_eq!(seq.len(), b.len());
+            for (s, p) in seq.iter().zip(b) {
+                assert_eq!(s.time, p.time);
+                for (field_s, field_p) in
+                    [(&s.zeta, &p.zeta), (&s.u, &p.u), (&s.v, &p.v), (&s.w, &p.w)]
+                {
+                    for (a, c) in field_s.iter().zip(field_p.iter()) {
+                        assert!((a - c).abs() < 1e-5, "batched {c} vs sequential {a}");
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn predict_batch_rejects_malformed_windows() {
+        let sc = Scenario::small();
+        let grid = sc.grid();
+        let archive = sc.simulate_archive(&grid, 0, 12);
+        let mut sc1 = sc.clone();
+        sc1.epochs = 1;
+        let trained = train_surrogate(&sc1, &grid, &archive);
+
+        assert!(matches!(
+            trained.predict_batch(&[]),
+            Err(crate::error::ForecastError::EmptyBatch)
+        ));
+        let short = &archive[..sc.t_out]; // missing one boundary frame
+        assert!(matches!(
+            trained.predict_batch(&[short]),
+            Err(crate::error::ForecastError::WindowLength { .. })
+        ));
+    }
+
+    #[test]
+    fn spec_roundtrip_reproduces_predictions() {
+        let sc = Scenario::small();
+        let grid = sc.grid();
+        let archive = sc.simulate_archive(&grid, 0, 12);
+        let mut sc1 = sc.clone();
+        sc1.epochs = 1;
+        let trained = train_surrogate(&sc1, &grid, &archive);
+        let rebuilt = trained.spec().instantiate();
+
+        let window = &archive[..sc.t_out + 1];
+        let a = trained.predict_episode(window);
+        let b = rebuilt.predict_episode(window);
+        for (x, y) in a.iter().zip(&b) {
+            assert_eq!(x.zeta, y.zeta, "spec roundtrip must be exact");
+            assert_eq!(x.u, y.u);
+        }
     }
 
     #[test]

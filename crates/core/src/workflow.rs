@@ -8,6 +8,7 @@ use cgrid::Grid;
 use cocean::{OceanConfig, Roms, Snapshot};
 use cphysics::{Verifier, VerifierConfig};
 
+use crate::error::ForecastError;
 use crate::train::TrainedSurrogate;
 
 /// Outcome of a hybrid forecast.
@@ -62,20 +63,25 @@ impl<'a> HybridForecaster<'a> {
     /// Each episode is verified; on failure, the episode is recomputed
     /// with the simulator initialized from the last accepted state (the
     /// paper's "switch back to ROMS" arm), and the forecast continues.
+    ///
+    /// A reference trajectory too short to supply boundary frames is a
+    /// typed [`ForecastError`], not a panic — serving workers stay up.
     pub fn forecast(
         &self,
         reference: &[Snapshot],
         start: usize,
         n_episodes: usize,
-    ) -> HybridOutcome {
+    ) -> Result<HybridOutcome, ForecastError> {
         // Pin the surrogate's configured backend for the whole hybrid run:
         // episode encode/decode tensor work shares the model's kernels.
         let _backend = ctensor::backend::scoped(self.surrogate.model.cfg.backend.resolve());
         let t_out = self.surrogate.model.cfg.t_out;
-        assert!(
-            start + n_episodes * t_out < reference.len(),
-            "reference trajectory too short"
-        );
+        if start + n_episodes * t_out >= reference.len() {
+            return Err(ForecastError::ReferenceTooShort {
+                needed: start + n_episodes * t_out + 1,
+                got: reference.len(),
+            });
+        }
         let verifier = Verifier::new(self.grid, self.verifier_cfg);
 
         let mut out = HybridOutcome {
@@ -103,7 +109,7 @@ impl<'a> HybridForecaster<'a> {
             }
 
             let t_ai = Instant::now();
-            let prediction = self.surrogate.predict_episode(&window);
+            let prediction = self.surrogate.try_predict_episode(&window)?;
             out.ai_seconds += t_ai.elapsed().as_secs_f64();
 
             let t_v = Instant::now();
@@ -113,7 +119,10 @@ impl<'a> HybridForecaster<'a> {
 
             if passed {
                 out.episodes_ai += 1;
-                current = prediction.last().unwrap().clone();
+                current = prediction
+                    .last()
+                    .ok_or(ForecastError::EmptyEpisode)?
+                    .clone();
                 out.snapshots.extend(prediction);
             } else {
                 // Fallback: run the simulator for this episode from the
@@ -124,11 +133,11 @@ impl<'a> HybridForecaster<'a> {
                 let sim = roms.record(t_out, self.surrogate.snapshot_interval);
                 out.roms_seconds += t_r.elapsed().as_secs_f64();
                 out.episodes_fallback += 1;
-                current = sim.last().unwrap().clone();
+                current = sim.last().ok_or(ForecastError::EmptyEpisode)?.clone();
                 out.snapshots.extend(sim);
             }
         }
-        out
+        Ok(out)
     }
 }
 
@@ -159,7 +168,7 @@ mod tests {
             ocean.clone(),
             VerifierConfig { threshold: 1e-12 },
         );
-        let r = strict.forecast(&test, 0, 2);
+        let r = strict.forecast(&test, 0, 2).unwrap();
         assert_eq!(r.episodes_fallback, 2);
         assert_eq!(r.episodes_ai, 0);
         assert!(r.roms_seconds > 0.0);
@@ -167,7 +176,7 @@ mod tests {
         // Absurdly loose: every episode is accepted from the AI.
         let loose =
             HybridForecaster::new(&grid, &trained, ocean, VerifierConfig { threshold: 1e9 });
-        let r = loose.forecast(&test, 0, 2);
+        let r = loose.forecast(&test, 0, 2).unwrap();
         assert_eq!(r.episodes_ai, 2);
         assert_eq!(r.episodes_fallback, 0);
         assert_eq!(r.snapshots.len(), 2 * sc.t_out);
@@ -178,7 +187,7 @@ mod tests {
         let (grid, trained, test, sc) = setup();
         let ocean = sc.ocean_config(&grid, 1);
         let fc = HybridForecaster::new(&grid, &trained, ocean, VerifierConfig { threshold: 1e-12 });
-        let r = fc.forecast(&test, 0, 1);
+        let r = fc.forecast(&test, 0, 1).unwrap();
         // Simulator output passes the oceanographic threshold.
         let verifier = Verifier::new(
             &grid,
@@ -194,11 +203,35 @@ mod tests {
     }
 
     #[test]
+    fn short_reference_is_typed_error_not_panic() {
+        let (grid, trained, test, sc) = setup();
+        let ocean = sc.ocean_config(&grid, 1);
+        let fc = HybridForecaster::new(&grid, &trained, ocean, VerifierConfig { threshold: 1e9 });
+        // 20 test snapshots cannot supply 10 episodes × t_out frames.
+        let err = fc.forecast(&test, 0, 10);
+        assert!(matches!(err, Err(ForecastError::ReferenceTooShort { .. })));
+        // A mesh mismatch in the window likewise surfaces as an error.
+        let mut bad = test.clone();
+        bad[1] = Snapshot {
+            time: bad[1].time,
+            nz: 1,
+            ny: 2,
+            nx: 2,
+            zeta: vec![0.0; 4],
+            u: vec![0.0; 4],
+            v: vec![0.0; 4],
+            w: vec![0.0; 4],
+        };
+        let err = fc.forecast(&bad, 0, 1);
+        assert!(matches!(err, Err(ForecastError::MeshMismatch { .. })));
+    }
+
+    #[test]
     fn timing_fields_populated() {
         let (grid, trained, test, sc) = setup();
         let ocean = sc.ocean_config(&grid, 1);
         let fc = HybridForecaster::new(&grid, &trained, ocean, VerifierConfig { threshold: 1e9 });
-        let r = fc.forecast(&test, 0, 2);
+        let r = fc.forecast(&test, 0, 2).unwrap();
         assert!(r.ai_seconds > 0.0);
         assert!(r.verify_seconds > 0.0);
         assert!(r.total_seconds() >= r.ai_seconds);

@@ -178,8 +178,23 @@ pub fn decode_prediction(
     t0: f64,
     dt: f64,
 ) -> Vec<Snapshot> {
-    let s3 = pred3.shape().to_vec();
+    let s3 = pred3.shape();
     assert_eq!(s3[0], 1, "decode one sample at a time");
+    decode_sample(pred3, pred2, 0, stats, t0, dt)
+}
+
+/// Decode sample `b` of a batched model prediction
+/// `(B,3,ny,nx,nz,T)/(B,1,ny,nx,T)` back into physical-unit snapshots.
+pub fn decode_sample(
+    pred3: &Tensor,
+    pred2: &Tensor,
+    b: usize,
+    stats: &NormStats,
+    t0: f64,
+    dt: f64,
+) -> Vec<Snapshot> {
+    let s3 = pred3.shape().to_vec();
+    assert!(b < s3[0], "sample {b} out of batch {}", s3[0]);
     let (ny, nx, nz, t_out) = (s3[2], s3[3], s3[4], s3[5]);
     let mut out = Vec::with_capacity(t_out);
     for t in 0..t_out {
@@ -197,16 +212,36 @@ pub fn decode_prediction(
             for i in 0..nx {
                 for k in 0..nz {
                     let dst = snap.idx3(k, j, i);
-                    snap.u[dst] = stats.denormalize(0, pred3.at(&[0, 0, j, i, k, t]));
-                    snap.v[dst] = stats.denormalize(1, pred3.at(&[0, 1, j, i, k, t]));
-                    snap.w[dst] = stats.denormalize(2, pred3.at(&[0, 2, j, i, k, t]));
+                    snap.u[dst] = stats.denormalize(0, pred3.at(&[b, 0, j, i, k, t]));
+                    snap.v[dst] = stats.denormalize(1, pred3.at(&[b, 1, j, i, k, t]));
+                    snap.w[dst] = stats.denormalize(2, pred3.at(&[b, 2, j, i, k, t]));
                 }
-                snap.zeta[j * nx + i] = stats.denormalize(3, pred2.at(&[0, 0, j, i, t]));
+                snap.zeta[j * nx + i] = stats.denormalize(3, pred2.at(&[b, 0, j, i, t]));
             }
         }
         out.push(snap);
     }
     out
+}
+
+/// Decode every sample of a batched prediction; `t0s[b]` supplies each
+/// episode's initial-condition time.
+pub fn decode_prediction_batch(
+    pred3: &Tensor,
+    pred2: &Tensor,
+    stats: &NormStats,
+    t0s: &[f64],
+    dt: f64,
+) -> Vec<Vec<Snapshot>> {
+    assert_eq!(
+        pred3.shape()[0],
+        t0s.len(),
+        "one t0 per batched sample required"
+    );
+    t0s.iter()
+        .enumerate()
+        .map(|(b, &t0)| decode_sample(pred3, pred2, b, stats, t0, dt))
+        .collect()
 }
 
 #[cfg(test)]

@@ -22,7 +22,8 @@ pub mod store;
 pub mod trainer;
 
 pub use dataset::{
-    decode_prediction, encode_episode, stack_episodes, EncodeConfig, Episode, WindowSpec,
+    decode_prediction, decode_prediction_batch, decode_sample, encode_episode, stack_episodes,
+    EncodeConfig, Episode, WindowSpec,
 };
 pub use loader::{DataLoader, LoaderConfig};
 pub use normalize::NormStats;

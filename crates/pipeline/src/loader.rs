@@ -129,6 +129,9 @@ pub struct DataLoader {
     encode: EncodeConfig,
     pub cfg: LoaderConfig,
     pool: BufferPool,
+    /// Episodes dropped because a prefetch worker died before delivering
+    /// them (see [`DataLoader::dropped_episodes`]).
+    dropped: Arc<AtomicUsize>,
 }
 
 impl DataLoader {
@@ -149,7 +152,15 @@ impl DataLoader {
             encode,
             cfg,
             pool: BufferPool::default(),
+            dropped: Arc::new(AtomicUsize::new(0)),
         }
+    }
+
+    /// Episodes lost to dead prefetch workers across all epochs so far.
+    /// Non-zero values mean some instances were skipped rather than
+    /// crashing the training loop mid-stream.
+    pub fn dropped_episodes(&self) -> usize {
+        self.dropped.load(Ordering::Relaxed)
     }
 
     /// Instances per epoch.
@@ -190,6 +201,7 @@ impl DataLoader {
                 rx: None,
                 reorder: BTreeMap::new(),
                 next_seq: 0,
+                dropped: Arc::clone(&self.dropped),
                 _workers: Vec::new(),
             };
         }
@@ -229,6 +241,7 @@ impl DataLoader {
             rx: Some(rx),
             reorder: BTreeMap::new(),
             next_seq: 0,
+            dropped: Arc::clone(&self.dropped),
             _workers: workers,
         }
     }
@@ -242,6 +255,7 @@ pub struct EpochIter<'l> {
     rx: Option<Receiver<(usize, Episode)>>,
     reorder: BTreeMap<usize, Episode>,
     next_seq: usize,
+    dropped: Arc<AtomicUsize>,
     _workers: Vec<JoinHandle<()>>,
 }
 
@@ -257,17 +271,38 @@ impl EpochIter<'_> {
                 Some(ep)
             }
             Some(rx) => {
-                if self.next_seq >= self.order.len() {
-                    return None;
+                while self.next_seq < self.order.len() {
+                    if let Some(ep) = self.reorder.remove(&self.next_seq) {
+                        self.next_seq += 1;
+                        return Some(ep);
+                    }
+                    // Wait for the next expected sequence number to arrive.
+                    match rx.recv() {
+                        Ok((seq, ep)) => {
+                            self.reorder.insert(seq, ep);
+                        }
+                        Err(_) => {
+                            // Every worker is gone (e.g. one panicked on a
+                            // corrupt episode and the rest drained the
+                            // cursor). Skip the sequence numbers that will
+                            // never arrive, counting them, and keep
+                            // serving whatever did make it into the
+                            // reorder buffer instead of panicking
+                            // mid-stream.
+                            if let Some((&seq, _)) = self.reorder.iter().next() {
+                                self.dropped
+                                    .fetch_add(seq - self.next_seq, Ordering::Relaxed);
+                                self.next_seq = seq;
+                            } else {
+                                self.dropped
+                                    .fetch_add(self.order.len() - self.next_seq, Ordering::Relaxed);
+                                self.next_seq = self.order.len();
+                                return None;
+                            }
+                        }
+                    }
                 }
-                // Drain until the next expected sequence number arrives.
-                while !self.reorder.contains_key(&self.next_seq) {
-                    let (seq, ep) = rx.recv().expect("prefetch worker died");
-                    self.reorder.insert(seq, ep);
-                }
-                let ep = self.reorder.remove(&self.next_seq).unwrap();
-                self.next_seq += 1;
-                Some(ep)
+                None
             }
         }
     }
@@ -389,6 +424,38 @@ mod tests {
         assert_ne!(e0, e1, "different epochs should reshuffle");
         let e0b: Vec<f64> = loader.epoch(0).map(|b| b.t0).collect();
         assert_eq!(e0, e0b, "same epoch must replay identically");
+    }
+
+    #[test]
+    fn dead_worker_skips_episodes_instead_of_panicking() {
+        // One prefetch worker that panics mid-epoch (episode start beyond
+        // the archive): the iterator must deliver everything produced
+        // before the crash and count the rest as dropped — not poison the
+        // whole training loop.
+        let store = archive(20);
+        let starts = vec![0usize, 1, 900, 2, 3]; // 900 is out of range
+        let loader = DataLoader::new(
+            store,
+            starts,
+            3,
+            NormStats::identity(),
+            EncodeConfig::default(),
+            LoaderConfig {
+                prefetch_workers: 1,
+                prefetch_factor: 4,
+                batch_size: 1,
+                shuffle_seed: None,
+                ..Default::default()
+            },
+        );
+        let prev_hook = std::panic::take_hook();
+        std::panic::set_hook(Box::new(|_| {})); // silence the worker panic
+        let batches: Vec<_> = loader.epoch(0).collect();
+        std::panic::set_hook(prev_hook);
+        assert_eq!(batches.len(), 2, "episodes before the crash survive");
+        assert_eq!(batches[0].t0, 0.0);
+        assert_eq!(batches[1].t0, 1.0);
+        assert_eq!(loader.dropped_episodes(), 3, "crashed + undelivered");
     }
 
     #[test]

@@ -68,6 +68,19 @@ impl SnapshotStore {
         self.dims
     }
 
+    /// Decompress `len` consecutive snapshots starting at `start` — the
+    /// episode-window read for building forecast requests from a shared
+    /// archive (fetching is `&self`, so concurrent readers behind an
+    /// `Arc<SnapshotStore>` need no locking). Returns `None` when the
+    /// range runs off the archive instead of panicking mid-request.
+    pub fn fetch_window(&self, start: usize, len: usize) -> Option<Vec<Snapshot>> {
+        let end = start.checked_add(len)?;
+        if end > self.offsets.len() {
+            return None;
+        }
+        Some((start..end).map(|i| self.fetch(i)).collect())
+    }
+
     /// Decompress snapshot `idx` (f16 → f32 widening of every value).
     pub fn fetch(&self, idx: usize) -> Snapshot {
         if self.fetch_latency_us > 0 {
@@ -144,6 +157,19 @@ mod tests {
         let f32_bytes: usize = snaps.iter().map(|s| s.nbytes()).sum();
         // Header per snapshot = 8 bytes; payload exactly half.
         assert_eq!(store.nbytes(), f32_bytes / 2 + 8 * snaps.len());
+    }
+
+    #[test]
+    fn fetch_window_bounds_checked() {
+        let snaps: Vec<Snapshot> = (0..5).map(|t| snap(t as f64)).collect();
+        let store = SnapshotStore::build(&snaps);
+        let w = store.fetch_window(1, 3).unwrap();
+        assert_eq!(w.len(), 3);
+        assert_eq!(w[0].time, 1.0);
+        assert_eq!(w[2].time, 3.0);
+        assert!(store.fetch_window(3, 3).is_none());
+        assert!(store.fetch_window(5, 1).is_none());
+        assert!(store.fetch_window(usize::MAX, 2).is_none(), "no overflow");
     }
 
     #[test]

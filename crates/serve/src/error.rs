@@ -1,0 +1,50 @@
+//! Typed serving errors — backpressure and validation failures are part
+//! of the API, never panics.
+
+use std::fmt;
+
+use ccore::ForecastError;
+
+/// Why a forecast request was not (or could not be) served.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum ServeError {
+    /// Admission control rejected the request: the pending queue is at
+    /// capacity. Callers should back off and retry — the alternative is
+    /// unbounded queue growth and collapsing tail latency.
+    Overloaded { depth: usize, capacity: usize },
+    /// The server is shutting down (or already shut down).
+    Shutdown,
+    /// The request cannot be served by the deployed model (wrong horizon,
+    /// wrong mesh, malformed window).
+    BadRequest(String),
+    /// The forecast itself failed inside a replica.
+    Forecast(ForecastError),
+    /// A replica hit an unexpected internal failure (e.g. a panic in the
+    /// tensor stack); the batch is failed, the worker survives.
+    Internal(String),
+}
+
+impl fmt::Display for ServeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ServeError::Overloaded { depth, capacity } => {
+                write!(
+                    f,
+                    "server overloaded: {depth} pending >= capacity {capacity}"
+                )
+            }
+            ServeError::Shutdown => write!(f, "server is shut down"),
+            ServeError::BadRequest(msg) => write!(f, "bad request: {msg}"),
+            ServeError::Forecast(e) => write!(f, "forecast failed: {e}"),
+            ServeError::Internal(msg) => write!(f, "internal serving failure: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for ServeError {}
+
+impl From<ForecastError> for ServeError {
+    fn from(e: ForecastError) -> Self {
+        ServeError::Forecast(e)
+    }
+}

@@ -1,0 +1,54 @@
+//! # coastal-serve
+//!
+//! On-demand forecast serving for the trained surrogate — the deployment
+//! mode the paper's ~6000× speedup enables: coastal forecasts cheap
+//! enough to answer per-request instead of per-scheduled-run.
+//!
+//! Components, in request order:
+//!
+//! - [`ForecastRequest`] — scenario id, initial-condition window, horizon,
+//!   [`Priority`]; hashed into a [`request::CacheKey`].
+//! - [`ForecastCache`] — LRU over completed trajectories with hit/miss
+//!   accounting; repeated identical requests return **bit-identical**
+//!   snapshots (hits share the first computation's buffers).
+//! - [`MicroBatcher`] — bounded admission queue + dynamic micro-batching:
+//!   a batch flushes when `max_batch` requests are pending **or** the
+//!   oldest has waited `max_wait`, whichever comes first. Saturation is a
+//!   typed [`ServeError::Overloaded`], not unbounded growth.
+//! - [`replica` pool][ForecastServer] — worker threads that each rebuild
+//!   the model from a [`ccore::SurrogateSpec`] (parameters are
+//!   thread-local `Rc`s; the spec's tensors are `Send`) and pin one
+//!   compute backend. Each batch is **one** `predict_batch` forward pass,
+//!   so throughput scales with batch size rather than request count.
+//! - [`ServeMetrics`] — p50/p95/p99 latency, throughput, batch-size
+//!   histogram, cache hit rate.
+//!
+//! ```no_run
+//! use ccore::{train_surrogate, Scenario};
+//! use cserve::{ForecastRequest, ForecastServer, ServeConfig};
+//!
+//! let sc = Scenario::small();
+//! let grid = sc.grid();
+//! let archive = sc.simulate_archive(&grid, 0, 40);
+//! let trained = train_surrogate(&sc, &grid, &archive);
+//!
+//! let server = ForecastServer::new(trained.spec(), ServeConfig::default());
+//! let req = ForecastRequest::new(0, archive[..sc.t_out + 1].to_vec(), sc.t_out);
+//! let forecast = server.submit(req).unwrap().wait().unwrap();
+//! assert_eq!(forecast.len(), sc.t_out);
+//! ```
+
+pub mod batcher;
+pub mod cache;
+pub mod error;
+pub mod metrics;
+mod replica;
+pub mod request;
+pub mod server;
+
+pub use batcher::{BatcherConfig, MicroBatcher};
+pub use cache::ForecastCache;
+pub use error::ServeError;
+pub use metrics::{MetricsRecorder, ServeMetrics};
+pub use request::{ForecastRequest, Priority};
+pub use server::{ForecastServer, ResponseHandle, ServeConfig};

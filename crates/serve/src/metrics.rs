@@ -1,0 +1,230 @@
+//! Serving telemetry: latency percentiles, throughput, batch-size
+//! histogram, cache hit rate.
+
+use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::{Duration, Instant};
+
+use parking_lot::Mutex;
+
+/// Latency samples kept for percentile estimation. Bounded so a
+/// long-lived server's memory (and the sort in [`MetricsRecorder::snapshot`])
+/// stays O(1) in request count: once full, the ring overwrites the
+/// oldest sample, so percentiles describe the most recent window.
+const LATENCY_RESERVOIR: usize = 65_536;
+
+struct LatencyRing {
+    buf: Vec<f64>,
+    /// Next overwrite position once the buffer is full.
+    next: usize,
+}
+
+impl LatencyRing {
+    fn push(&mut self, v: f64) {
+        if self.buf.len() < LATENCY_RESERVOIR {
+            self.buf.push(v);
+        } else {
+            self.buf[self.next] = v;
+            self.next = (self.next + 1) % LATENCY_RESERVOIR;
+        }
+    }
+}
+
+/// Shared recorder the server and its workers write into.
+pub struct MetricsRecorder {
+    started: Instant,
+    /// End-to-end request latencies (submit → response), milliseconds —
+    /// the most recent [`LATENCY_RESERVOIR`] samples.
+    latencies_ms: Mutex<LatencyRing>,
+    /// Executed batch sizes → count.
+    batch_sizes: Mutex<BTreeMap<usize, u64>>,
+    completed: AtomicU64,
+    rejected: AtomicU64,
+    failed: AtomicU64,
+    coalesced: AtomicU64,
+}
+
+impl Default for MetricsRecorder {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl MetricsRecorder {
+    pub fn new() -> Self {
+        Self {
+            started: Instant::now(),
+            latencies_ms: Mutex::new(LatencyRing {
+                buf: Vec::new(),
+                next: 0,
+            }),
+            batch_sizes: Mutex::new(BTreeMap::new()),
+            completed: AtomicU64::new(0),
+            rejected: AtomicU64::new(0),
+            failed: AtomicU64::new(0),
+            coalesced: AtomicU64::new(0),
+        }
+    }
+
+    /// Record one completed request (cache hits included: they are real
+    /// responses with real latencies).
+    pub fn record_completion(&self, latency: Duration) {
+        self.completed.fetch_add(1, Ordering::Relaxed);
+        self.latencies_ms.lock().push(latency.as_secs_f64() * 1e3);
+    }
+
+    /// Record one executed model batch of `size` requests.
+    pub fn record_batch(&self, size: usize) {
+        *self.batch_sizes.lock().entry(size).or_insert(0) += 1;
+    }
+
+    /// Record an admission rejection (`Overloaded`).
+    pub fn record_rejection(&self) {
+        self.rejected.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Record a request that reached a replica but failed.
+    pub fn record_failure(&self) {
+        self.failed.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Record a request coalesced onto an identical in-flight computation.
+    pub fn record_coalesced(&self) {
+        self.coalesced.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Snapshot the counters into an immutable [`ServeMetrics`].
+    /// `cache_stats` is `(hits, misses)` from the forecast cache.
+    pub fn snapshot(&self, cache_stats: (u64, u64)) -> ServeMetrics {
+        let mut lat = self.latencies_ms.lock().buf.clone();
+        lat.sort_by(|a, b| a.partial_cmp(b).expect("latencies are finite"));
+        let completed = self.completed.load(Ordering::Relaxed);
+        let elapsed = self.started.elapsed().as_secs_f64();
+        let (hits, misses) = cache_stats;
+        ServeMetrics {
+            completed,
+            rejected: self.rejected.load(Ordering::Relaxed),
+            failed: self.failed.load(Ordering::Relaxed),
+            coalesced: self.coalesced.load(Ordering::Relaxed),
+            cache_hits: hits,
+            cache_misses: misses,
+            cache_hit_rate: if hits + misses == 0 {
+                0.0
+            } else {
+                hits as f64 / (hits + misses) as f64
+            },
+            p50_ms: percentile(&lat, 0.50),
+            p95_ms: percentile(&lat, 0.95),
+            p99_ms: percentile(&lat, 0.99),
+            mean_ms: if lat.is_empty() {
+                0.0
+            } else {
+                lat.iter().sum::<f64>() / lat.len() as f64
+            },
+            throughput_rps: if elapsed > 0.0 {
+                completed as f64 / elapsed
+            } else {
+                0.0
+            },
+            batch_histogram: self
+                .batch_sizes
+                .lock()
+                .iter()
+                .map(|(&k, &v)| (k, v))
+                .collect(),
+        }
+    }
+}
+
+/// Linear-interpolated percentile over a **sorted** sample (0.0 when
+/// empty).
+fn percentile(sorted: &[f64], q: f64) -> f64 {
+    if sorted.is_empty() {
+        return 0.0;
+    }
+    let pos = q * (sorted.len() - 1) as f64;
+    let lo = pos.floor() as usize;
+    let hi = pos.ceil() as usize;
+    if lo == hi {
+        sorted[lo]
+    } else {
+        let frac = pos - lo as f64;
+        sorted[lo] * (1.0 - frac) + sorted[hi] * frac
+    }
+}
+
+/// Immutable metrics snapshot.
+#[derive(Clone, Debug)]
+pub struct ServeMetrics {
+    /// Requests answered (computed or cache-served).
+    pub completed: u64,
+    /// Requests rejected by admission control.
+    pub rejected: u64,
+    /// Requests that reached a replica but errored.
+    pub failed: u64,
+    /// Requests that joined an identical in-flight computation
+    /// (single-flight coalescing) instead of computing again.
+    pub coalesced: u64,
+    pub cache_hits: u64,
+    pub cache_misses: u64,
+    pub cache_hit_rate: f64,
+    pub p50_ms: f64,
+    pub p95_ms: f64,
+    pub p99_ms: f64,
+    pub mean_ms: f64,
+    /// Completions per second since the server started.
+    pub throughput_rps: f64,
+    /// `(batch size, batches executed)` pairs, ascending.
+    pub batch_histogram: Vec<(usize, u64)>,
+}
+
+impl ServeMetrics {
+    /// Mean executed batch size (0.0 when no batches ran).
+    pub fn mean_batch_size(&self) -> f64 {
+        let (items, batches) = self
+            .batch_histogram
+            .iter()
+            .fold((0u64, 0u64), |(i, b), &(size, count)| {
+                (i + size as u64 * count, b + count)
+            });
+        if batches == 0 {
+            0.0
+        } else {
+            items as f64 / batches as f64
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn percentiles_interpolate() {
+        let v: Vec<f64> = (1..=100).map(|i| i as f64).collect();
+        assert!((percentile(&v, 0.50) - 50.5).abs() < 1e-9);
+        assert!((percentile(&v, 0.99) - 99.01).abs() < 1e-9);
+        assert_eq!(percentile(&[], 0.5), 0.0);
+        assert_eq!(percentile(&[3.0], 0.99), 3.0);
+    }
+
+    #[test]
+    fn snapshot_aggregates() {
+        let m = MetricsRecorder::new();
+        for i in 1..=10 {
+            m.record_completion(Duration::from_millis(i));
+        }
+        m.record_batch(4);
+        m.record_batch(4);
+        m.record_batch(2);
+        m.record_rejection();
+        let s = m.snapshot((3, 7));
+        assert_eq!(s.completed, 10);
+        assert_eq!(s.rejected, 1);
+        assert!((s.cache_hit_rate - 0.3).abs() < 1e-12);
+        assert_eq!(s.batch_histogram, vec![(2, 1), (4, 2)]);
+        assert!((s.mean_batch_size() - 10.0 / 3.0).abs() < 1e-9);
+        assert!(s.p50_ms >= 5.0 && s.p50_ms <= 6.0);
+        assert!(s.throughput_rps > 0.0);
+    }
+}

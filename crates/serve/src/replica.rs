@@ -1,0 +1,239 @@
+//! Replica worker pool.
+//!
+//! Model parameters are `Rc`-shared and therefore thread-local, so each
+//! worker thread rebuilds its own `TrainedSurrogate` from the shared
+//! [`SurrogateSpec`] (cheap: parameter tensors are `Arc` clones) and pins
+//! one compute backend for its lifetime. Batches arrive over a bounded
+//! channel; each batch runs as **one** `predict_batch` forward pass, and
+//! every request in it gets its response through its own channel.
+
+use std::collections::HashMap;
+use std::sync::mpsc::Sender;
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::Instant;
+
+use ccore::SurrogateSpec;
+use cocean::Snapshot;
+use crossbeam::channel::{bounded, Receiver, Sender as BatchSender};
+use ctensor::backend::BackendChoice;
+use parking_lot::Mutex;
+
+use crate::cache::ForecastCache;
+use crate::error::ServeError;
+use crate::metrics::MetricsRecorder;
+use crate::request::CacheKey;
+
+pub(crate) type ResponseTx = Sender<Result<Arc<Vec<Snapshot>>, ServeError>>;
+
+/// A request in flight between admission and its replica. The response
+/// channels (with their per-client submit times) live in the
+/// [`InflightRegistry`], keyed by the request's cache key, so duplicate
+/// submissions can attach as extra waiters.
+pub(crate) struct PendingRequest {
+    pub window: Vec<Snapshot>,
+    pub key: CacheKey,
+}
+
+/// A waiter on an in-flight computation: its own submit time (so latency
+/// is measured per client, not from the leader's arrival) and its
+/// response channel.
+pub(crate) struct Waiter {
+    pub submitted: Instant,
+    pub tx: ResponseTx,
+}
+
+/// Single-flight registry: one computation per distinct in-flight
+/// request, however many concurrent clients asked for it. Duplicate
+/// submissions join the original's waiter list instead of occupying
+/// queue and batch slots — under fan-in traffic (many users, one storm)
+/// this is where serving throughput detaches from request count.
+#[derive(Default)]
+pub(crate) struct InflightRegistry {
+    map: Mutex<HashMap<CacheKey, Vec<Waiter>>>,
+}
+
+pub(crate) enum Admission {
+    /// First request for this key: the caller must enqueue a computation.
+    Leader,
+    /// Joined an existing in-flight computation; nothing to enqueue.
+    Joined,
+}
+
+impl InflightRegistry {
+    /// Register a waiter for `key`. `Leader` means the caller owns
+    /// enqueueing the computation (and must [`Self::take`] to clean up if
+    /// that fails).
+    pub fn join_or_lead(&self, key: CacheKey, waiter: Waiter) -> Admission {
+        let mut map = self.map.lock();
+        match map.get_mut(&key) {
+            Some(waiters) => {
+                waiters.push(waiter);
+                Admission::Joined
+            }
+            None => {
+                map.insert(key, vec![waiter]);
+                Admission::Leader
+            }
+        }
+    }
+
+    /// Remove and return every waiter for `key` (completion path, and the
+    /// leader's cleanup path when enqueueing fails).
+    pub fn take(&self, key: &CacheKey) -> Vec<Waiter> {
+        self.map.lock().remove(key).unwrap_or_default()
+    }
+}
+
+/// Pool of replica worker threads consuming batches from one channel.
+pub(crate) struct ReplicaPool {
+    tx: Option<BatchSender<Vec<PendingRequest>>>,
+    handles: Vec<JoinHandle<()>>,
+}
+
+impl ReplicaPool {
+    pub fn spawn(
+        spec: &SurrogateSpec,
+        workers: usize,
+        backend: BackendChoice,
+        cache: Arc<ForecastCache>,
+        inflight: Arc<InflightRegistry>,
+        metrics: Arc<MetricsRecorder>,
+    ) -> Self {
+        assert!(workers >= 1, "need at least one replica");
+        // Bounded hand-off: when every worker is busy the dispatcher
+        // blocks, pressure backs up into the admission queue, and excess
+        // load surfaces as `Overloaded` instead of hidden buffering.
+        let (tx, rx) = bounded::<Vec<PendingRequest>>(workers);
+        let rx = Arc::new(Mutex::new(rx));
+        let mut handles = Vec::with_capacity(workers);
+        for w in 0..workers {
+            let spec = spec.clone();
+            let rx = Arc::clone(&rx);
+            let cache = Arc::clone(&cache);
+            let inflight = Arc::clone(&inflight);
+            let metrics = Arc::clone(&metrics);
+            handles.push(
+                std::thread::Builder::new()
+                    .name(format!("serve-replica-{w}"))
+                    .spawn(move || replica_main(spec, backend, &rx, &cache, &inflight, &metrics))
+                    .expect("spawn replica worker"),
+            );
+        }
+        Self {
+            tx: Some(tx),
+            handles,
+        }
+    }
+
+    /// Hand a batch to the next free replica (blocks when all are busy).
+    /// Returns the batch when every worker is gone (shutdown race) so the
+    /// caller can fail its requests.
+    pub fn dispatch(&self, batch: Vec<PendingRequest>) -> Result<(), Vec<PendingRequest>> {
+        match &self.tx {
+            Some(tx) => tx.send(batch).map_err(|e| e.0),
+            None => Err(batch),
+        }
+    }
+
+    /// Close the batch channel and join every worker (they drain what is
+    /// already queued first).
+    pub fn shutdown(&mut self) {
+        self.tx = None; // drop the sender → workers see end-of-stream
+        for h in self.handles.drain(..) {
+            let _ = h.join();
+        }
+    }
+}
+
+impl Drop for ReplicaPool {
+    fn drop(&mut self) {
+        self.shutdown();
+    }
+}
+
+fn replica_main(
+    spec: SurrogateSpec,
+    backend: BackendChoice,
+    rx: &Mutex<Receiver<Vec<PendingRequest>>>,
+    cache: &ForecastCache,
+    inflight: &InflightRegistry,
+    metrics: &MetricsRecorder,
+) {
+    // Pin this replica's compute backend for its whole lifetime; the
+    // model's own `Auto` resolution then lands on this choice.
+    let _backend = ctensor::backend::scoped(backend.resolve());
+    let surrogate = spec.instantiate();
+    loop {
+        // Take the next batch, releasing the lock before the (long)
+        // forward pass so sibling replicas can pick up work.
+        let batch = match rx.lock().recv() {
+            Ok(b) => b,
+            Err(_) => return, // dispatcher gone: shutdown
+        };
+        if batch.is_empty() {
+            continue;
+        }
+        metrics.record_batch(batch.len());
+        let windows: Vec<&[Snapshot]> = batch.iter().map(|p| p.window.as_slice()).collect();
+        // A panic in the tensor stack must fail this batch's waiters, not
+        // kill the worker (which would hang them forever and blackhole
+        // the in-flight keys).
+        let outcome = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            surrogate.predict_batch(&windows)
+        }));
+        match outcome {
+            Ok(Ok(results)) => {
+                for (pending, snaps) in batch.into_iter().zip(results) {
+                    let value = Arc::new(snaps);
+                    // Cache before releasing the in-flight entry so late
+                    // duplicates land on one path or the other — never on
+                    // a recompute.
+                    cache.insert(pending.key, Arc::clone(&value));
+                    // Fan the one computation out to every coalesced
+                    // waiter; a dropped handle just means nobody waits.
+                    for w in inflight.take(&pending.key) {
+                        metrics.record_completion(w.submitted.elapsed());
+                        let _ = w.tx.send(Ok(Arc::clone(&value)));
+                    }
+                }
+            }
+            Ok(Err(e)) => {
+                // Validation happens at admission, so this is unexpected —
+                // but it must fail the batch's requests, not the worker.
+                fail_batch(&batch, inflight, metrics, &ServeError::Forecast(e));
+            }
+            Err(payload) => {
+                let msg = panic_message(payload.as_ref());
+                fail_batch(
+                    &batch,
+                    inflight,
+                    metrics,
+                    &ServeError::Internal(format!("replica panicked: {msg}")),
+                );
+            }
+        }
+    }
+}
+
+fn fail_batch(
+    batch: &[PendingRequest],
+    inflight: &InflightRegistry,
+    metrics: &MetricsRecorder,
+    err: &ServeError,
+) {
+    for pending in batch {
+        for w in inflight.take(&pending.key) {
+            metrics.record_failure();
+            let _ = w.tx.send(Err(err.clone()));
+        }
+    }
+}
+
+fn panic_message(payload: &(dyn std::any::Any + Send)) -> &str {
+    payload
+        .downcast_ref::<&'static str>()
+        .copied()
+        .or_else(|| payload.downcast_ref::<String>().map(String::as_str))
+        .unwrap_or("opaque panic payload")
+}

@@ -1,0 +1,165 @@
+//! Forecast requests and the cache/batch bookkeeping attached to them.
+
+use cocean::Snapshot;
+
+/// Scheduling class of a request. `High` requests are drained into a
+/// batch before any `Normal` ones (FIFO within each class) — e.g. an
+/// operational storm-surge query jumping ahead of bulk re-analysis.
+#[derive(Copy, Clone, Debug, PartialEq, Eq, PartialOrd, Ord, Default)]
+pub enum Priority {
+    High,
+    #[default]
+    Normal,
+}
+
+/// An on-demand forecast request.
+///
+/// `window[0]` is the initial condition; `window[1..]` carry the future
+/// lateral boundary frames (tide tables / parent model in deployment), so
+/// `window.len()` must be `horizon + 1` and `horizon` must match the
+/// deployed model's episode length.
+#[derive(Clone, Debug)]
+pub struct ForecastRequest {
+    /// Deployment/scenario namespace tag: part of the cache key (so
+    /// distinct deployments never share entries) and — when the server
+    /// is configured with `ServeConfig::scenario_id` — validated against
+    /// the deployment so misrouted traffic is rejected, not silently
+    /// answered by the wrong model.
+    pub scenario_id: u64,
+    /// Initial condition + boundary frames (`horizon + 1` snapshots).
+    pub window: Vec<Snapshot>,
+    /// Forecast steps requested.
+    pub horizon: usize,
+    pub priority: Priority,
+}
+
+impl ForecastRequest {
+    /// Convenience constructor for a normal-priority request.
+    pub fn new(scenario_id: u64, window: Vec<Snapshot>, horizon: usize) -> Self {
+        Self {
+            scenario_id,
+            window,
+            horizon,
+            priority: Priority::Normal,
+        }
+    }
+
+    /// The cache key of this request: `(scenario, input hash, horizon)`.
+    pub fn cache_key(&self) -> CacheKey {
+        CacheKey {
+            scenario_id: self.scenario_id,
+            ic_hash: hash_window(&self.window),
+            horizon: self.horizon,
+        }
+    }
+}
+
+/// Key of the forecast cache.
+#[derive(Copy, Clone, Debug, PartialEq, Eq, Hash)]
+pub struct CacheKey {
+    pub scenario_id: u64,
+    /// 128-bit FNV-1a digest over every bit of the request window (IC and
+    /// boundary frames both determine the forecast, so both are hashed).
+    /// Cache hits and single-flight joins are decided by this digest, so
+    /// it is deliberately wide: at 128 bits an accidental collision
+    /// between distinct windows is beyond astronomically unlikely.
+    pub ic_hash: u128,
+    pub horizon: usize,
+}
+
+const FNV_OFFSET: u128 = 0x6c62272e07bb014262b821756295c58d;
+const FNV_PRIME: u128 = 0x0000000001000000000000000000013b;
+
+#[inline]
+fn fnv1a_u64(h: u128, v: u64) -> u128 {
+    let mut h = h;
+    for byte in v.to_le_bytes() {
+        h ^= byte as u128;
+        h = h.wrapping_mul(FNV_PRIME);
+    }
+    h
+}
+
+fn fnv1a_f32s(mut h: u128, vs: &[f32]) -> u128 {
+    // 4 bytes per value — this runs once per cell per snapshot on the
+    // submit hot path (cache + single-flight key).
+    for v in vs {
+        for byte in v.to_bits().to_le_bytes() {
+            h ^= byte as u128;
+            h = h.wrapping_mul(FNV_PRIME);
+        }
+    }
+    h
+}
+
+/// Deterministic 128-bit hash of a request window: dims, times, and every
+/// field value (bit-exact — two windows differing in one ULP of one cell
+/// hash differently).
+pub fn hash_window(window: &[Snapshot]) -> u128 {
+    let mut h = FNV_OFFSET;
+    h = fnv1a_u64(h, window.len() as u64);
+    for s in window {
+        h = fnv1a_u64(h, s.time.to_bits());
+        h = fnv1a_u64(h, s.nz as u64);
+        h = fnv1a_u64(h, s.ny as u64);
+        h = fnv1a_u64(h, s.nx as u64);
+        h = fnv1a_f32s(h, &s.zeta);
+        h = fnv1a_f32s(h, &s.u);
+        h = fnv1a_f32s(h, &s.v);
+        h = fnv1a_f32s(h, &s.w);
+    }
+    h
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn snap(fill: f32) -> Snapshot {
+        Snapshot {
+            time: 0.0,
+            nz: 1,
+            ny: 2,
+            nx: 2,
+            zeta: vec![fill; 4],
+            u: vec![0.1; 4],
+            v: vec![0.2; 4],
+            w: vec![0.0; 4],
+        }
+    }
+
+    #[test]
+    fn identical_windows_hash_identically() {
+        let a = vec![snap(1.0), snap(2.0)];
+        let b = vec![snap(1.0), snap(2.0)];
+        assert_eq!(hash_window(&a), hash_window(&b));
+    }
+
+    #[test]
+    fn one_ulp_changes_hash() {
+        let a = vec![snap(1.0), snap(2.0)];
+        let mut b = a.clone();
+        b[0].zeta[3] = f32::from_bits(b[0].zeta[3].to_bits() + 1);
+        assert_ne!(hash_window(&a), hash_window(&b));
+    }
+
+    #[test]
+    fn boundary_frames_are_part_of_the_key() {
+        // Same IC, different boundary forcing → different forecast →
+        // must be a different cache key.
+        let a = vec![snap(1.0), snap(2.0)];
+        let b = vec![snap(1.0), snap(3.0)];
+        assert_ne!(hash_window(&a), hash_window(&b));
+    }
+
+    #[test]
+    fn key_separates_scenarios_and_horizons() {
+        let w = vec![snap(1.0), snap(2.0)];
+        let r1 = ForecastRequest::new(1, w.clone(), 1);
+        let r2 = ForecastRequest::new(2, w.clone(), 1);
+        assert_ne!(r1.cache_key(), r2.cache_key());
+        let mut r3 = ForecastRequest::new(1, w, 1);
+        r3.horizon = 2;
+        assert_ne!(r1.cache_key(), r3.cache_key());
+    }
+}

@@ -1,0 +1,317 @@
+//! The forecast server: admission → cache → micro-batcher → replica pool.
+//!
+//! Request lifecycle:
+//!
+//! ```text
+//! submit ──▶ validate ──▶ cache probe ──hit──▶ respond (bit-identical)
+//!                             │miss
+//!                             ▼
+//!                    bounded queue (admission control, Overloaded)
+//!                             ▼
+//!                    micro-batcher (flush on max_batch OR max_wait)
+//!                             ▼
+//!                    replica pool (one predict_batch per batch)
+//!                             ▼
+//!                cache insert + per-request response channel
+//! ```
+
+use std::sync::mpsc;
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+use ccore::SurrogateSpec;
+use cocean::Snapshot;
+use ctensor::backend::BackendChoice;
+
+use crate::batcher::{BatcherConfig, MicroBatcher};
+use crate::cache::ForecastCache;
+use crate::error::ServeError;
+use crate::metrics::{MetricsRecorder, ServeMetrics};
+use crate::replica::{Admission, InflightRegistry, PendingRequest, ReplicaPool, Waiter};
+use crate::request::ForecastRequest;
+
+/// Server deployment knobs.
+#[derive(Clone, Debug)]
+pub struct ServeConfig {
+    /// Replica workers, each owning a rebuilt surrogate.
+    pub workers: usize,
+    /// Micro-batch flush size.
+    pub max_batch: usize,
+    /// Micro-batch flush deadline for the oldest pending request.
+    pub max_wait: Duration,
+    /// Admission bound on pending (queued, unbatched) requests.
+    pub queue_capacity: usize,
+    /// Forecast cache entries (0 disables caching).
+    pub cache_capacity: usize,
+    /// Compute backend every replica pins.
+    pub backend: BackendChoice,
+    /// When set, requests whose `scenario_id` differs are rejected as
+    /// `BadRequest` (misrouted traffic) instead of being silently
+    /// answered by this deployment's model. `None` accepts any id and
+    /// treats it purely as a cache namespace.
+    pub scenario_id: Option<u64>,
+}
+
+impl Default for ServeConfig {
+    fn default() -> Self {
+        Self {
+            workers: 2,
+            max_batch: 16,
+            max_wait: Duration::from_millis(5),
+            queue_capacity: 256,
+            cache_capacity: 128,
+            backend: BackendChoice::default(),
+            scenario_id: None,
+        }
+    }
+}
+
+/// Waitable response to a submitted request.
+pub struct ResponseHandle {
+    rx: mpsc::Receiver<Result<Arc<Vec<Snapshot>>, ServeError>>,
+    from_cache: bool,
+    coalesced: bool,
+}
+
+impl ResponseHandle {
+    /// True when the response was served from the forecast cache (it is
+    /// then bit-identical to the first computation of this request).
+    pub fn from_cache(&self) -> bool {
+        self.from_cache
+    }
+
+    /// True when this request joined an identical in-flight computation
+    /// (single-flight coalescing) instead of occupying its own batch slot.
+    pub fn coalesced(&self) -> bool {
+        self.coalesced
+    }
+
+    /// Block until the forecast is ready, sharing the (possibly cached)
+    /// trajectory.
+    pub fn wait_shared(self) -> Result<Arc<Vec<Snapshot>>, ServeError> {
+        match self.rx.recv() {
+            Ok(r) => r,
+            Err(_) => Err(ServeError::Shutdown),
+        }
+    }
+
+    /// Block until the forecast is ready and take an owned copy.
+    pub fn wait(self) -> Result<Vec<Snapshot>, ServeError> {
+        self.wait_shared().map(|arc| (*arc).clone())
+    }
+}
+
+/// Concurrent forecast-serving frontend over one deployed surrogate.
+pub struct ForecastServer {
+    t_out: usize,
+    mesh: (usize, usize, usize),
+    scenario_id: Option<u64>,
+    batcher: Arc<MicroBatcher<PendingRequest>>,
+    cache: Arc<ForecastCache>,
+    inflight: Arc<InflightRegistry>,
+    metrics: Arc<MetricsRecorder>,
+    /// Dispatcher thread; it owns the replica pool and joins the workers
+    /// on its way out.
+    dispatcher: Option<JoinHandle<()>>,
+}
+
+impl ForecastServer {
+    /// Deploy `spec` behind a micro-batched replica pool.
+    pub fn new(spec: SurrogateSpec, cfg: ServeConfig) -> Self {
+        let cache = Arc::new(ForecastCache::new(cfg.cache_capacity));
+        let inflight = Arc::new(InflightRegistry::default());
+        let metrics = Arc::new(MetricsRecorder::new());
+        let batcher = Arc::new(MicroBatcher::new(BatcherConfig {
+            max_batch: cfg.max_batch,
+            max_wait: cfg.max_wait,
+            capacity: cfg.queue_capacity,
+        }));
+
+        // Replicas resolve `Auto` against their own pinned scope, so let
+        // each model defer to the worker's scoped choice.
+        let mut spec = spec;
+        spec.swin.backend = BackendChoice::Auto;
+        let t_out = spec.t_out();
+        let mesh = spec.mesh();
+        let mut pool = ReplicaPool::spawn(
+            &spec,
+            cfg.workers,
+            cfg.backend,
+            Arc::clone(&cache),
+            Arc::clone(&inflight),
+            Arc::clone(&metrics),
+        );
+
+        // Dispatcher: drains the micro-batcher into the pool until the
+        // queue is closed and empty, then shuts the workers down.
+        let dispatcher = {
+            let batcher = Arc::clone(&batcher);
+            let inflight = Arc::clone(&inflight);
+            let metrics = Arc::clone(&metrics);
+            std::thread::Builder::new()
+                .name("serve-dispatcher".into())
+                .spawn(move || {
+                    while let Some(batch) = batcher.next_batch() {
+                        if let Err(orphaned) = pool.dispatch(batch) {
+                            // Workers are gone; fail the batch cleanly —
+                            // and account for it, so completed + failed +
+                            // rejected still covers every admitted
+                            // request during the shutdown race.
+                            for p in orphaned {
+                                for w in inflight.take(&p.key) {
+                                    metrics.record_failure();
+                                    let _ = w.tx.send(Err(ServeError::Shutdown));
+                                }
+                            }
+                        }
+                    }
+                    pool.shutdown();
+                })
+                .expect("spawn dispatcher")
+        };
+
+        Self {
+            t_out,
+            mesh,
+            scenario_id: cfg.scenario_id,
+            batcher,
+            cache,
+            inflight,
+            metrics,
+            dispatcher: Some(dispatcher),
+        }
+    }
+
+    /// Submit a request. Returns immediately with a waitable handle, a
+    /// cache hit, or a typed rejection (`BadRequest` / `Overloaded` /
+    /// `Shutdown`).
+    pub fn submit(&self, req: ForecastRequest) -> Result<ResponseHandle, ServeError> {
+        let submitted = Instant::now();
+        self.validate(&req)?;
+        let key = req.cache_key();
+
+        let (tx, rx) = mpsc::channel();
+        if let Some(hit) = self.cache.get(&key) {
+            self.metrics.record_completion(submitted.elapsed());
+            let _ = tx.send(Ok(hit));
+            return Ok(ResponseHandle {
+                rx,
+                from_cache: true,
+                coalesced: false,
+            });
+        }
+
+        // Single-flight: identical concurrent requests share one
+        // computation. Only the leader enqueues; joiners wait on the
+        // same in-flight entry.
+        match self.inflight.join_or_lead(key, Waiter { submitted, tx }) {
+            Admission::Joined => {
+                self.metrics.record_coalesced();
+                // A high-priority duplicate lends its urgency to the
+                // queued leader: the shared computation must not wait
+                // behind the normal backlog.
+                if req.priority == crate::request::Priority::High {
+                    self.batcher.promote_where(|p| p.key == key);
+                }
+                return Ok(ResponseHandle {
+                    rx,
+                    from_cache: false,
+                    coalesced: true,
+                });
+            }
+            Admission::Leader => {
+                // Double-check the cache: the previous leader for this key
+                // may have completed (insert, then registry release)
+                // between our probe above and winning leadership here —
+                // without this, a late duplicate would recompute a
+                // forecast that is already cached. `peek` keeps the
+                // hit/miss counters at one count per client lookup.
+                if let Some(hit) = self.cache.peek(&key) {
+                    let value = Ok(hit);
+                    for w in self.inflight.take(&key) {
+                        self.metrics.record_completion(w.submitted.elapsed());
+                        let _ = w.tx.send(value.clone());
+                    }
+                    return Ok(ResponseHandle {
+                        rx,
+                        from_cache: true,
+                        coalesced: false,
+                    });
+                }
+            }
+        }
+
+        let pending = PendingRequest {
+            window: req.window,
+            key,
+        };
+        match self.batcher.push(pending, req.priority) {
+            Ok(()) => Ok(ResponseHandle {
+                rx,
+                from_cache: false,
+                coalesced: false,
+            }),
+            Err(e) => {
+                // Release the in-flight entry (ourselves plus any waiter
+                // that joined in the race window), propagating the error.
+                for waiter in self.inflight.take(&key) {
+                    let _ = waiter.tx.send(Err(e.clone()));
+                }
+                if matches!(e, ServeError::Overloaded { .. }) {
+                    self.metrics.record_rejection();
+                }
+                Err(e)
+            }
+        }
+    }
+
+    fn validate(&self, req: &ForecastRequest) -> Result<(), ServeError> {
+        if let Some(id) = self.scenario_id {
+            if req.scenario_id != id {
+                return Err(ServeError::BadRequest(format!(
+                    "scenario {} not served by this deployment (serving scenario {id})",
+                    req.scenario_id
+                )));
+            }
+        }
+        if req.horizon != self.t_out {
+            return Err(ServeError::BadRequest(format!(
+                "horizon {} not served by this deployment (model t_out = {})",
+                req.horizon, self.t_out
+            )));
+        }
+        // Window shape/mesh checks share ccore's single implementation,
+        // so admission and replica execution can never disagree on what
+        // a valid episode is.
+        ccore::validate_episode_window(self.t_out, self.mesh, &req.window)
+            .map_err(|e| ServeError::BadRequest(e.to_string()))
+    }
+
+    /// Pending (queued, unbatched) requests right now.
+    pub fn queue_depth(&self) -> usize {
+        self.batcher.depth()
+    }
+
+    /// Snapshot the serving metrics.
+    pub fn metrics(&self) -> ServeMetrics {
+        let (hits, misses, _) = self.cache.stats();
+        self.metrics.snapshot((hits, misses))
+    }
+
+    /// Graceful shutdown: stop admitting, drain the queue, join every
+    /// thread (the dispatcher joins the replica workers). Idempotent;
+    /// also invoked by `Drop`.
+    pub fn shutdown(&mut self) {
+        self.batcher.close();
+        if let Some(h) = self.dispatcher.take() {
+            let _ = h.join();
+        }
+    }
+}
+
+impl Drop for ForecastServer {
+    fn drop(&mut self) {
+        self.shutdown();
+    }
+}

@@ -1,0 +1,358 @@
+//! End-to-end serving tests over a (tiny) trained surrogate: concurrent
+//! clients, micro-batching, cache identity, backpressure, and parity with
+//! direct prediction.
+
+use std::sync::{Arc, OnceLock};
+use std::time::Duration;
+
+use ccore::{train_surrogate, Scenario, SurrogateSpec};
+use cocean::Snapshot;
+use cserve::{ForecastRequest, ForecastServer, Priority, ServeConfig, ServeError};
+
+// Trained once, shared by every test (training dominates test wall time).
+struct Ctx {
+    spec: SurrogateSpec,
+    archive: Vec<Snapshot>,
+    t_out: usize,
+}
+
+static CTX: OnceLock<Ctx> = OnceLock::new();
+
+fn ctx() -> &'static Ctx {
+    CTX.get_or_init(|| {
+        let mut sc = Scenario::small();
+        sc.epochs = 2;
+        let grid = sc.grid();
+        let archive = sc.simulate_archive(&grid, 0, 40);
+        let trained = train_surrogate(&sc, &grid, &archive);
+        Ctx {
+            spec: trained.spec(),
+            archive,
+            t_out: sc.t_out,
+        }
+    })
+}
+
+/// Sliding episode windows (stride 1 → plenty of distinct requests).
+fn windows(n: usize) -> Vec<Vec<Snapshot>> {
+    let c = ctx();
+    let len = c.t_out + 1;
+    (0..n).map(|i| c.archive[i..i + len].to_vec()).collect()
+}
+
+fn request(i: usize) -> ForecastRequest {
+    let c = ctx();
+    ForecastRequest::new(0, windows(i + 1).pop().unwrap(), c.t_out)
+}
+
+#[test]
+fn concurrent_requests_all_answered() {
+    let c = ctx();
+    let server = Arc::new(ForecastServer::new(
+        c.spec.clone(),
+        ServeConfig {
+            workers: 2,
+            max_batch: 8,
+            max_wait: Duration::from_millis(5),
+            ..Default::default()
+        },
+    ));
+    let n = 16;
+    let handles: Vec<_> = (0..n)
+        .map(|i| {
+            let server = Arc::clone(&server);
+            std::thread::spawn(move || {
+                server
+                    .submit(request(i))
+                    .expect("admitted")
+                    .wait()
+                    .expect("answered")
+            })
+        })
+        .collect();
+    for h in handles {
+        let forecast = h.join().unwrap();
+        assert_eq!(forecast.len(), c.t_out);
+        assert!(forecast
+            .iter()
+            .all(|s| s.zeta.iter().all(|v| v.is_finite())));
+    }
+    let m = server.metrics();
+    assert_eq!(m.completed, n as u64);
+    assert_eq!(m.failed, 0);
+    assert!(m.p99_ms >= m.p50_ms);
+}
+
+#[test]
+fn micro_batches_form_under_load() {
+    let c = ctx();
+    let server = ForecastServer::new(
+        c.spec.clone(),
+        ServeConfig {
+            workers: 1,
+            max_batch: 8,
+            max_wait: Duration::from_millis(200),
+            cache_capacity: 0, // all 16 requests must hit the model
+            ..Default::default()
+        },
+    );
+    let handles: Vec<_> = (0..16)
+        .map(|i| server.submit(request(i)).expect("admitted"))
+        .collect();
+    for h in handles {
+        h.wait().expect("answered");
+    }
+    let m = server.metrics();
+    assert_eq!(m.completed, 16);
+    assert!(
+        m.mean_batch_size() > 1.5,
+        "requests must coalesce into batches: {:?}",
+        m.batch_histogram
+    );
+    assert!(
+        m.batch_histogram.iter().any(|&(size, _)| size >= 4),
+        "expected at least one large batch: {:?}",
+        m.batch_histogram
+    );
+}
+
+#[test]
+fn served_forecast_matches_direct_prediction() {
+    let c = ctx();
+    let direct_model = c.spec.instantiate();
+    let server = ForecastServer::new(c.spec.clone(), ServeConfig::default());
+
+    for i in [0usize, 3, 11] {
+        let w = windows(i + 1).pop().unwrap();
+        let direct = direct_model.predict_episode(&w);
+        let served = server
+            .submit(ForecastRequest::new(0, w, c.t_out))
+            .unwrap()
+            .wait()
+            .unwrap();
+        assert_eq!(direct.len(), served.len());
+        for (a, b) in direct.iter().zip(&served) {
+            for (x, y) in a.zeta.iter().zip(&b.zeta) {
+                assert!((x - y).abs() < 1e-5, "zeta {x} vs {y}");
+            }
+            for (x, y) in a.u.iter().zip(&b.u) {
+                assert!((x - y).abs() < 1e-5, "u {x} vs {y}");
+            }
+        }
+    }
+}
+
+#[test]
+fn repeated_requests_hit_cache_bit_identically() {
+    let c = ctx();
+    let server = ForecastServer::new(c.spec.clone(), ServeConfig::default());
+    let w = windows(1).pop().unwrap();
+
+    let first = server
+        .submit(ForecastRequest::new(7, w.clone(), c.t_out))
+        .unwrap();
+    assert!(!first.from_cache());
+    let first = first.wait_shared().unwrap();
+
+    let second = server.submit(ForecastRequest::new(7, w, c.t_out)).unwrap();
+    assert!(second.from_cache(), "identical request must hit the cache");
+    let second = second.wait_shared().unwrap();
+
+    // Bit-identical: the hit shares the first computation's buffers.
+    assert!(Arc::ptr_eq(&first, &second));
+    for (a, b) in first.iter().zip(second.iter()) {
+        assert_eq!(
+            a.zeta.iter().map(|v| v.to_bits()).collect::<Vec<_>>(),
+            b.zeta.iter().map(|v| v.to_bits()).collect::<Vec<_>>()
+        );
+    }
+    let m = server.metrics();
+    assert_eq!(m.cache_hits, 1);
+    assert!(m.cache_hit_rate > 0.0);
+}
+
+#[test]
+fn distinct_initial_conditions_never_collide() {
+    let c = ctx();
+    let server = ForecastServer::new(c.spec.clone(), ServeConfig::default());
+    // Two requests whose windows differ only in the IC interior.
+    let w1 = windows(1).pop().unwrap();
+    let mut w2 = w1.clone();
+    w2[0].zeta[25] += 1e-3;
+
+    let r1 = server.submit(ForecastRequest::new(0, w1, c.t_out)).unwrap();
+    assert!(!r1.from_cache());
+    r1.wait().unwrap();
+    let r2 = server.submit(ForecastRequest::new(0, w2, c.t_out)).unwrap();
+    assert!(
+        !r2.from_cache(),
+        "a perturbed IC is a different request and must miss"
+    );
+    r2.wait().unwrap();
+}
+
+#[test]
+fn overload_surfaces_as_typed_backpressure() {
+    let c = ctx();
+    let mut server = ForecastServer::new(
+        c.spec.clone(),
+        ServeConfig {
+            workers: 1,
+            max_batch: 64,                     // never size-triggers
+            max_wait: Duration::from_secs(30), // never deadline-triggers
+            queue_capacity: 3,
+            cache_capacity: 0,
+            ..Default::default()
+        },
+    );
+    let mut handles = Vec::new();
+    for i in 0..3 {
+        handles.push(server.submit(request(i)).expect("under capacity"));
+    }
+    match server.submit(request(3)) {
+        Err(ServeError::Overloaded { depth, capacity }) => {
+            assert_eq!((depth, capacity), (3, 3));
+        }
+        other => panic!("expected Overloaded, got {other:?}", other = other.err()),
+    }
+    assert_eq!(server.metrics().rejected, 1);
+
+    // Graceful shutdown flushes the stuck queue; the admitted requests
+    // still complete.
+    server.shutdown();
+    for h in handles {
+        assert_eq!(h.wait().expect("drained at shutdown").len(), c.t_out);
+    }
+    // …and new submissions are now refused.
+    assert!(matches!(
+        server.submit(request(0)),
+        Err(ServeError::Shutdown)
+    ));
+}
+
+#[test]
+fn malformed_requests_rejected_up_front() {
+    let c = ctx();
+    let server = ForecastServer::new(c.spec.clone(), ServeConfig::default());
+
+    // Wrong horizon.
+    let w = windows(1).pop().unwrap();
+    let mut req = ForecastRequest::new(0, w.clone(), c.t_out + 1);
+    assert!(matches!(server.submit(req), Err(ServeError::BadRequest(_))));
+
+    // Window too short for the horizon.
+    req = ForecastRequest::new(0, w[..c.t_out].to_vec(), c.t_out);
+    assert!(matches!(server.submit(req), Err(ServeError::BadRequest(_))));
+
+    // Mesh mismatch.
+    let mut bad = w;
+    bad[0] = Snapshot {
+        time: 0.0,
+        nz: 1,
+        ny: 2,
+        nx: 2,
+        zeta: vec![0.0; 4],
+        u: vec![0.0; 4],
+        v: vec![0.0; 4],
+        w: vec![0.0; 4],
+    };
+    req = ForecastRequest::new(0, bad, c.t_out);
+    assert!(matches!(server.submit(req), Err(ServeError::BadRequest(_))));
+
+    // Misrouted scenario id, on a deployment that pins one.
+    let pinned = ForecastServer::new(
+        c.spec.clone(),
+        ServeConfig {
+            scenario_id: Some(0),
+            ..Default::default()
+        },
+    );
+    pinned
+        .submit(ForecastRequest::new(0, windows(1).pop().unwrap(), c.t_out))
+        .expect("matching scenario id admitted")
+        .wait()
+        .unwrap();
+    assert!(matches!(
+        pinned.submit(ForecastRequest::new(9, windows(1).pop().unwrap(), c.t_out)),
+        Err(ServeError::BadRequest(_))
+    ));
+}
+
+#[test]
+fn identical_inflight_requests_coalesce_to_one_computation() {
+    let c = ctx();
+    // Cache disabled: any sharing must come from single-flight
+    // coalescing, not the LRU.
+    let server = ForecastServer::new(
+        c.spec.clone(),
+        ServeConfig {
+            workers: 1,
+            max_batch: 16,
+            max_wait: Duration::from_millis(150),
+            cache_capacity: 0,
+            ..Default::default()
+        },
+    );
+    let w = windows(1).pop().unwrap();
+    let handles: Vec<_> = (0..12)
+        .map(|_| {
+            server
+                .submit(ForecastRequest::new(0, w.clone(), c.t_out))
+                .unwrap()
+        })
+        .collect();
+    assert!(!handles[0].coalesced(), "first request leads");
+    assert!(
+        handles[1..].iter().all(|h| h.coalesced()),
+        "duplicates join the in-flight computation"
+    );
+    let results: Vec<_> = handles
+        .into_iter()
+        .map(|h| h.wait_shared().unwrap())
+        .collect();
+    // All twelve share the single computation's buffers.
+    for r in &results[1..] {
+        assert!(Arc::ptr_eq(&results[0], r));
+    }
+    let m = server.metrics();
+    assert_eq!(m.completed, 12);
+    assert_eq!(m.coalesced, 11);
+    // Exactly one model execution, of batch size 1.
+    let total_computed: u64 = m
+        .batch_histogram
+        .iter()
+        .map(|&(size, count)| size as u64 * count)
+        .sum();
+    assert_eq!(total_computed, 1, "histogram: {:?}", m.batch_histogram);
+}
+
+#[test]
+fn high_priority_requests_overtake_normal() {
+    let c = ctx();
+    // One worker and a wide-open deadline: everything lands in one batch,
+    // whose intra-batch order is priority-first.
+    let server = ForecastServer::new(
+        c.spec.clone(),
+        ServeConfig {
+            workers: 1,
+            max_batch: 4,
+            max_wait: Duration::from_millis(300),
+            cache_capacity: 0,
+            ..Default::default()
+        },
+    );
+    let mut normal = Vec::new();
+    for i in 0..3 {
+        normal.push(server.submit(request(i)).unwrap());
+    }
+    let mut urgent = request(3);
+    urgent.priority = Priority::High;
+    let urgent = server.submit(urgent).unwrap();
+    // All four complete (ordering inside the batch is covered by the
+    // batcher unit tests; here we assert the class is accepted end-to-end).
+    urgent.wait().unwrap();
+    for h in normal {
+        h.wait().unwrap();
+    }
+    assert_eq!(server.metrics().completed, 4);
+}

@@ -107,6 +107,53 @@ impl SwinSurrogate {
         }
     }
 
+    /// Rebuild a model from a configuration plus a parameter snapshot
+    /// (as produced by [`state_dict`]). The seed used for construction is
+    /// irrelevant: every parameter is overwritten by `state`. For an
+    /// *exact* reconstruction of a trained model also restore the
+    /// non-trainable buffers ([`Self::buffers`] / [`Self::load_buffers`]):
+    /// BatchNorm running statistics live outside the state dict.
+    ///
+    /// This is the thread-migration path: parameters are `Rc`-shared and
+    /// thus thread-local, but `state_dict` tensors are `Send`, so a model
+    /// can be shipped across threads as `(SwinConfig, Vec<Tensor>)` and
+    /// reconstructed exactly on the other side.
+    pub fn from_state(cfg: SwinConfig, state: &[Tensor]) -> Self {
+        let model = Self::new(cfg, 0);
+        load_state_dict(&model, state);
+        model
+    }
+
+    /// Every BatchNorm in forward order (upsample blocks, then the two
+    /// recovery heads) — the modules that carry non-parameter buffers.
+    fn batch_norms(&self) -> Vec<&ctensor::nn::BatchNorm> {
+        let mut v: Vec<&ctensor::nn::BatchNorm> = self.ups.iter().map(|u| &u.bn).collect();
+        v.push(&self.recover3d.bn);
+        v.push(&self.recover2d.bn);
+        v
+    }
+
+    /// Non-trainable buffers (BatchNorm running mean/var, interleaved) in
+    /// a deterministic order matching [`Self::load_buffers`].
+    pub fn buffers(&self) -> Vec<Tensor> {
+        self.batch_norms()
+            .into_iter()
+            .flat_map(|bn| {
+                let (mean, var) = bn.running_stats();
+                [mean, var]
+            })
+            .collect()
+    }
+
+    /// Restore buffers captured by [`Self::buffers`].
+    pub fn load_buffers(&self, buffers: &[Tensor]) {
+        let bns = self.batch_norms();
+        assert_eq!(buffers.len(), 2 * bns.len(), "buffer count mismatch");
+        for (bn, pair) in bns.into_iter().zip(buffers.chunks_exact(2)) {
+            bn.set_running_stats(pair[0].clone(), pair[1].clone());
+        }
+    }
+
     /// Forward pass.
     ///
     /// `x3d`: `(B, 3, ny, nx, nz, T+1)` — frame 0 is the full initial
@@ -368,6 +415,27 @@ mod tests {
             m_ck.current,
             m_plain.current
         );
+    }
+
+    #[test]
+    fn from_state_reconstructs_exactly() {
+        let cfg = tiny();
+        let m1 = SwinSurrogate::new(cfg.clone(), 123);
+        let state = state_dict(&m1);
+        let m2 = SwinSurrogate::from_state(cfg.clone(), &state);
+        for (a, b) in m1.params().iter().zip(m2.params().iter()) {
+            assert_eq!(a.value().as_slice(), b.value().as_slice());
+        }
+        // Identical forwards on identical input.
+        let (x3, x2) = inputs(&cfg, 1, 9);
+        let run = |m: &SwinSurrogate| {
+            let mut g = Graph::inference();
+            let a = g.constant(x3.clone());
+            let b = g.constant(x2.clone());
+            let (o3, _) = m.forward(&mut g, a, b);
+            g.value(o3).clone()
+        };
+        assert_eq!(run(&m1).as_slice(), run(&m2).as_slice());
     }
 
     #[test]

@@ -87,6 +87,19 @@ impl BatchNorm {
         (r.mean.clone(), r.var.clone())
     }
 
+    /// Restore running statistics captured by [`Self::running_stats`] —
+    /// the buffer half of model serialization (`state_dict` carries only
+    /// trainable parameters). Marks the stats initialized so subsequent
+    /// training updates blend rather than overwrite.
+    pub fn set_running_stats(&self, mean: Tensor, var: Tensor) {
+        assert_eq!(mean.shape(), &[self.channels], "running mean shape");
+        assert_eq!(var.shape(), &[self.channels], "running var shape");
+        let mut r = self.running.borrow_mut();
+        r.mean = mean;
+        r.var = var;
+        r.initialized = true;
+    }
+
     /// Shape `[1, C, 1, 1, …]` used to broadcast per-channel tensors
     /// against an `(N, C, …)` input of rank `nd`.
     fn bshape(&self, nd: usize) -> Vec<usize> {

@@ -19,7 +19,7 @@ fn main() {
     for (label, threshold) in [("strict", 1e-9), ("loose", 1e-1)] {
         let fc =
             HybridForecaster::new(&grid, &trained, ocean.clone(), VerifierConfig { threshold });
-        let r = fc.forecast(&test, 0, 3);
+        let r = fc.forecast(&test, 0, 3).expect("reference long enough");
         println!(
             "{label:>7} threshold {threshold:.0e}: {} AI episodes, {} fallbacks, \
              AI {:.2}s + ROMS {:.2}s + verify {:.2}s = {:.2}s total",

@@ -11,9 +11,12 @@ pub use chpc as hpc;
 pub use cocean as ocean;
 pub use cphysics as physics;
 pub use cpipeline as pipeline;
+pub use cserve as serve;
 pub use csurrogate as surrogate;
 pub use ctensor as tensor;
 
 pub use ccore::{
-    train_surrogate, DualModelForecaster, ErrorTable, HybridForecaster, Scenario, TrainedSurrogate,
+    train_surrogate, DualModelForecaster, ErrorTable, ForecastError, HybridForecaster, Scenario,
+    SurrogateSpec, TrainedSurrogate,
 };
+pub use cserve::{ForecastRequest, ForecastServer, ServeConfig, ServeError, ServeMetrics};

@@ -66,12 +66,12 @@ fn hybrid_workflow_tracks_reference_better_than_unverified_ai() {
         ocean.clone(),
         VerifierConfig { threshold: 1e-12 },
     );
-    let r_strict = strict.forecast(&test, 0, 2);
+    let r_strict = strict.forecast(&test, 0, 2).unwrap();
     let e_strict = ErrorTable::between(&grid, &test[1..=2 * sc.t_out], &r_strict.snapshots);
 
     // Unverified AI (threshold ∞).
     let loose = HybridForecaster::new(&grid, &trained, ocean, VerifierConfig { threshold: 1e9 });
-    let r_loose = loose.forecast(&test, 0, 2);
+    let r_loose = loose.forecast(&test, 0, 2).unwrap();
     let e_loose = ErrorTable::between(&grid, &test[1..=2 * sc.t_out], &r_loose.snapshots);
 
     assert!(
