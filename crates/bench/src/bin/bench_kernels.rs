@@ -110,9 +110,10 @@ fn main() {
     }));
 
     // ------------------------------------------------------------- report
+    let stamp = cbench::RunStamp::capture("blocked-vs-scalar");
     let mut json = format!(
-        "{{\n  \"bench\": \"kernels\",\n  \"unit\": \"ms\",\n  \"threads\": {},\n  \"results\": [\n",
-        rayon::current_num_threads()
+        "{{\n  \"bench\": \"kernels\",\n  \"unit\": \"ms\",\n  {},\n  \"results\": [\n",
+        stamp.json_fields()
     );
     for (i, r) in results.iter().enumerate() {
         json.push_str(&format!(

@@ -180,12 +180,13 @@ fn main() {
     );
 
     // ------------------------------------------------------------- report
+    let stamp = cbench::RunStamp::capture("blocked");
     let mut json = format!(
         "{{\n  \"bench\": \"serve\",\n  \"smoke\": {smoke},\n  \"requests\": {n_requests},\n  \
-         \"threads\": {},\n  \"backend\": \"blocked\",\n  \
+         {},\n  \
          \"sequential\": {{\"wall_s\": {seq_wall:.4}, \"throughput_rps\": {seq_rps:.2}}},\n  \
          \"distinct_results\": [\n",
-        rayon::current_num_threads()
+        stamp.json_fields()
     );
     for (i, r) in sweep.iter().enumerate() {
         json.push_str("    ");

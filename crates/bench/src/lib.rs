@@ -8,6 +8,10 @@ use ccore::{train_surrogate, Scenario, TrainedSurrogate};
 use cgrid::Grid;
 use cocean::Snapshot;
 
+pub mod stamp;
+
+pub use stamp::RunStamp;
+
 /// A prepared experiment context shared by the harness binaries:
 /// grid + trained surrogate + train/test archives.
 pub struct Context {

@@ -1,0 +1,502 @@
+//! The scenario perturbation catalog: deterministic, seed-driven
+//! expansion of one base forecasting scenario into an ensemble of member
+//! scenarios.
+//!
+//! A [`PerturbationSpace`] names the forcing axes a study varies — tidal
+//! constituent amplitude/phase, the low-frequency weather anomaly, a
+//! subtidal mean-level offset (river discharge / precipitation stage
+//! proxy), initial-condition noise, and a synthetic storm-surge pulse
+//! family. A [`PerturbationCatalog`] pairs the space with a
+//! [`SamplingStrategy`] (full grid sweep or Latin-hypercube) and a seed,
+//! and draws the concrete [`MemberPerturbation`] list. The same seed
+//! always yields bit-identical members — ensembles are reproducible
+//! experiments, not one-off rolls.
+
+use ccore::Scenario;
+use cocean::{Constituent, ForcingError, TidalForcing};
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::{Rng, SeedableRng};
+
+/// Period (hours) of the pseudo-constituent carrying a constant subtidal
+/// mean-level offset: ~114 years, so `cos(ωt) ≈ 1` over any forecast.
+const MEAN_LEVEL_PERIOD_HOURS: f64 = 1.0e6;
+
+/// Closed interval a perturbation parameter is drawn from.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct ParamRange {
+    pub lo: f64,
+    pub hi: f64,
+}
+
+impl ParamRange {
+    /// A varying axis.
+    pub fn new(lo: f64, hi: f64) -> Self {
+        assert!(lo.is_finite() && hi.is_finite() && lo <= hi, "bad range");
+        Self { lo, hi }
+    }
+
+    /// A pinned (non-varying) axis.
+    pub fn fixed(v: f64) -> Self {
+        Self::new(v, v)
+    }
+
+    /// True when the axis actually varies.
+    pub fn is_active(&self) -> bool {
+        self.hi > self.lo
+    }
+
+    /// Map a unit sample into the range.
+    pub fn sample(&self, u: f64) -> f64 {
+        self.lo + u * (self.hi - self.lo)
+    }
+
+    /// Center of the range (value used for inactive axes).
+    pub fn midpoint(&self) -> f64 {
+        0.5 * (self.lo + self.hi)
+    }
+}
+
+/// The synthetic storm-surge pulse family: a Gaussian sea-level anomaly
+/// whose amplitude, duration and landfall time vary per member.
+#[derive(Clone, Copy, Debug)]
+pub struct SurgeFamily {
+    /// Peak anomaly height (m).
+    pub amplitude: ParamRange,
+    /// Gaussian full width (hours) — the storm's forcing timescale.
+    pub duration_hours: ParamRange,
+    /// Landfall time as a fraction of the forecast window `[0, 1]`.
+    pub peak_frac: ParamRange,
+}
+
+impl Default for SurgeFamily {
+    fn default() -> Self {
+        Self {
+            amplitude: ParamRange::new(0.2, 0.8),
+            duration_hours: ParamRange::new(3.0, 9.0),
+            peak_frac: ParamRange::new(0.3, 0.8),
+        }
+    }
+}
+
+/// One member's concrete surge pulse.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct SurgePulse {
+    /// Peak anomaly (m).
+    pub amplitude: f64,
+    /// Gaussian full width (s).
+    pub duration: f64,
+    /// Landfall time as a fraction of the forecast window.
+    pub peak_frac: f64,
+}
+
+impl SurgePulse {
+    /// Anomaly elevation (m) at time `t` for a forecast window spanning
+    /// `[t_start, t_end]`.
+    pub fn elevation(&self, t: f64, t_start: f64, t_end: f64) -> f64 {
+        let t_peak = t_start + self.peak_frac * (t_end - t_start);
+        // Gaussian with `duration` as full width at half maximum.
+        let sigma = (self.duration / 2.355).max(1.0);
+        let z = (t - t_peak) / sigma;
+        self.amplitude * (-0.5 * z * z).exp()
+    }
+}
+
+/// The axes a perturbation study varies, each as a range (use
+/// [`ParamRange::fixed`] to pin an axis).
+#[derive(Clone, Copy, Debug)]
+pub struct PerturbationSpace {
+    /// Multiplier on every astronomical constituent amplitude.
+    pub tidal_amp_scale: ParamRange,
+    /// Phase shift (rad) added to every astronomical constituent.
+    pub tidal_phase_shift: ParamRange,
+    /// Multiplier on the low-frequency weather-anomaly amplitudes.
+    pub anomaly_scale: ParamRange,
+    /// Constant subtidal mean-level offset (m) — the river-discharge /
+    /// precipitation stage proxy, carried as an ultra-long-period
+    /// anomaly constituent.
+    pub river_level_offset: ParamRange,
+    /// Standard deviation (m) of seeded Gaussian noise added to the
+    /// initial-condition free surface (wet cells only).
+    pub ic_noise_std: ParamRange,
+    /// Optional storm-surge pulse family.
+    pub surge: Option<SurgeFamily>,
+}
+
+impl Default for PerturbationSpace {
+    /// Neutral space: every axis pinned at its identity, no surge —
+    /// drawing from it reproduces the base scenario N times.
+    fn default() -> Self {
+        Self {
+            tidal_amp_scale: ParamRange::fixed(1.0),
+            tidal_phase_shift: ParamRange::fixed(0.0),
+            anomaly_scale: ParamRange::fixed(1.0),
+            river_level_offset: ParamRange::fixed(0.0),
+            ic_noise_std: ParamRange::fixed(0.0),
+            surge: None,
+        }
+    }
+}
+
+impl PerturbationSpace {
+    /// The flood-risk study: spring/neap-scale tide uncertainty, a storm
+    /// pulse family, elevated river stage, and IC uncertainty.
+    pub fn surge_study() -> Self {
+        Self {
+            tidal_amp_scale: ParamRange::new(0.85, 1.25),
+            tidal_phase_shift: ParamRange::new(-0.4, 0.4),
+            anomaly_scale: ParamRange::new(0.5, 1.8),
+            river_level_offset: ParamRange::new(0.0, 0.15),
+            ic_noise_std: ParamRange::new(0.0, 0.02),
+            surge: Some(SurgeFamily::default()),
+        }
+    }
+
+    /// The scalar axes in catalog order (surge axes follow when present).
+    fn scalar_axes(&self) -> [ParamRange; 5] {
+        [
+            self.tidal_amp_scale,
+            self.tidal_phase_shift,
+            self.anomaly_scale,
+            self.river_level_offset,
+            self.ic_noise_std,
+        ]
+    }
+
+    /// All axes, flattened (5 scalar + 3 surge when present).
+    fn axes(&self) -> Vec<ParamRange> {
+        let mut v = self.scalar_axes().to_vec();
+        if let Some(s) = &self.surge {
+            v.extend([s.amplitude, s.duration_hours, s.peak_frac]);
+        }
+        v
+    }
+
+    /// Build a member from one point of the unit hypercube.
+    fn member_at(&self, member_id: usize, u: &[f64], seed: u64) -> MemberPerturbation {
+        let axes = self.axes();
+        assert_eq!(u.len(), axes.len());
+        let val = |i: usize| axes[i].sample(u[i]);
+        MemberPerturbation {
+            member_id,
+            tidal_amp_scale: val(0),
+            tidal_phase_shift: val(1),
+            anomaly_scale: val(2),
+            river_level_offset: val(3),
+            ic_noise_std: val(4),
+            surge: self.surge.map(|_| SurgePulse {
+                amplitude: val(5),
+                duration: val(6) * 3600.0,
+                peak_frac: val(7),
+            }),
+            // Per-member noise stream, decorrelated from the draw stream.
+            noise_seed: seed
+                .wrapping_mul(0x9E37_79B9_7F4A_7C15)
+                .wrapping_add(member_id as u64),
+        }
+    }
+}
+
+/// How member parameter vectors are placed in the perturbation space.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum SamplingStrategy {
+    /// Full factorial sweep: `levels` evenly-spaced values per *active*
+    /// axis (inactive axes stay at their pinned value). Member count is
+    /// `levels^n_active` — exhaustive, for low-dimensional studies.
+    GridSweep { levels: usize },
+    /// Latin-hypercube: `members` samples, each axis stratified into
+    /// `members` bins with a seeded permutation per axis — good coverage
+    /// of high-dimensional spaces at any budget.
+    LatinHypercube { members: usize },
+}
+
+/// A perturbation space + sampling strategy + seed: the reproducible
+/// definition of an ensemble.
+#[derive(Clone, Debug)]
+pub struct PerturbationCatalog {
+    pub space: PerturbationSpace,
+    pub strategy: SamplingStrategy,
+    pub seed: u64,
+}
+
+impl PerturbationCatalog {
+    pub fn new(space: PerturbationSpace, strategy: SamplingStrategy, seed: u64) -> Self {
+        Self {
+            space,
+            strategy,
+            seed,
+        }
+    }
+
+    /// Draw the concrete member list. Deterministic: the same catalog
+    /// (space, strategy, seed) always produces bit-identical members.
+    pub fn members(&self) -> Vec<MemberPerturbation> {
+        match self.strategy {
+            SamplingStrategy::GridSweep { levels } => self.grid_sweep(levels),
+            SamplingStrategy::LatinHypercube { members } => self.latin_hypercube(members),
+        }
+    }
+
+    fn grid_sweep(&self, levels: usize) -> Vec<MemberPerturbation> {
+        assert!(levels >= 1, "grid sweep needs at least one level");
+        let axes = self.space.axes();
+        let active: Vec<usize> = (0..axes.len()).filter(|&i| axes[i].is_active()).collect();
+        let count = levels.pow(active.len() as u32);
+        assert!(
+            count <= 100_000,
+            "grid sweep of {count} members ({} active axes × {levels} levels) — use LatinHypercube",
+            active.len()
+        );
+        let mut out = Vec::with_capacity(count);
+        for m in 0..count {
+            // Inactive axes at their pinned midpoint.
+            let mut u: Vec<f64> = axes.iter().map(|_| 0.5).collect();
+            let mut rem = m;
+            for &ai in &active {
+                let level = rem % levels;
+                rem /= levels;
+                u[ai] = if levels == 1 {
+                    0.5
+                } else {
+                    level as f64 / (levels - 1) as f64
+                };
+            }
+            out.push(self.space.member_at(m, &u, self.seed));
+        }
+        out
+    }
+
+    fn latin_hypercube(&self, members: usize) -> Vec<MemberPerturbation> {
+        assert!(members >= 1, "ensemble needs at least one member");
+        let axes = self.space.axes();
+        let mut rng = StdRng::seed_from_u64(self.seed);
+        // Per axis: a seeded permutation of strata, plus in-stratum jitter.
+        let mut coords = vec![vec![0.5f64; axes.len()]; members];
+        for (ai, axis) in axes.iter().enumerate() {
+            if !axis.is_active() {
+                continue; // pinned — skip so adding axes later doesn't reshuffle
+            }
+            let mut strata: Vec<usize> = (0..members).collect();
+            strata.shuffle(&mut rng);
+            for (m, &s) in strata.iter().enumerate() {
+                let jitter: f64 = rng.gen();
+                coords[m][ai] = (s as f64 + jitter) / members as f64;
+            }
+        }
+        coords
+            .iter()
+            .enumerate()
+            .map(|(m, u)| self.space.member_at(m, u, self.seed))
+            .collect()
+    }
+}
+
+/// One ensemble member's concrete perturbation parameters.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct MemberPerturbation {
+    pub member_id: usize,
+    pub tidal_amp_scale: f64,
+    pub tidal_phase_shift: f64,
+    pub anomaly_scale: f64,
+    pub river_level_offset: f64,
+    pub ic_noise_std: f64,
+    pub surge: Option<SurgePulse>,
+    /// Seed of this member's IC-noise stream.
+    pub noise_seed: u64,
+}
+
+impl MemberPerturbation {
+    /// The member that reproduces the base scenario exactly.
+    pub fn identity(member_id: usize) -> Self {
+        Self {
+            member_id,
+            tidal_amp_scale: 1.0,
+            tidal_phase_shift: 0.0,
+            anomaly_scale: 1.0,
+            river_level_offset: 0.0,
+            ic_noise_std: 0.0,
+            surge: None,
+            noise_seed: 0,
+        }
+    }
+
+    /// Apply the forcing axes to a base parameterization. Every derived
+    /// constituent is validated — a perturbation that would produce
+    /// non-finite elevations is a typed [`ForcingError`], caught here
+    /// rather than as NaN fields deep in a forecast.
+    pub fn forcing(&self, base: &TidalForcing) -> Result<TidalForcing, ForcingError> {
+        // Periods are carried over untouched (no unit round-trip): the
+        // identity member must reproduce the base forcing bit-exactly.
+        let mut f = base.clone();
+        for c in &mut f.constituents {
+            c.amplitude *= self.tidal_amp_scale;
+            c.phase += self.tidal_phase_shift;
+            c.validate()?;
+        }
+        for c in &mut f.anomaly {
+            c.amplitude *= self.anomaly_scale;
+            c.validate()?;
+        }
+        if self.river_level_offset != 0.0 {
+            f.anomaly.push(Constituent::try_new(
+                self.river_level_offset,
+                MEAN_LEVEL_PERIOD_HOURS,
+                0.0,
+            )?);
+        }
+        f.validate()?;
+        Ok(f)
+    }
+
+    /// Expand a base scenario into this member's scenario: same mesh,
+    /// model and budget, perturbed forcing pinned via
+    /// [`Scenario::with_forcing`]. `year` selects the base forcing when
+    /// the scenario has no explicit override.
+    pub fn scenario(&self, base: &Scenario, year: u32) -> Result<Scenario, ForcingError> {
+        let perturbed = self.forcing(&base.base_forcing(year))?;
+        Ok(base.clone().with_forcing(perturbed))
+    }
+
+    /// Short human label (`m007 amp=1.12 phase=+0.20 …`).
+    pub fn label(&self) -> String {
+        let mut s = format!(
+            "m{:03} amp={:.2} phase={:+.2} anom={:.2} river={:+.2} icσ={:.3}",
+            self.member_id,
+            self.tidal_amp_scale,
+            self.tidal_phase_shift,
+            self.anomaly_scale,
+            self.river_level_offset,
+            self.ic_noise_std
+        );
+        if let Some(p) = &self.surge {
+            s.push_str(&format!(
+                " surge={:.2}m/{:.1}h@{:.0}%",
+                p.amplitude,
+                p.duration / 3600.0,
+                p.peak_frac * 100.0
+            ));
+        }
+        s
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn catalog(seed: u64) -> PerturbationCatalog {
+        PerturbationCatalog::new(
+            PerturbationSpace::surge_study(),
+            SamplingStrategy::LatinHypercube { members: 16 },
+            seed,
+        )
+    }
+
+    #[test]
+    fn same_seed_bit_identical_members() {
+        let a = catalog(7).members();
+        let b = catalog(7).members();
+        assert_eq!(a, b, "same seed must reproduce the ensemble exactly");
+        let c = catalog(8).members();
+        assert_ne!(a, c, "different seeds must differ");
+    }
+
+    #[test]
+    fn latin_hypercube_stratifies_every_active_axis() {
+        let members = catalog(3).members();
+        let n = members.len() as f64;
+        let space = PerturbationSpace::surge_study();
+        // Each axis: exactly one sample per stratum.
+        let axis_vals: Vec<f64> = members.iter().map(|m| m.tidal_amp_scale).collect();
+        let lo = space.tidal_amp_scale.lo;
+        let span = space.tidal_amp_scale.hi - lo;
+        let mut strata: Vec<usize> = axis_vals
+            .iter()
+            .map(|v| (((v - lo) / span) * n).floor().min(n - 1.0) as usize)
+            .collect();
+        strata.sort_unstable();
+        assert_eq!(strata, (0..members.len()).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn grid_sweep_covers_cartesian_product() {
+        let space = PerturbationSpace {
+            tidal_amp_scale: ParamRange::new(0.8, 1.2),
+            river_level_offset: ParamRange::new(0.0, 0.2),
+            ..Default::default()
+        };
+        let cat = PerturbationCatalog::new(space, SamplingStrategy::GridSweep { levels: 3 }, 0);
+        let members = cat.members();
+        assert_eq!(members.len(), 9, "3 levels × 2 active axes");
+        // Endpoints and midpoints hit exactly.
+        let amps: Vec<f64> = members.iter().map(|m| m.tidal_amp_scale).collect();
+        assert!(amps.iter().any(|&a| (a - 0.8).abs() < 1e-12));
+        assert!(amps.iter().any(|&a| (a - 1.0).abs() < 1e-12));
+        assert!(amps.iter().any(|&a| (a - 1.2).abs() < 1e-12));
+        // Inactive axes pinned.
+        assert!(members.iter().all(|m| m.anomaly_scale == 1.0));
+        assert!(members.iter().all(|m| m.ic_noise_std == 0.0));
+    }
+
+    #[test]
+    fn identity_member_reproduces_base_forcing() {
+        let base = TidalForcing::for_year(0);
+        let f = MemberPerturbation::identity(0).forcing(&base).unwrap();
+        let probe: f64 = (0..50).map(|k| f.elevation(0.0, k as f64 * 977.0)).sum();
+        let probe_base: f64 = (0..50).map(|k| base.elevation(0.0, k as f64 * 977.0)).sum();
+        assert_eq!(probe, probe_base);
+    }
+
+    #[test]
+    fn perturbed_forcing_scales_and_shifts() {
+        let base = TidalForcing::single(1.0, 12.0);
+        let mut m = MemberPerturbation::identity(0);
+        m.tidal_amp_scale = 2.0;
+        let f = m.forcing(&base).unwrap();
+        assert!((f.elevation(0.0, 0.0) - 2.0).abs() < 1e-12);
+
+        let mut m = MemberPerturbation::identity(1);
+        m.river_level_offset = 0.3;
+        let f = m.forcing(&base).unwrap();
+        // Offset rides on top of the tide (cos(ω·0)≈1 for the huge period).
+        assert!((f.elevation(0.0, 0.0) - 1.3).abs() < 1e-9);
+    }
+
+    #[test]
+    fn invalid_perturbation_is_typed_error() {
+        let base = TidalForcing::single(1.0, 12.0);
+        let mut m = MemberPerturbation::identity(0);
+        m.tidal_amp_scale = f64::NAN;
+        assert!(matches!(
+            m.forcing(&base),
+            Err(ForcingError::NonFiniteAmplitude { .. })
+        ));
+    }
+
+    #[test]
+    fn surge_pulse_peaks_at_landfall() {
+        let p = SurgePulse {
+            amplitude: 0.5,
+            duration: 4.0 * 3600.0,
+            peak_frac: 0.5,
+        };
+        let (t0, t1) = (0.0, 8.0 * 3600.0);
+        let peak = p.elevation(4.0 * 3600.0, t0, t1);
+        assert!((peak - 0.5).abs() < 1e-12);
+        assert!(p.elevation(0.0, t0, t1) < peak);
+        assert!(p.elevation(t1, t0, t1) < peak);
+    }
+
+    #[test]
+    fn member_scenario_pins_perturbed_forcing() {
+        let base = ccore::Scenario::small();
+        let mut m = MemberPerturbation::identity(0);
+        m.tidal_amp_scale = 1.5;
+        let sc = m.scenario(&base, 1).unwrap();
+        let f = sc.forcing.expect("member scenario pins forcing");
+        let base_f = TidalForcing::for_year(1);
+        assert!(
+            (f.constituents[0].amplitude - 1.5 * base_f.constituents[0].amplitude).abs() < 1e-12
+        );
+    }
+}

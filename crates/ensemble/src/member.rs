@@ -1,0 +1,217 @@
+//! Member episode-window synthesis: expand one simulated base window into
+//! N member windows *without* re-running the physics per member.
+//!
+//! A forecast episode needs the initial condition plus `t_out` future
+//! boundary frames consistent with the member's forcing. Simulating every
+//! member's window with ROMS is the naive path (and what
+//! `bench_ensemble`'s baseline measures); the catalog instead constructs
+//! perturbation families whose boundary response is known analytically —
+//! tidal amplitude/phase scaling, anomaly scaling, mean-level offsets and
+//! surge pulses all enter the free surface as the forcing *elevation
+//! delta* — so member windows are synthesized from one shared base run:
+//!
+//! ```text
+//! ζ_member(x, t) = ζ_base(x, t) + [η_member(t) − η_base(t)] + surge(t)
+//!                 (+ seeded IC noise on frame 0)
+//! ```
+//!
+//! applied on wet cells, with `η` the prescribed boundary elevation. The
+//! co-oscillating-level approximation (the basin tracks the boundary
+//! level uniformly at these scales) is exactly the regime where the
+//! estuary's surge response is barotropic; velocities keep the base run's
+//! values.
+
+use ccore::Scenario;
+use cgrid::Grid;
+use cocean::{ForcingError, Snapshot, TidalForcing};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use crate::catalog::MemberPerturbation;
+
+/// One member's forecast inputs: the perturbation, its forcing, and the
+/// synthesized episode window (IC + boundary frames).
+#[derive(Clone, Debug)]
+pub struct MemberWindow {
+    pub perturbation: MemberPerturbation,
+    /// The member's full forcing parameterization (used by ROMS fallback).
+    pub forcing: TidalForcing,
+    pub window: Vec<Snapshot>,
+}
+
+/// Seeded standard-normal draw (Box–Muller over the rand shim).
+fn gaussian(rng: &mut StdRng) -> f64 {
+    let u1: f64 = rng.gen::<f64>().max(1e-12);
+    let u2: f64 = rng.gen();
+    (-2.0 * u1.ln()).sqrt() * (std::f64::consts::TAU * u2).cos()
+}
+
+/// Synthesize every member's episode window from one shared base window.
+///
+/// `base_window` is a simulated episode window of the base scenario
+/// (`t_out + 1` snapshots); `year` selects the base forcing when the
+/// scenario has no override. Deterministic: member windows depend only on
+/// the base window and each member's parameters/seed.
+pub fn synthesize_windows(
+    scenario: &Scenario,
+    grid: &Grid,
+    base_window: &[Snapshot],
+    year: u32,
+    members: &[MemberPerturbation],
+) -> Result<Vec<MemberWindow>, ForcingError> {
+    assert!(!base_window.is_empty(), "base window must not be empty");
+    let base_forcing = scenario.base_forcing(year);
+    let t_start = base_window[0].time;
+    let t_end = base_window[base_window.len() - 1].time;
+    // Wet mask in snapshot layout.
+    let (ny, nx) = (base_window[0].ny, base_window[0].nx);
+    let wet: Vec<bool> = (0..ny)
+        .flat_map(|j| (0..nx).map(move |i| (j, i)))
+        .map(|(j, i)| grid.mask_rho.get(j as isize, i as isize) > 0.5)
+        .collect();
+    // Base boundary elevation per frame — shared by every member.
+    let base_elev: Vec<f64> = base_window
+        .iter()
+        .map(|s| base_forcing.elevation(0.0, s.time))
+        .collect();
+
+    members
+        .iter()
+        .map(|m| {
+            let forcing = m.forcing(&base_forcing)?;
+            let mut window = base_window.to_vec();
+            for (snap, &eta0) in window.iter_mut().zip(&base_elev) {
+                // Uniform co-oscillation: the boundary-elevation delta of
+                // this member's forcing, evaluated at the boundary origin
+                // (the alongshore lag is negligible over estuary scales).
+                let mut delta = forcing.elevation(0.0, snap.time) - eta0;
+                if let Some(p) = &m.surge {
+                    delta += p.elevation(snap.time, t_start, t_end);
+                }
+                if delta != 0.0 {
+                    let d = delta as f32;
+                    for (z, &w) in snap.zeta.iter_mut().zip(&wet) {
+                        if w {
+                            *z += d;
+                        }
+                    }
+                }
+            }
+            if m.ic_noise_std > 0.0 {
+                let mut rng = StdRng::seed_from_u64(m.noise_seed);
+                let std = m.ic_noise_std;
+                for (z, &w) in window[0].zeta.iter_mut().zip(&wet) {
+                    // Draw for every cell (wet or not) so the noise field
+                    // is independent of the mask geometry.
+                    let n = gaussian(&mut rng) * std;
+                    if w {
+                        *z += n as f32;
+                    }
+                }
+            }
+            Ok(MemberWindow {
+                perturbation: *m,
+                forcing,
+                window,
+            })
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::catalog::SurgePulse;
+
+    fn setup() -> (Scenario, Grid, Vec<Snapshot>) {
+        let sc = Scenario::small();
+        let grid = sc.grid();
+        let window = sc.simulate_archive(&grid, 0, sc.t_out + 1);
+        (sc, grid, window)
+    }
+
+    #[test]
+    fn identity_member_window_is_base_window() {
+        let (sc, grid, base) = setup();
+        let members = [MemberPerturbation::identity(0)];
+        let w = synthesize_windows(&sc, &grid, &base, 0, &members).unwrap();
+        assert_eq!(w.len(), 1);
+        for (a, b) in w[0].window.iter().zip(&base) {
+            assert_eq!(a.zeta, b.zeta, "identity member must be bit-identical");
+            assert_eq!(a.u, b.u);
+        }
+    }
+
+    #[test]
+    fn synthesis_is_deterministic_and_seed_sensitive() {
+        let (sc, grid, base) = setup();
+        let mut m = MemberPerturbation::identity(0);
+        m.ic_noise_std = 0.05;
+        m.noise_seed = 42;
+        let a = synthesize_windows(&sc, &grid, &base, 0, &[m]).unwrap();
+        let b = synthesize_windows(&sc, &grid, &base, 0, &[m]).unwrap();
+        assert_eq!(a[0].window[0].zeta, b[0].window[0].zeta);
+        let mut m2 = m;
+        m2.noise_seed = 43;
+        let c = synthesize_windows(&sc, &grid, &base, 0, &[m2]).unwrap();
+        assert_ne!(a[0].window[0].zeta, c[0].window[0].zeta);
+    }
+
+    #[test]
+    fn surge_pulse_raises_wet_cells_only() {
+        let (sc, grid, base) = setup();
+        let mut m = MemberPerturbation::identity(0);
+        m.surge = Some(SurgePulse {
+            amplitude: 0.5,
+            duration: 4.0 * 3600.0,
+            peak_frac: 0.5,
+        });
+        let w = synthesize_windows(&sc, &grid, &base, 0, &[m]).unwrap();
+        let mid = w[0].window.len() / 2;
+        let mut raised = 0usize;
+        for j in 0..grid.ny {
+            for i in 0..grid.nx {
+                let idx = j * grid.nx + i;
+                let d = w[0].window[mid].zeta[idx] - base[mid].zeta[idx];
+                if grid.mask_rho.get(j as isize, i as isize) > 0.5 {
+                    assert!(d > 0.0, "wet cell must be raised near landfall");
+                    raised += 1;
+                } else {
+                    assert_eq!(d, 0.0, "land cells untouched");
+                }
+            }
+        }
+        assert!(raised > 0);
+    }
+
+    #[test]
+    fn ic_noise_touches_only_first_frame() {
+        let (sc, grid, base) = setup();
+        let mut m = MemberPerturbation::identity(0);
+        m.ic_noise_std = 0.03;
+        m.noise_seed = 9;
+        let w = synthesize_windows(&sc, &grid, &base, 0, &[m]).unwrap();
+        assert_ne!(w[0].window[0].zeta, base[0].zeta);
+        for (a, b) in w[0].window[1..].iter().zip(&base[1..]) {
+            assert_eq!(a.zeta, b.zeta);
+        }
+    }
+
+    #[test]
+    fn amplitude_scaling_changes_boundary_frames() {
+        let (sc, grid, base) = setup();
+        let mut m = MemberPerturbation::identity(0);
+        m.tidal_amp_scale = 1.4;
+        let w = synthesize_windows(&sc, &grid, &base, 0, &[m]).unwrap();
+        let frames_changed = w[0]
+            .window
+            .iter()
+            .zip(&base)
+            .filter(|(a, b)| a.zeta != b.zeta)
+            .count();
+        assert!(
+            frames_changed >= base.len() - 1,
+            "amplitude scaling must move (almost) every frame, got {frames_changed}"
+        );
+    }
+}

@@ -1,0 +1,278 @@
+//! The ensemble runner: stacked-batch surrogate inference over all
+//! members, per-member physics verification, and per-member ROMS fallback
+//! — the hybrid AI+physics workflow lifted from one scenario to N.
+//!
+//! Members are forecast in chunks of [`RunnerConfig::chunk`] episodes
+//! stacked through [`TrainedSurrogate::predict_batch`], so each chunk is
+//! **one** forward pass of the Blocked backend instead of `chunk`
+//! separate ones. [`run_parallel`] additionally fans chunks out across a
+//! thread pool, each worker rebuilding the model from a `Send`
+//! [`SurrogateSpec`] — member forecasts are embarrassingly parallel, so
+//! ensemble throughput scales with cores where intra-op parallelism
+//! cannot.
+//!
+//! Per-member results are chunk-invariant: stacking a member with
+//! different chunkmates does not change its forecast (each batch row's
+//! arithmetic is independent), so serial, chunked and parallel runs all
+//! produce identical ensembles.
+
+use std::time::Instant;
+
+use ccore::{ForecastError, Scenario, SurrogateSpec, TrainedSurrogate};
+use cgrid::Grid;
+use cocean::{Roms, Snapshot};
+use cphysics::{Verdict, Verifier, VerifierConfig};
+
+use crate::member::MemberWindow;
+
+/// Execution knobs for an ensemble run.
+#[derive(Clone, Copy, Debug)]
+pub struct RunnerConfig {
+    /// Members stacked per batched forward pass.
+    pub chunk: usize,
+    /// Physics verification of every member episode (`None` skips it).
+    pub verifier: Option<VerifierConfig>,
+    /// Re-run failed members with the simulator from the member's own
+    /// forcing (the hybrid workflow's "switch back to ROMS" arm, per
+    /// member). Requires a verifier.
+    pub fallback: bool,
+    /// Worker threads for [`run_parallel`] (`0` = all available cores).
+    pub threads: usize,
+}
+
+impl Default for RunnerConfig {
+    fn default() -> Self {
+        Self {
+            chunk: 8,
+            verifier: Some(VerifierConfig::default()),
+            fallback: true,
+            threads: 0,
+        }
+    }
+}
+
+/// One member's forecast plus its verification outcome.
+#[derive(Clone, Debug)]
+pub struct MemberOutcome {
+    pub member_id: usize,
+    /// The member's forecast trajectory (`t_out` snapshots) — surrogate
+    /// output, or simulator output if the member fell back.
+    pub forecast: Vec<Snapshot>,
+    /// Per-transition verdicts of the *surrogate* episode (empty when
+    /// verification is disabled).
+    pub verdicts: Vec<Verdict>,
+    /// Every verified transition passed.
+    pub passed: bool,
+    /// The forecast was recomputed by the simulator.
+    pub fell_back: bool,
+}
+
+/// Aggregate result of an ensemble run.
+#[derive(Clone, Debug, Default)]
+pub struct EnsembleOutcome {
+    /// Per-member outcomes in member order.
+    pub members: Vec<MemberOutcome>,
+    /// Batched forward passes executed.
+    pub batches: usize,
+    /// Wall time in stacked surrogate inference (summed across workers).
+    pub inference_seconds: f64,
+    pub verify_seconds: f64,
+    pub fallback_seconds: f64,
+}
+
+impl EnsembleOutcome {
+    /// Fraction of verified members whose every transition passed.
+    pub fn pass_rate(&self) -> f64 {
+        if self.members.is_empty() {
+            return 1.0;
+        }
+        self.members.iter().filter(|m| m.passed).count() as f64 / self.members.len() as f64
+    }
+
+    /// Members served by the surrogate / recomputed by the simulator.
+    pub fn ai_members(&self) -> usize {
+        self.members.iter().filter(|m| !m.fell_back).count()
+    }
+
+    pub fn fallback_members(&self) -> usize {
+        self.members.iter().filter(|m| m.fell_back).count()
+    }
+
+    fn merge(mut parts: Vec<EnsembleOutcome>) -> EnsembleOutcome {
+        let mut out = EnsembleOutcome::default();
+        for p in parts.iter_mut() {
+            out.members.append(&mut p.members);
+            out.batches += p.batches;
+            out.inference_seconds += p.inference_seconds;
+            out.verify_seconds += p.verify_seconds;
+            out.fallback_seconds += p.fallback_seconds;
+        }
+        out
+    }
+}
+
+/// Ensemble executor bound to one grid + trained surrogate.
+pub struct EnsembleRunner<'a> {
+    pub grid: &'a Grid,
+    pub surrogate: &'a TrainedSurrogate,
+    /// Base scenario (fallback simulator configuration).
+    pub scenario: &'a Scenario,
+    /// Forcing year of the base run (selects the fallback config's base
+    /// forcing when the scenario carries no override).
+    pub year: u32,
+    pub cfg: RunnerConfig,
+}
+
+impl<'a> EnsembleRunner<'a> {
+    pub fn new(
+        grid: &'a Grid,
+        surrogate: &'a TrainedSurrogate,
+        scenario: &'a Scenario,
+        year: u32,
+        cfg: RunnerConfig,
+    ) -> Self {
+        Self {
+            grid,
+            surrogate,
+            scenario,
+            year,
+            cfg,
+        }
+    }
+
+    /// Forecast every member: chunked stacked inference, then per-member
+    /// verification and (optionally) simulator fallback.
+    pub fn run(&self, windows: &[MemberWindow]) -> Result<EnsembleOutcome, ForecastError> {
+        if windows.is_empty() {
+            return Err(ForecastError::EmptyBatch);
+        }
+        let chunk = self.cfg.chunk.max(1);
+        let verifier = self.cfg.verifier.map(|cfg| Verifier::new(self.grid, cfg));
+        let mut out = EnsembleOutcome::default();
+
+        for group in windows.chunks(chunk) {
+            let refs: Vec<&[Snapshot]> = group.iter().map(|m| m.window.as_slice()).collect();
+            let t0 = Instant::now();
+            let predictions = self.surrogate.predict_batch(&refs)?;
+            out.inference_seconds += t0.elapsed().as_secs_f64();
+            out.batches += 1;
+
+            for (mw, prediction) in group.iter().zip(predictions) {
+                out.members.push(self.finish_member(
+                    mw,
+                    prediction,
+                    verifier.as_ref(),
+                    &mut out.verify_seconds,
+                    &mut out.fallback_seconds,
+                )?);
+            }
+        }
+        Ok(out)
+    }
+
+    /// Verify one member's surrogate episode and fall back if configured.
+    fn finish_member(
+        &self,
+        mw: &MemberWindow,
+        prediction: Vec<Snapshot>,
+        verifier: Option<&Verifier<'_>>,
+        verify_seconds: &mut f64,
+        fallback_seconds: &mut f64,
+    ) -> Result<MemberOutcome, ForecastError> {
+        let t_out = prediction.len();
+        let (verdicts, passed) = match verifier {
+            None => (Vec::new(), true),
+            Some(v) => {
+                let t0 = Instant::now();
+                let verdicts = v.check_episode(&mw.window[0], &prediction);
+                *verify_seconds += t0.elapsed().as_secs_f64();
+                let passed = verdicts.len() == t_out && verdicts.iter().all(|v| v.passed);
+                (verdicts, passed)
+            }
+        };
+
+        if passed || !self.cfg.fallback {
+            return Ok(MemberOutcome {
+                member_id: mw.perturbation.member_id,
+                forecast: prediction,
+                verdicts,
+                passed,
+                fell_back: false,
+            });
+        }
+
+        // Hybrid fallback: simulate this member's episode under its own
+        // forcing, starting from its initial condition.
+        let t0 = Instant::now();
+        let mut ocean = self.scenario.ocean_config(self.grid, self.year);
+        ocean.forcing = mw.forcing.clone();
+        let mut roms = Roms::new(self.grid, ocean);
+        roms.load(&mw.window[0]);
+        let sim = roms.record(t_out, self.surrogate.snapshot_interval);
+        *fallback_seconds += t0.elapsed().as_secs_f64();
+        if sim.is_empty() {
+            return Err(ForecastError::EmptyEpisode);
+        }
+        Ok(MemberOutcome {
+            member_id: mw.perturbation.member_id,
+            forecast: sim,
+            verdicts,
+            passed,
+            fell_back: true,
+        })
+    }
+}
+
+/// Run an ensemble across a worker-thread pool. Each worker rebuilds the
+/// surrogate from `spec` (parameters are thread-local `Rc`s; the spec is
+/// `Send`) and processes a contiguous slice of members with the chunked
+/// stacked path of [`EnsembleRunner::run`]. Member order and per-member
+/// results are identical to a serial run.
+pub fn run_parallel(
+    spec: &SurrogateSpec,
+    grid: &Grid,
+    scenario: &Scenario,
+    year: u32,
+    cfg: RunnerConfig,
+    windows: &[MemberWindow],
+) -> Result<EnsembleOutcome, ForecastError> {
+    if windows.is_empty() {
+        return Err(ForecastError::EmptyBatch);
+    }
+    let threads = if cfg.threads == 0 {
+        std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1)
+    } else {
+        cfg.threads
+    }
+    .min(windows.len());
+
+    if threads <= 1 {
+        let local = spec.instantiate();
+        return EnsembleRunner::new(grid, &local, scenario, year, cfg).run(windows);
+    }
+
+    let per = windows.len().div_ceil(threads);
+    let slices: Vec<&[MemberWindow]> = windows.chunks(per).collect();
+    let results: Vec<Result<EnsembleOutcome, ForecastError>> = std::thread::scope(|s| {
+        let handles: Vec<_> = slices
+            .into_iter()
+            .map(|slice| {
+                s.spawn(move || {
+                    let local = spec.instantiate();
+                    EnsembleRunner::new(grid, &local, scenario, year, cfg).run(slice)
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("ensemble worker panicked"))
+            .collect()
+    });
+    let mut parts = Vec::with_capacity(results.len());
+    for r in results {
+        parts.push(r?);
+    }
+    Ok(EnsembleOutcome::merge(parts))
+}

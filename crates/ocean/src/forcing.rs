@@ -8,6 +8,49 @@
 //! standing in for the paper's 2011-train / 2012-test split.
 
 use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Why a forcing parameterization was rejected at construction.
+///
+/// A non-finite amplitude or a non-positive period would silently turn
+/// every boundary elevation into NaN/∞ deep inside the solver, so the
+/// constructors reject them up front — essential once forcings are
+/// *generated* (ensemble perturbations) rather than hand-written.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub enum ForcingError {
+    /// Amplitude was NaN or ±∞.
+    NonFiniteAmplitude { amplitude: f64 },
+    /// Period must be finite and strictly positive (seconds).
+    InvalidPeriod { period: f64 },
+    /// Phase was NaN or ±∞.
+    NonFinitePhase { phase: f64 },
+    /// A named forcing field (alongshore lag, time origin) was NaN or ±∞.
+    NonFiniteParameter { name: &'static str, value: f64 },
+}
+
+impl fmt::Display for ForcingError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ForcingError::NonFiniteAmplitude { amplitude } => {
+                write!(f, "constituent amplitude must be finite, got {amplitude}")
+            }
+            ForcingError::InvalidPeriod { period } => {
+                write!(
+                    f,
+                    "constituent period must be finite and > 0 s, got {period}"
+                )
+            }
+            ForcingError::NonFinitePhase { phase } => {
+                write!(f, "constituent phase must be finite, got {phase}")
+            }
+            ForcingError::NonFiniteParameter { name, value } => {
+                write!(f, "forcing {name} must be finite, got {value}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ForcingError {}
 
 /// One tidal constituent.
 #[derive(Clone, Copy, Debug, Serialize, Deserialize)]
@@ -21,12 +64,52 @@ pub struct Constituent {
 }
 
 impl Constituent {
+    /// Constituent from literal parameters.
+    ///
+    /// # Panics
+    /// On non-finite amplitude/phase or non-positive period — use
+    /// [`Constituent::try_new`] for computed inputs.
     pub fn new(amplitude: f64, period_hours: f64, phase: f64) -> Self {
-        Self {
-            amplitude,
-            period: period_hours * 3600.0,
-            phase,
+        Self::try_new(amplitude, period_hours, phase).expect("invalid tidal constituent")
+    }
+
+    /// Fallible constructor: rejects non-finite amplitude/phase and
+    /// non-positive or non-finite period with a typed [`ForcingError`]
+    /// instead of letting NaN elevations propagate into the solver.
+    pub fn try_new(amplitude: f64, period_hours: f64, phase: f64) -> Result<Self, ForcingError> {
+        if !amplitude.is_finite() {
+            return Err(ForcingError::NonFiniteAmplitude { amplitude });
         }
+        let period = period_hours * 3600.0;
+        if !period.is_finite() || period <= 0.0 {
+            return Err(ForcingError::InvalidPeriod { period });
+        }
+        if !phase.is_finite() {
+            return Err(ForcingError::NonFinitePhase { phase });
+        }
+        Ok(Self {
+            amplitude,
+            period,
+            phase,
+        })
+    }
+
+    /// Re-check an existing constituent (e.g. after field surgery).
+    pub fn validate(&self) -> Result<(), ForcingError> {
+        if !self.amplitude.is_finite() {
+            return Err(ForcingError::NonFiniteAmplitude {
+                amplitude: self.amplitude,
+            });
+        }
+        if !self.period.is_finite() || self.period <= 0.0 {
+            return Err(ForcingError::InvalidPeriod {
+                period: self.period,
+            });
+        }
+        if !self.phase.is_finite() {
+            return Err(ForcingError::NonFinitePhase { phase: self.phase });
+        }
+        Ok(())
     }
 
     /// Angular frequency (rad/s).
@@ -107,6 +190,28 @@ impl TidalForcing {
         }
     }
 
+    /// Validate every constituent (astronomical + anomaly) and the lag /
+    /// origin fields. Generated forcings (ensemble perturbations, sweeps)
+    /// should be validated before they reach the solver.
+    pub fn validate(&self) -> Result<(), ForcingError> {
+        for c in self.constituents.iter().chain(&self.anomaly) {
+            c.validate()?;
+        }
+        if !self.alongshore_lag.is_finite() {
+            return Err(ForcingError::NonFiniteParameter {
+                name: "alongshore_lag",
+                value: self.alongshore_lag,
+            });
+        }
+        if !self.t_origin.is_finite() {
+            return Err(ForcingError::NonFiniteParameter {
+                name: "t_origin",
+                value: self.t_origin,
+            });
+        }
+        Ok(())
+    }
+
     /// Prescribed elevation (m) at boundary position `y` (m along the
     /// boundary) and model time `t` (s).
     pub fn elevation(&self, y: f64, t: f64) -> f64 {
@@ -184,5 +289,70 @@ mod tests {
     fn none_is_flat() {
         let f = TidalForcing::none();
         assert_eq!(f.elevation(10.0, 99999.0), 0.0);
+    }
+
+    #[test]
+    fn try_new_rejects_non_finite_amplitude_and_bad_period() {
+        assert!(matches!(
+            Constituent::try_new(f64::NAN, 12.0, 0.0),
+            Err(ForcingError::NonFiniteAmplitude { .. })
+        ));
+        assert!(matches!(
+            Constituent::try_new(f64::INFINITY, 12.0, 0.0),
+            Err(ForcingError::NonFiniteAmplitude { .. })
+        ));
+        assert!(matches!(
+            Constituent::try_new(0.3, 0.0, 0.0),
+            Err(ForcingError::InvalidPeriod { .. })
+        ));
+        assert!(matches!(
+            Constituent::try_new(0.3, -12.0, 0.0),
+            Err(ForcingError::InvalidPeriod { .. })
+        ));
+        assert!(matches!(
+            Constituent::try_new(0.3, f64::NAN, 0.0),
+            Err(ForcingError::InvalidPeriod { .. })
+        ));
+        assert!(matches!(
+            Constituent::try_new(0.3, 12.0, f64::NAN),
+            Err(ForcingError::NonFinitePhase { .. })
+        ));
+        let ok = Constituent::try_new(0.3, 12.0, 1.0).unwrap();
+        assert_eq!(ok.period, 12.0 * 3600.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "invalid tidal constituent")]
+    fn new_panics_on_invalid_input() {
+        let _ = Constituent::new(0.3, -1.0, 0.0);
+    }
+
+    #[test]
+    fn forcing_validate_catches_polluted_members() {
+        let mut f = TidalForcing::for_year(0);
+        assert!(f.validate().is_ok());
+        f.anomaly.push(Constituent {
+            amplitude: f64::NAN,
+            period: 3600.0,
+            phase: 0.0,
+        });
+        assert!(matches!(
+            f.validate(),
+            Err(ForcingError::NonFiniteAmplitude { .. })
+        ));
+        let mut g = TidalForcing::gulf_default();
+        g.constituents[0].period = 0.0;
+        assert!(matches!(
+            g.validate(),
+            Err(ForcingError::InvalidPeriod { .. })
+        ));
+        let mut h = TidalForcing::gulf_default();
+        h.alongshore_lag = f64::NAN;
+        match h.validate() {
+            Err(ForcingError::NonFiniteParameter { name, .. }) => {
+                assert_eq!(name, "alongshore_lag")
+            }
+            other => panic!("expected NonFiniteParameter, got {other:?}"),
+        }
     }
 }

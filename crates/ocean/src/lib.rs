@@ -26,7 +26,7 @@ pub mod state;
 
 pub use barotropic::{PhysParams, G};
 pub use domain::TileDomain;
-pub use forcing::{Constituent, TidalForcing};
+pub use forcing::{Constituent, ForcingError, TidalForcing};
 pub use model::{OceanConfig, Roms};
 pub use par::{run_tiled, TiledRun};
 pub use snapshot::{load_snapshot, take_snapshot, Snapshot};

@@ -55,6 +55,10 @@ pub struct EpochStats {
     pub wall_seconds: f64,
     pub instances_per_sec: f64,
     pub peak_activation_bytes: usize,
+    /// Episodes lost to dead prefetch workers *during this epoch* — a
+    /// non-zero value means the loader skipped instances instead of
+    /// crashing, and the epoch trained on less data than scheduled.
+    pub dropped_episodes: usize,
 }
 
 /// Supervised trainer for the Swin surrogate.
@@ -136,8 +140,13 @@ impl Trainer {
     }
 
     /// Run one epoch from a loader; returns aggregate stats.
+    ///
+    /// Episodes silently skipped by the loader (a prefetch worker died
+    /// mid-epoch) are surfaced in [`EpochStats::dropped_episodes`] and
+    /// warned about on stderr — training on partial data must be loud.
     pub fn train_epoch(&mut self, loader: &DataLoader, epoch: u64) -> EpochStats {
         let t0 = Instant::now();
+        let dropped_before = loader.dropped_episodes();
         let mut total_loss = 0.0f64;
         let mut instances = 0usize;
         let mut batches = 0usize;
@@ -150,12 +159,21 @@ impl Trainer {
             peak = peak.max(s.peak_activation_bytes);
         }
         let wall = t0.elapsed().as_secs_f64();
+        let dropped = loader.dropped_episodes() - dropped_before;
+        if dropped > 0 {
+            eprintln!(
+                "[trainer] WARNING: epoch {epoch} dropped {dropped} episode(s) — \
+                 prefetch worker(s) died; trained on {instances} of {} instances",
+                loader.len()
+            );
+        }
         EpochStats {
             mean_loss: (total_loss / batches.max(1) as f64) as f32,
             instances,
             wall_seconds: wall,
             instances_per_sec: instances as f64 / wall.max(1e-9),
             peak_activation_bytes: peak,
+            dropped_episodes: dropped,
         }
     }
 
@@ -299,6 +317,61 @@ mod tests {
             trainer.step(&ep);
         }));
         assert!(r.is_err(), "budget violation must be detected");
+    }
+
+    #[test]
+    fn train_epoch_surfaces_dropped_episodes() {
+        use crate::loader::LoaderConfig;
+        use crate::store::SnapshotStore;
+        use std::sync::Arc;
+
+        let cfg = SwinConfig::tiny(8, 8, 4, 2);
+        let model = SwinSurrogate::new(cfg.clone(), 0);
+        let mask = Tensor::ones(&[cfg.ny, cfg.nx]);
+        let mut trainer = Trainer::new(model, mask, TrainConfig::default());
+
+        let snaps = synthetic_snaps(10, 8, 8, 4);
+        let store = Arc::new(SnapshotStore::build(&snaps));
+        // Episode start 900 is out of range: the single prefetch worker
+        // panics there, losing that episode and the undelivered one after.
+        let loader = DataLoader::new(
+            store,
+            vec![0, 1, 900, 2],
+            2,
+            NormStats::identity(),
+            EncodeConfig::default(),
+            LoaderConfig {
+                prefetch_workers: 1,
+                prefetch_factor: 4,
+                batch_size: 1,
+                shuffle_seed: None,
+                ..Default::default()
+            },
+        );
+        let prev_hook = std::panic::take_hook();
+        std::panic::set_hook(Box::new(|_| {})); // silence the worker panic
+        let stats = trainer.train_epoch(&loader, 0);
+        std::panic::set_hook(prev_hook);
+        assert_eq!(stats.dropped_episodes, 2, "crashed + undelivered");
+        assert_eq!(stats.instances, 2, "surviving episodes still train");
+
+        // A healthy epoch reports zero drops.
+        let healthy = DataLoader::new(
+            Arc::new(SnapshotStore::build(&synthetic_snaps(10, 8, 8, 4))),
+            vec![0, 1, 2],
+            2,
+            NormStats::identity(),
+            EncodeConfig::default(),
+            LoaderConfig {
+                prefetch_workers: 1,
+                batch_size: 1,
+                shuffle_seed: None,
+                ..Default::default()
+            },
+        );
+        let stats = trainer.train_epoch(&healthy, 1);
+        assert_eq!(stats.dropped_episodes, 0);
+        assert_eq!(stats.instances, 3);
     }
 
     #[test]

@@ -119,6 +119,11 @@ impl<T> MicroBatcher<T> {
         self.lock().total()
     }
 
+    /// Admission bound (see [`BatcherConfig::capacity`]).
+    pub fn capacity(&self) -> usize {
+        self.cfg.capacity
+    }
+
     /// Block until a batch is ready and take it (high priority first,
     /// FIFO within each class). Returns `None` once the queue is closed
     /// *and* fully drained — the consumer's shutdown signal.

@@ -266,6 +266,41 @@ impl ForecastServer {
         }
     }
 
+    /// Submit a whole ensemble of member requests through the regular
+    /// micro-batcher path, returning one handle per member in member
+    /// order.
+    ///
+    /// Ensemble members are ordinary traffic to the serving stack: they
+    /// stack into `max_batch`-sized forwards, coalesce with identical
+    /// in-flight requests, hit the forecast cache, and warm it for later
+    /// clients.
+    ///
+    /// **Validation is atomic**: every member is checked up front, so a
+    /// malformed member rejects the whole ensemble before anything
+    /// enqueues. **Admission is streaming**: members enter the bounded
+    /// queue as the replica pool drains it, so ensembles larger than
+    /// `queue_capacity` are fine — backpressure only triggers when the
+    /// pool genuinely cannot keep up, surfacing as
+    /// [`ServeError::Overloaded`] mid-submission. Members admitted before
+    /// that point complete normally and warm the cache, which makes a
+    /// backed-off retry of the same ensemble cheap: already-computed
+    /// members return as cache hits or coalesce onto in-flight leaders
+    /// instead of recomputing.
+    pub fn submit_ensemble(
+        &self,
+        members: Vec<ForecastRequest>,
+    ) -> Result<Vec<ResponseHandle>, ServeError> {
+        if members.is_empty() {
+            return Err(ServeError::BadRequest(
+                "ensemble submission needs at least one member".into(),
+            ));
+        }
+        for req in &members {
+            self.validate(req)?;
+        }
+        members.into_iter().map(|req| self.submit(req)).collect()
+    }
+
     fn validate(&self, req: &ForecastRequest) -> Result<(), ServeError> {
         if let Some(id) = self.scenario_id {
             if req.scenario_id != id {

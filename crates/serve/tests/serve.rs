@@ -356,3 +356,144 @@ fn high_priority_requests_overtake_normal() {
     }
     assert_eq!(server.metrics().completed, 4);
 }
+
+#[test]
+fn ensemble_submission_reuses_batcher_and_cache() {
+    let c = ctx();
+    let server = ForecastServer::new(
+        c.spec.clone(),
+        ServeConfig {
+            workers: 1,
+            max_batch: 8,
+            max_wait: Duration::from_millis(5),
+            queue_capacity: 16,
+            cache_capacity: 32,
+            ..Default::default()
+        },
+    );
+
+    // A 6-member "ensemble" with one duplicated window: members flow
+    // through the same micro-batcher (stacked forwards) and warm the
+    // cache; the duplicate coalesces onto its leader.
+    let ws = windows(5);
+    let mut members: Vec<ForecastRequest> = ws
+        .iter()
+        .map(|w| ForecastRequest::new(0, w.clone(), c.t_out))
+        .collect();
+    members.push(ForecastRequest::new(0, ws[0].clone(), c.t_out));
+    let handles = server.submit_ensemble(members).unwrap();
+    assert_eq!(handles.len(), 6);
+    let forecasts: Vec<_> = handles.into_iter().map(|h| h.wait().unwrap()).collect();
+
+    // Member order preserved: each matches the direct model prediction.
+    let direct = c.spec.instantiate();
+    for (w, got) in ws.iter().zip(&forecasts) {
+        let want = direct.predict_episode(w);
+        for (a, b) in want.iter().zip(got) {
+            assert_eq!(a.zeta, b.zeta, "served member must match direct prediction");
+        }
+    }
+    // The duplicate member returned the same trajectory as member 0.
+    assert_eq!(forecasts[5][0].zeta, forecasts[0][0].zeta);
+
+    // A later client asking for a member forecast hits the warm cache.
+    let again = server
+        .submit(ForecastRequest::new(0, ws[2].clone(), c.t_out))
+        .unwrap();
+    assert!(again.from_cache(), "ensemble must have warmed the cache");
+    again.wait().unwrap();
+}
+
+#[test]
+fn ensemble_larger_than_queue_streams_through_with_retry() {
+    let c = ctx();
+    // Admission is streaming: the replica pool drains the bounded queue
+    // while members enqueue, so an ensemble 3× the queue capacity is
+    // admissible — and when the submitter outruns the drain, the typed
+    // Overloaded plus a backed-off resubmit completes cheaply because
+    // already-computed members return as cache hits / coalesce.
+    let server = ForecastServer::new(
+        c.spec.clone(),
+        ServeConfig {
+            workers: 2,
+            max_batch: 4,
+            max_wait: Duration::from_millis(2),
+            queue_capacity: 4,
+            cache_capacity: 32,
+            ..Default::default()
+        },
+    );
+    let members = || -> Vec<ForecastRequest> {
+        windows(12)
+            .into_iter()
+            .map(|w| ForecastRequest::new(0, w, c.t_out))
+            .collect()
+    };
+    let mut handles = None;
+    for _attempt in 0..100 {
+        match server.submit_ensemble(members()) {
+            Ok(h) => {
+                handles = Some(h);
+                break;
+            }
+            Err(ServeError::Overloaded { .. }) => {
+                std::thread::sleep(Duration::from_millis(10));
+            }
+            Err(e) => panic!("unexpected rejection: {e}"),
+        }
+    }
+    let handles = handles.expect("ensemble admitted after backoff");
+    assert_eq!(handles.len(), 12);
+    for h in handles {
+        assert_eq!(h.wait().expect("answered").len(), c.t_out);
+    }
+}
+
+#[test]
+fn malformed_or_saturating_ensembles_reject_as_typed_errors() {
+    let c = ctx();
+    let server = ForecastServer::new(
+        c.spec.clone(),
+        ServeConfig {
+            workers: 1,
+            // The batch never fills and the deadline is far away, so the
+            // dispatcher drains nothing while members pile up.
+            max_batch: 16,
+            max_wait: Duration::from_secs(10),
+            queue_capacity: 2,
+            cache_capacity: 0,
+            ..Default::default()
+        },
+    );
+
+    // Invalid member (wrong horizon) rejects the whole ensemble before
+    // anything enqueues — validation is atomic.
+    let mut bad = vec![ForecastRequest::new(0, windows(1).pop().unwrap(), c.t_out)];
+    bad.push(ForecastRequest::new(
+        0,
+        windows(1).pop().unwrap(),
+        c.t_out + 1,
+    ));
+    assert!(matches!(
+        server.submit_ensemble(bad),
+        Err(ServeError::BadRequest(_))
+    ));
+    assert_eq!(server.queue_depth(), 0, "nothing may enqueue on bad input");
+
+    // Empty ensembles are a typed error too.
+    assert!(matches!(
+        server.submit_ensemble(Vec::new()),
+        Err(ServeError::BadRequest(_))
+    ));
+
+    // A genuinely stalled queue surfaces Overloaded mid-submission:
+    // members admitted before saturation complete normally.
+    let members: Vec<ForecastRequest> = windows(5)
+        .into_iter()
+        .map(|w| ForecastRequest::new(0, w, c.t_out))
+        .collect();
+    match server.submit_ensemble(members) {
+        Err(ServeError::Overloaded { capacity, .. }) => assert_eq!(capacity, 2),
+        other => panic!("expected Overloaded, got {:?}", other.map(|_| "handles")),
+    }
+}

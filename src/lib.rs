@@ -6,6 +6,7 @@
 //! for the system inventory.
 
 pub use ccore as core;
+pub use censemble as ensemble;
 pub use cgrid as grid;
 pub use chpc as hpc;
 pub use cocean as ocean;
@@ -18,5 +19,8 @@ pub use ctensor as tensor;
 pub use ccore::{
     train_surrogate, DualModelForecaster, ErrorTable, ForecastError, HybridForecaster, Scenario,
     SurrogateSpec, TrainedSurrogate,
+};
+pub use censemble::{
+    EnsembleRunner, EnsembleStats, PerturbationCatalog, PerturbationSpace, SamplingStrategy,
 };
 pub use cserve::{ForecastRequest, ForecastServer, ServeConfig, ServeError, ServeMetrics};
