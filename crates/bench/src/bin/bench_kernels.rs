@@ -109,11 +109,39 @@ fn main() {
         std::hint::black_box(act.gelu());
     }));
 
+    // Threads axis: the same parallel matmul at 1/2/4 worker threads via
+    // the ThreadPoolBuilder facade (the shim allows reconfiguration, so
+    // the sweep runs in-process). Output is bitwise thread-invariant; only
+    // wall time moves.
+    let hw_cores = std::thread::available_parallelism().map_or(1, |n| n.get());
+    let mut scaling: Vec<(usize, f64)> = Vec::new();
+    for &t in &[1usize, 2, 4] {
+        rayon::ThreadPoolBuilder::new()
+            .num_threads(t)
+            .build_global()
+            .expect("thread pool override");
+        let ms = time_under(Arc::new(Blocked::from_env()), 5, || {
+            std::hint::black_box(a.matmul(&b));
+        });
+        eprintln!("[kernels] matmul_b8_256x256x256 @ {t} threads: {ms:.2} ms");
+        scaling.push((t, ms));
+    }
+    rayon::ThreadPoolBuilder::new().build_global().ok(); // restore default
+    let scale_1_to_4 = scaling[0].1 / scaling[2].1;
+    let scaling_note = if hw_cores < 4 {
+        format!(
+            "host exposes {hw_cores} hardware core(s); 1->4 thread scaling is bounded by physical parallelism, not the kernel"
+        )
+    } else {
+        String::new()
+    };
+
     // ------------------------------------------------------------- report
     let stamp = cbench::RunStamp::capture("blocked-vs-scalar");
     let mut json = format!(
-        "{{\n  \"bench\": \"kernels\",\n  \"unit\": \"ms\",\n  {},\n  \"results\": [\n",
-        stamp.json_fields()
+        "{{\n  \"bench\": \"kernels\",\n  \"unit\": \"ms\",\n  {},\n  \"hardware_cores\": {},\n  \"results\": [\n",
+        stamp.json_fields(),
+        hw_cores
     );
     for (i, r) in results.iter().enumerate() {
         json.push_str(&format!(
@@ -125,7 +153,18 @@ fn main() {
             if i + 1 < results.len() { "," } else { "" }
         ));
     }
-    json.push_str("  ]\n}\n");
+    json.push_str("  ],\n  \"matmul_thread_scaling\": {\n    \"workload\": \"matmul_b8_256x256x256\",\n    \"points\": [\n");
+    for (i, (t, ms)) in scaling.iter().enumerate() {
+        json.push_str(&format!(
+            "      {{\"threads\": {t}, \"blocked_ms\": {ms:.4}}}{}\n",
+            if i + 1 < scaling.len() { "," } else { "" }
+        ));
+    }
+    json.push_str(&format!(
+        "    ],\n    \"speedup_1_to_4\": {scale_1_to_4:.3},\n    \"note\": \"{scaling_note}\"\n  }}\n"
+    ));
+    json.push('}');
+    json.push('\n');
 
     let path = std::env::var("BENCH_KERNELS_OUT").unwrap_or_else(|_| "BENCH_kernels.json".into());
     std::fs::File::create(&path)

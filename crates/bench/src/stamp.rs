@@ -1,7 +1,7 @@
 //! Provenance stamp shared by every `BENCH_*.json` emitter: git revision,
-//! ISO-8601 UTC timestamp, backend under test and thread count — so the
-//! perf trajectory across commits is attributable without digging through
-//! CI logs.
+//! ISO-8601 UTC timestamp, backend under test, detected SIMD feature set,
+//! and actual rayon thread count — so the perf trajectory across commits
+//! is attributable without digging through CI logs.
 
 use std::process::Command;
 use std::time::{SystemTime, UNIX_EPOCH};
@@ -15,28 +15,32 @@ pub struct RunStamp {
     pub timestamp_utc: String,
     /// Compute backend the benchmark exercises.
     pub backend: String,
-    /// Worker threads available to the run.
+    /// SIMD feature set the kernels dispatch to (`avx2+fma` / `scalar`).
+    pub simd: String,
+    /// Worker threads rayon reports at capture time (reflects any
+    /// `ThreadPoolBuilder` override, not a hardcoded constant).
     pub threads: usize,
 }
 
 impl RunStamp {
-    /// Capture the current revision/time/thread provenance.
+    /// Capture the current revision/time/simd/thread provenance.
     pub fn capture(backend: &str) -> Self {
         Self {
             git_rev: git_rev(),
             timestamp_utc: iso8601_utc_now(),
             backend: backend.to_string(),
+            simd: ctensor::simd::feature_string().to_string(),
             threads: rayon::current_num_threads(),
         }
     }
 
     /// The stamp as JSON object fields (no surrounding braces), ready to
-    /// splice into a report:
-    /// `"git_rev": "…", "timestamp_utc": "…", "backend": "…", "threads": N`.
+    /// splice into a report: `"git_rev": "…", "timestamp_utc": "…",
+    /// "backend": "…", "simd": "…", "threads": N`.
     pub fn json_fields(&self) -> String {
         format!(
-            "\"git_rev\": \"{}\", \"timestamp_utc\": \"{}\", \"backend\": \"{}\", \"threads\": {}",
-            self.git_rev, self.timestamp_utc, self.backend, self.threads
+            "\"git_rev\": \"{}\", \"timestamp_utc\": \"{}\", \"backend\": \"{}\", \"simd\": \"{}\", \"threads\": {}",
+            self.git_rev, self.timestamp_utc, self.backend, self.simd, self.threads
         )
     }
 }

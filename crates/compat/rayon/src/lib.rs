@@ -10,6 +10,7 @@
 //! trade for the regular, data-parallel kernels of this repository.
 
 use std::ops::Range;
+use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::OnceLock;
 
 pub mod prelude {
@@ -19,11 +20,20 @@ pub mod prelude {
     };
 }
 
+/// Process-wide thread-count override installed by
+/// [`ThreadPoolBuilder::build_global`] (0 = unset).
+static GLOBAL_OVERRIDE: AtomicUsize = AtomicUsize::new(0);
+
 /// Number of worker threads used by parallel consumers.
 ///
-/// Honors `RAYON_NUM_THREADS` (like real rayon), defaulting to the machine's
+/// A [`ThreadPoolBuilder::build_global`] override wins; otherwise honors
+/// `RAYON_NUM_THREADS` (like real rayon), defaulting to the machine's
 /// available parallelism.
 pub fn current_num_threads() -> usize {
+    let o = GLOBAL_OVERRIDE.load(Ordering::Relaxed);
+    if o > 0 {
+        return o;
+    }
     static N: OnceLock<usize> = OnceLock::new();
     *N.get_or_init(|| {
         std::env::var("RAYON_NUM_THREADS")
@@ -36,6 +46,49 @@ pub fn current_num_threads() -> usize {
                     .unwrap_or(1)
             })
     })
+}
+
+/// Error type of [`ThreadPoolBuilder::build_global`] — this shim never
+/// actually fails, but the signature matches real rayon.
+#[derive(Debug)]
+pub struct ThreadPoolBuildError;
+
+impl std::fmt::Display for ThreadPoolBuildError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str("global thread pool configuration failed")
+    }
+}
+
+impl std::error::Error for ThreadPoolBuildError {}
+
+/// Facade over real rayon's global-pool configuration.
+///
+/// Since this shim spawns scoped threads per consumer rather than keeping
+/// a pool, "building the global pool" just records the thread count that
+/// [`split_for_threads`] targets. **Documented divergence from rayon**:
+/// `build_global` may be called repeatedly — the last call wins — which is
+/// what lets `bench_kernels` sweep a threads axis within one process.
+#[derive(Debug, Default)]
+pub struct ThreadPoolBuilder {
+    num_threads: usize,
+}
+
+impl ThreadPoolBuilder {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Target worker count; 0 means "restore the env/hardware default".
+    pub fn num_threads(mut self, n: usize) -> Self {
+        self.num_threads = n;
+        self
+    }
+
+    /// Install this configuration globally (reconfigurable; see type docs).
+    pub fn build_global(self) -> Result<(), ThreadPoolBuildError> {
+        GLOBAL_OVERRIDE.store(self.num_threads, Ordering::Relaxed);
+        Ok(())
+    }
 }
 
 /// A splittable, length-aware parallel iterator.
@@ -498,5 +551,23 @@ mod tests {
         let b = [2i64; 7];
         let s: i64 = a.par_iter().zip(b.par_iter()).map(|(&x, &y)| x * y).sum();
         assert_eq!(s, 14);
+    }
+
+    #[test]
+    fn thread_pool_builder_overrides_and_restores() {
+        let default = super::current_num_threads();
+        super::ThreadPoolBuilder::new()
+            .num_threads(3)
+            .build_global()
+            .unwrap();
+        assert_eq!(super::current_num_threads(), 3);
+        // Parallel consumers still work under the override.
+        let mut v = vec![0usize; 100];
+        v.par_iter_mut().enumerate().for_each(|(i, x)| *x = i);
+        assert!(v.iter().enumerate().all(|(i, &x)| x == i));
+        // 0 restores the env/hardware default (shim divergence: rayon
+        // forbids reconfiguration, this facade allows it).
+        super::ThreadPoolBuilder::new().build_global().unwrap();
+        assert_eq!(super::current_num_threads(), default);
     }
 }

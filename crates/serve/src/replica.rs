@@ -2,20 +2,34 @@
 //!
 //! Model parameters are `Rc`-shared and therefore thread-local, so each
 //! worker thread rebuilds its own `TrainedSurrogate` from the shared
-//! [`SurrogateSpec`] (cheap: parameter tensors are `Arc` clones) and pins
-//! one compute backend for its lifetime. Batches arrive over a bounded
-//! channel; each batch runs as **one** `predict_batch` forward pass, and
-//! every request in it gets its response through its own channel.
+//! [`SurrogateSpec`] (cheap: deferred-init skeleton + `Arc`-clone tensor
+//! loads) and pins one compute backend for its lifetime. Each batch runs
+//! as **one** `predict_batch` forward pass, and every request in it gets
+//! its response through its own channel.
+//!
+//! Scaling structure (the v1 pool collapsed to 0.21× sequential at four
+//! workers; each piece below removes one cause):
+//!
+//! - **Readiness barrier** — [`ReplicaPool::spawn`] blocks until every
+//!   worker has built its model, so spin-up cost can never overlap (and
+//!   contend with) the serving window.
+//! - **Idle-token dispatch** — workers announce themselves on a shared
+//!   idle channel and each owns a private batch channel. The dispatcher
+//!   pairs one idle token with one batch; no worker ever holds a lock
+//!   while blocking on work (the v1 `Mutex<Receiver>` pickup convoy).
+//! - **Compute gate** — concurrent forward passes are capped at
+//!   `min(workers, available_parallelism)`. Oversubscribing physical
+//!   cores with tensor forwards just thrashes caches; excess workers
+//!   still pipeline admission/response work while gated.
 
 use std::collections::HashMap;
-use std::sync::mpsc::Sender;
+use std::sync::mpsc::{sync_channel, Receiver as StdReceiver, Sender, SyncSender};
 use std::sync::Arc;
 use std::thread::JoinHandle;
 use std::time::Instant;
 
 use ccore::SurrogateSpec;
 use cocean::Snapshot;
-use crossbeam::channel::{bounded, Receiver, Sender as BatchSender};
 use ctensor::backend::BackendChoice;
 use parking_lot::Mutex;
 
@@ -85,10 +99,54 @@ impl InflightRegistry {
     }
 }
 
-/// Pool of replica worker threads consuming batches from one channel.
+/// Counting semaphore over `std::sync::{Mutex, Condvar}` bounding how many
+/// forward passes run at once (the parking_lot shim has no Condvar).
+pub(crate) struct ComputeGate {
+    slots: std::sync::Mutex<usize>,
+    cv: std::sync::Condvar,
+}
+
+impl ComputeGate {
+    fn new(permits: usize) -> Self {
+        Self {
+            slots: std::sync::Mutex::new(permits.max(1)),
+            cv: std::sync::Condvar::new(),
+        }
+    }
+
+    fn acquire(&self) -> ComputePermit<'_> {
+        let mut slots = self.slots.lock().unwrap_or_else(|e| e.into_inner());
+        while *slots == 0 {
+            slots = self.cv.wait(slots).unwrap_or_else(|e| e.into_inner());
+        }
+        *slots -= 1;
+        ComputePermit { gate: self }
+    }
+}
+
+pub(crate) struct ComputePermit<'a> {
+    gate: &'a ComputeGate,
+}
+
+impl Drop for ComputePermit<'_> {
+    fn drop(&mut self) {
+        let mut slots = self.gate.slots.lock().unwrap_or_else(|e| e.into_inner());
+        *slots += 1;
+        self.gate.cv.notify_one();
+    }
+}
+
+struct WorkerHandle {
+    /// Rendezvous hand-off for this worker's next batch.
+    batch_tx: Option<SyncSender<Vec<PendingRequest>>>,
+    join: Option<JoinHandle<()>>,
+}
+
+/// Pool of replica worker threads fed by idle-token dispatch.
 pub(crate) struct ReplicaPool {
-    tx: Option<BatchSender<Vec<PendingRequest>>>,
-    handles: Vec<JoinHandle<()>>,
+    workers: Vec<WorkerHandle>,
+    /// Workers push their index here when ready for a batch.
+    idle_rx: StdReceiver<usize>,
 }
 
 impl ReplicaPool {
@@ -101,47 +159,84 @@ impl ReplicaPool {
         metrics: Arc<MetricsRecorder>,
     ) -> Self {
         assert!(workers >= 1, "need at least one replica");
-        // Bounded hand-off: when every worker is busy the dispatcher
-        // blocks, pressure backs up into the admission queue, and excess
-        // load surfaces as `Overloaded` instead of hidden buffering.
-        let (tx, rx) = bounded::<Vec<PendingRequest>>(workers);
-        let rx = Arc::new(Mutex::new(rx));
+        let cores = std::thread::available_parallelism().map_or(1, |n| n.get());
+        let gate = Arc::new(ComputeGate::new(workers.min(cores)));
+        let (idle_tx, idle_rx) = std::sync::mpsc::channel::<usize>();
+        let (ready_tx, ready_rx) = std::sync::mpsc::channel::<()>();
         let mut handles = Vec::with_capacity(workers);
         for w in 0..workers {
+            // Rendezvous (capacity 0): a send completes only when the
+            // worker is receiving, so an idle token always means "this
+            // worker is actually waiting", and backpressure flows to the
+            // dispatcher the moment no token is available.
+            let (batch_tx, batch_rx) = sync_channel::<Vec<PendingRequest>>(0);
             let spec = spec.clone();
-            let rx = Arc::clone(&rx);
             let cache = Arc::clone(&cache);
             let inflight = Arc::clone(&inflight);
             let metrics = Arc::clone(&metrics);
-            handles.push(
-                std::thread::Builder::new()
-                    .name(format!("serve-replica-{w}"))
-                    .spawn(move || replica_main(spec, backend, &rx, &cache, &inflight, &metrics))
-                    .expect("spawn replica worker"),
-            );
+            let gate = Arc::clone(&gate);
+            let idle_tx = idle_tx.clone();
+            let ready_tx = ready_tx.clone();
+            let join = std::thread::Builder::new()
+                .name(format!("serve-replica-{w}"))
+                .spawn(move || {
+                    replica_main(
+                        w, spec, backend, &batch_rx, &idle_tx, &ready_tx, &gate, &cache, &inflight,
+                        &metrics,
+                    )
+                })
+                .expect("spawn replica worker");
+            handles.push(WorkerHandle {
+                batch_tx: Some(batch_tx),
+                join: Some(join),
+            });
+        }
+        drop(ready_tx);
+        // Readiness barrier: block until every worker has built its model,
+        // so replica spin-up can never bleed into the serving window.
+        for _ in 0..workers {
+            ready_rx
+                .recv()
+                .expect("replica worker died during model construction");
         }
         Self {
-            tx: Some(tx),
-            handles,
+            workers: handles,
+            idle_rx,
         }
     }
 
-    /// Hand a batch to the next free replica (blocks when all are busy).
-    /// Returns the batch when every worker is gone (shutdown race) so the
-    /// caller can fail its requests.
-    pub fn dispatch(&self, batch: Vec<PendingRequest>) -> Result<(), Vec<PendingRequest>> {
-        match &self.tx {
-            Some(tx) => tx.send(batch).map_err(|e| e.0),
-            None => Err(batch),
+    /// Hand a batch to the next idle replica (blocks when all are busy —
+    /// pressure backs up into the admission queue and surfaces as
+    /// `Overloaded`). Returns the batch when every worker is gone
+    /// (shutdown race) so the caller can fail its requests.
+    pub fn dispatch(&self, mut batch: Vec<PendingRequest>) -> Result<(), Vec<PendingRequest>> {
+        loop {
+            let w = match self.idle_rx.recv() {
+                Ok(w) => w,
+                Err(_) => return Err(batch), // every worker exited
+            };
+            match &self.workers[w].batch_tx {
+                Some(tx) => match tx.send(batch) {
+                    Ok(()) => return Ok(()),
+                    // This worker died between announcing idle and
+                    // receiving; try the next token.
+                    Err(e) => batch = e.0,
+                },
+                None => return Err(batch),
+            }
         }
     }
 
-    /// Close the batch channel and join every worker (they drain what is
-    /// already queued first).
+    /// Close every batch channel and join the workers (a worker finishes
+    /// its in-hand batch first).
     pub fn shutdown(&mut self) {
-        self.tx = None; // drop the sender → workers see end-of-stream
-        for h in self.handles.drain(..) {
-            let _ = h.join();
+        for wh in &mut self.workers {
+            wh.batch_tx = None; // drop sender → worker sees end-of-stream
+        }
+        for wh in &mut self.workers {
+            if let Some(h) = wh.join.take() {
+                let _ = h.join();
+            }
         }
     }
 }
@@ -152,10 +247,15 @@ impl Drop for ReplicaPool {
     }
 }
 
+#[allow(clippy::too_many_arguments)]
 fn replica_main(
+    index: usize,
     spec: SurrogateSpec,
     backend: BackendChoice,
-    rx: &Mutex<Receiver<Vec<PendingRequest>>>,
+    batch_rx: &StdReceiver<Vec<PendingRequest>>,
+    idle_tx: &Sender<usize>,
+    ready_tx: &Sender<()>,
+    gate: &ComputeGate,
     cache: &ForecastCache,
     inflight: &InflightRegistry,
     metrics: &MetricsRecorder,
@@ -164,10 +264,13 @@ fn replica_main(
     // model's own `Auto` resolution then lands on this choice.
     let _backend = ctensor::backend::scoped(backend.resolve());
     let surrogate = spec.instantiate();
+    let _ = ready_tx.send(());
     loop {
-        // Take the next batch, releasing the lock before the (long)
-        // forward pass so sibling replicas can pick up work.
-        let batch = match rx.lock().recv() {
+        // Announce idle, then wait on the private batch channel.
+        if idle_tx.send(index).is_err() {
+            return; // pool gone
+        }
+        let batch = match batch_rx.recv() {
             Ok(b) => b,
             Err(_) => return, // dispatcher gone: shutdown
         };
@@ -176,12 +279,15 @@ fn replica_main(
         }
         metrics.record_batch(batch.len());
         let windows: Vec<&[Snapshot]> = batch.iter().map(|p| p.window.as_slice()).collect();
-        // A panic in the tensor stack must fail this batch's waiters, not
-        // kill the worker (which would hang them forever and blackhole
-        // the in-flight keys).
+        // Gate the forward so tensor compute never oversubscribes the
+        // physical cores, then guard against panics in the tensor stack:
+        // a panic must fail this batch's waiters, not kill the worker
+        // (which would hang them forever and blackhole in-flight keys).
+        let permit = gate.acquire();
         let outcome = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
             surrogate.predict_batch(&windows)
         }));
+        drop(permit);
         match outcome {
             Ok(Ok(results)) => {
                 for (pending, snaps) in batch.into_iter().zip(results) {

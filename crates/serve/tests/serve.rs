@@ -497,3 +497,66 @@ fn malformed_or_saturating_ensembles_reject_as_typed_errors() {
         other => panic!("expected Overloaded, got {:?}", other.map(|_| "handles")),
     }
 }
+
+/// Regression guard for the v1 pool-scaling collapse (four workers fell
+/// to 0.21x of one worker on distinct requests). Distinct-request
+/// throughput with a multi-worker pool must stay within 10% of the
+/// single-worker configuration — on a single-core host extra workers
+/// cannot help, but they must never hurt.
+#[test]
+fn multi_worker_distinct_throughput_does_not_collapse() {
+    let c = ctx();
+    let clients = 6usize;
+    let per_client = ((c.archive.len() - c.t_out - 1) / clients).min(6);
+    assert!(per_client >= 3, "archive too short for a meaningful sweep");
+    let wins = windows(clients * per_client); // all-distinct, uncacheable mix
+
+    let throughput = |workers: usize| -> f64 {
+        let mut best = f64::INFINITY;
+        for _ in 0..2 {
+            // Fresh server per repetition: cold cache, fresh queue.
+            let server = Arc::new(ForecastServer::new(
+                c.spec.clone(),
+                ServeConfig {
+                    workers,
+                    max_batch: 8,
+                    max_wait: Duration::from_millis(1),
+                    ..Default::default()
+                },
+            ));
+            let t0 = std::time::Instant::now();
+            let handles: Vec<_> = (0..clients)
+                .map(|cl| {
+                    let server = Arc::clone(&server);
+                    let wins = wins[cl * per_client..(cl + 1) * per_client].to_vec();
+                    std::thread::spawn(move || {
+                        // Each client streams submit→wait, so at most
+                        // `clients` requests are in flight at once.
+                        for w in wins {
+                            let req = ForecastRequest::new(0, w, ctx().t_out);
+                            server
+                                .submit(req)
+                                .expect("admitted")
+                                .wait()
+                                .expect("answered");
+                        }
+                    })
+                })
+                .collect();
+            for h in handles {
+                h.join().unwrap();
+            }
+            best = best.min(t0.elapsed().as_secs_f64());
+        }
+        (clients * per_client) as f64 / best
+    };
+
+    let one = throughput(1);
+    let multi = throughput(4);
+    assert!(
+        multi >= 0.9 * one,
+        "pool scaling collapsed: 4 workers at {multi:.1} rps vs 1 worker at {one:.1} rps \
+         ({:.2}x, regression threshold 0.9x)",
+        multi / one
+    );
+}

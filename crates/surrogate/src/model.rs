@@ -119,7 +119,14 @@ impl SwinSurrogate {
     /// can be shipped across threads as `(SwinConfig, Vec<Tensor>)` and
     /// reconstructed exactly on the other side.
     pub fn from_state(cfg: SwinConfig, state: &[Tensor]) -> Self {
-        let model = Self::new(cfg, 0);
+        // Skip the (trunc-normal rejection-sampling) random init: every
+        // parameter is overwritten by `state` — `load_state_dict` asserts
+        // full coverage — so construct the skeleton with zero fills. This
+        // keeps serve-pool worker spin-up off the request-latency path.
+        let model = {
+            let _defer = ctensor::init::defer();
+            Self::new(cfg, 0)
+        };
         load_state_dict(&model, state);
         model
     }

@@ -10,10 +10,35 @@
 //! - **elementwise / reductions / softmax** — rayon-parallel above the
 //!   runtime-tunable [`Blocked::par_threshold`] element count, with
 //!   in-place variants that skip the output allocation entirely.
+//!
+//! # Blocked v2: SIMD lanes + thread determinism
+//!
+//! The transcendental elementwise kernels (`gelu`, `gelu_grad`, `exp`,
+//! `tanh`), row softmax, fused attention, and the GEBP microkernel route
+//! through [`crate::simd`]: 8-wide AVX2+FMA lanes when the CPU has them,
+//! an exactly-libm scalar fallback otherwise (`COASTAL_SIMD=scalar`
+//! forces the fallback; [`Blocked::with_simd`] pins it per instance for
+//! parity tests).
+//!
+//! Every kernel is **bitwise thread-count invariant**: the same input
+//! yields the same bits at 1, 2, 4, or any number of rayon threads.
+//! - Lane/tail-structured elementwise kernels parallelize over
+//!   **fixed-size** [`SIMD_CHUNK`] chunks (a multiple of
+//!   [`crate::simd::LANES`]), so the lane/tail split of every element is a
+//!   function of slice length alone, never of thread count.
+//! - Row kernels (softmax, layernorm, attention) split on row boundaries;
+//!   each row's arithmetic is self-contained.
+//! - The matmul's parallel row-split is `MR`-aligned and per-element
+//!   accumulation order (`KC`-block outer, packed-`kk` inner) is identical
+//!   no matter which task computes a row.
+//! - [`Backend::sum`] reduces fixed 4096-element chunk partials into a
+//!   positionally-ordered buffer and folds that buffer serially, so even
+//!   the f64 add order is thread-independent.
 
 use rayon::prelude::*;
 
 use super::{AttentionSpec, Backend, BinaryOp, MatmulSpec, UnaryOp};
+use crate::simd::{self, SimdLevel};
 
 /// Default parallelism threshold (elements) — overridable per instance and
 /// via `COASTAL_PAR_THRESHOLD`.
@@ -29,16 +54,26 @@ const KC: usize = 256;
 const QB: usize = 8;
 /// Serial cutoff: problems under this many flops aren't worth fan-out.
 const MIN_PAR_FLOPS: usize = 64 * 1024;
+/// Fixed parallel chunk (elements) for lane-structured elementwise
+/// kernels. A multiple of [`simd::LANES`], so chunk boundaries never move
+/// an element between the lane and tail paths — outputs are bitwise
+/// identical at any thread count.
+const SIMD_CHUNK: usize = 4096;
+const _: () = assert!(SIMD_CHUNK.is_multiple_of(simd::LANES));
+// The packed-panel microkernel is specialized to this tile.
+const _: () = assert!(MR == 4 && NR == 16);
 
 #[derive(Debug, Clone)]
 pub struct Blocked {
     par_threshold: usize,
+    simd: SimdLevel,
 }
 
 impl Default for Blocked {
     fn default() -> Self {
         Self {
             par_threshold: DEFAULT_PAR_THRESHOLD,
+            simd: simd::level(),
         }
     }
 }
@@ -48,6 +83,16 @@ impl Blocked {
     pub fn new(par_threshold: usize) -> Self {
         Self {
             par_threshold: par_threshold.max(1),
+            simd: simd::level(),
+        }
+    }
+
+    /// Backend with a pinned SIMD level — the kernel-parity tests use this
+    /// to run the lane and fallback paths side by side in one process.
+    pub fn with_simd(par_threshold: usize, level: SimdLevel) -> Self {
+        Self {
+            par_threshold: par_threshold.max(1),
+            simd: level,
         }
     }
 
@@ -59,6 +104,11 @@ impl Blocked {
             .filter(|&n| n > 0)
             .unwrap_or(DEFAULT_PAR_THRESHOLD);
         Self::new(t)
+    }
+
+    /// The SIMD level this instance dispatches to.
+    pub fn simd_level(&self) -> SimdLevel {
+        self.simd
     }
 
     #[inline]
@@ -122,6 +172,51 @@ impl Blocked {
             }
         }
     }
+
+    fn run_simd_unary(&self, x: &[f32], out: &mut [f32], kern: SimdMapFn) {
+        if self.parallel(out.len()) {
+            out.par_chunks_mut(SIMD_CHUNK)
+                .zip(x.par_chunks(SIMD_CHUNK))
+                .for_each(|(o, xc)| kern(self.simd, xc, o));
+        } else {
+            kern(self.simd, x, out);
+        }
+    }
+
+    fn run_simd_unary_inplace(&self, x: &mut [f32], kern: SimdMapInplaceFn) {
+        if self.parallel(x.len()) {
+            x.par_chunks_mut(SIMD_CHUNK)
+                .for_each(|c| kern(self.simd, c));
+        } else {
+            kern(self.simd, x);
+        }
+    }
+}
+
+/// Slice-level lane kernel signatures (see `ctensor::simd`).
+type SimdMapFn = fn(SimdLevel, &[f32], &mut [f32]);
+type SimdMapInplaceFn = fn(SimdLevel, &mut [f32]);
+
+/// The transcendental ops with a lane implementation; everything else
+/// stays on the (auto-vectorizing) per-element path.
+fn simd_unary(op: UnaryOp) -> Option<SimdMapFn> {
+    match op {
+        UnaryOp::Exp => Some(simd::exp_slice),
+        UnaryOp::Tanh => Some(simd::tanh_slice),
+        UnaryOp::Gelu => Some(simd::gelu_slice),
+        UnaryOp::GeluGrad => Some(simd::gelu_grad_slice),
+        _ => None,
+    }
+}
+
+fn simd_unary_inplace(op: UnaryOp) -> Option<SimdMapInplaceFn> {
+    match op {
+        UnaryOp::Exp => Some(simd::exp_slice_inplace),
+        UnaryOp::Tanh => Some(simd::tanh_slice_inplace),
+        UnaryOp::Gelu => Some(simd::gelu_slice_inplace),
+        UnaryOp::GeluGrad => Some(simd::gelu_grad_slice_inplace),
+        _ => None,
+    }
 }
 
 impl Backend for Blocked {
@@ -134,6 +229,9 @@ impl Backend for Blocked {
     }
 
     fn unary(&self, op: UnaryOp, x: &[f32], out: &mut [f32]) {
+        if let Some(kern) = simd_unary(op) {
+            return self.run_simd_unary(x, out, kern);
+        }
         match op {
             UnaryOp::Scale(c) => self.run_unary(x, out, move |v| v * c),
             UnaryOp::AddScalar(c) => self.run_unary(x, out, move |v| v + c),
@@ -142,6 +240,9 @@ impl Backend for Blocked {
     }
 
     fn unary_inplace(&self, op: UnaryOp, x: &mut [f32]) {
+        if let Some(kern) = simd_unary_inplace(op) {
+            return self.run_simd_unary_inplace(x, kern);
+        }
         match op {
             UnaryOp::Scale(c) => self.run_unary_inplace(x, move |v| v * c),
             UnaryOp::AddScalar(c) => self.run_unary_inplace(x, move |v| v + c),
@@ -215,9 +316,15 @@ impl Backend for Blocked {
 
     fn sum(&self, x: &[f32]) -> f64 {
         if self.parallel(x.len()) {
-            x.par_chunks(4096)
-                .map(|c| c.iter().map(|&v| v as f64).sum::<f64>())
-                .sum()
+            // Fixed 4096-element chunk partials land in positional slots and
+            // are folded serially, so the f64 add order — hence the result's
+            // bits — is independent of the thread count.
+            let mut partials = vec![0.0f64; x.len().div_ceil(4096)];
+            partials
+                .par_iter_mut()
+                .zip(x.par_chunks(4096))
+                .for_each(|(p, c)| *p = c.iter().map(|&v| v as f64).sum::<f64>());
+            partials.iter().sum()
         } else {
             x.iter().map(|&v| v as f64).sum()
         }
@@ -227,19 +334,10 @@ impl Backend for Blocked {
         if row == 0 {
             return;
         }
-        let body = |xr: &[f32], or: &mut [f32]| {
-            let m = xr.iter().copied().fold(f32::NEG_INFINITY, f32::max);
-            let mut denom = 0.0f32;
-            for (o, &v) in or.iter_mut().zip(xr) {
-                let e = (v - m).exp();
-                *o = e;
-                denom += e;
-            }
-            let inv = 1.0 / denom;
-            for o in or.iter_mut() {
-                *o *= inv;
-            }
-        };
+        // Lane-wise max reduction + subtraction before exp (numerical
+        // stability for logits spanning ±1e4) lives in the simd kernel.
+        let lv = self.simd;
+        let body = move |xr: &[f32], or: &mut [f32]| simd::softmax_row(lv, xr, or);
         if self.parallel(x.len()) && x.len() > row {
             out.par_chunks_mut(row)
                 .zip(x.par_chunks(row))
@@ -288,6 +386,7 @@ impl Backend for Blocked {
             for (bi, o) in out.chunks_mut(o_mat).enumerate() {
                 let (ao, bo) = spec.batch_offsets[bi];
                 gebp(
+                    self.simd,
                     &a[ao * m * k..(ao + 1) * m * k],
                     &b[bo * k * n..(bo + 1) * k * n],
                     o,
@@ -302,6 +401,7 @@ impl Backend for Blocked {
             out.par_chunks_mut(o_mat).enumerate().for_each(|(bi, o)| {
                 let (ao, bo) = spec.batch_offsets[bi];
                 gebp(
+                    self.simd,
                     &a[ao * m * k..(ao + 1) * m * k],
                     &b[bo * k * n..(bo + 1) * k * n],
                     o,
@@ -342,6 +442,7 @@ impl Backend for Blocked {
                 let (ao, bo) = spec.batch_offsets[*bi];
                 let a_mat = &a[ao * m * k..(ao + 1) * m * k];
                 gebp(
+                    self.simd,
                     &a_mat[*r0 * k..*r1 * k],
                     &b[bo * k * n..(bo + 1) * k * n],
                     o,
@@ -364,6 +465,7 @@ impl Backend for Blocked {
         if flops >= MIN_PAR_FLOPS && rayon::current_num_threads() > 1 && spec.batch > 1 {
             out.par_chunks_mut(mat).enumerate().for_each(|(bh, om)| {
                 attention_one(
+                    self.simd,
                     &q[bh * mat..(bh + 1) * mat],
                     &k[bh * mat..(bh + 1) * mat],
                     &v[bh * mat..(bh + 1) * mat],
@@ -375,6 +477,7 @@ impl Backend for Blocked {
         } else {
             for (bh, om) in out.chunks_mut(mat).enumerate() {
                 attention_one(
+                    self.simd,
                     &q[bh * mat..(bh + 1) * mat],
                     &k[bh * mat..(bh + 1) * mat],
                     &v[bh * mat..(bh + 1) * mat],
@@ -389,7 +492,13 @@ impl Backend for Blocked {
 
 /// Fused attention for one `(n, d)` head: blocked two-pass streaming of K
 /// then V per [`QB`]-row query block; scores live in a `QB×n` scratch.
+///
+/// SIMD structure: each pass is one `target_feature` region per query
+/// block — [`simd::attn_scores_block`] (an 8-dots-at-once `hadd` tree when
+/// `d = 8`, the Swin head dim), the lane-max [`simd::softmax_row`] per
+/// score row, and [`simd::attn_pv_block`] (FMA-accumulated value lanes).
 fn attention_one(
+    lv: SimdLevel,
     qm: &[f32],
     km: &[f32],
     vm: &[f32],
@@ -399,21 +508,20 @@ fn attention_one(
 ) {
     let (n, d) = (spec.n, spec.d);
     let mut scores = vec![0.0f32; QB * n];
+    let mut probs = vec![0.0f32; QB * n];
     for i0 in (0..n).step_by(QB) {
         let ib = (n - i0).min(QB);
-        // Pass 1: scores = Q_block · Kᵀ · scale + mask. Each K row is
-        // loaded once and dotted against every query row of the block.
-        for j in 0..n {
-            let k_row = &km[j * d..(j + 1) * d];
-            for r in 0..ib {
-                let q_row = &qm[(i0 + r) * d..(i0 + r + 1) * d];
-                let mut acc = 0.0f32;
-                for c in 0..d {
-                    acc += q_row[c] * k_row[c];
-                }
-                scores[r * n + j] = acc * spec.scale;
-            }
-        }
+        // Pass 1: scores = Q_block · Kᵀ · scale.
+        simd::attn_scores_block(
+            lv,
+            &qm[i0 * d..(i0 + ib) * d],
+            km,
+            &mut scores[..ib * n],
+            ib,
+            n,
+            d,
+            spec.scale,
+        );
         // Softmax per query row (with the additive mask).
         for r in 0..ib {
             let row = &mut scores[r * n..(r + 1) * n];
@@ -422,37 +530,33 @@ fn attention_one(
                     *s += mv;
                 }
             }
-            let mx = row.iter().copied().fold(f32::NEG_INFINITY, f32::max);
-            let mut denom = 0.0f32;
-            for s in row.iter_mut() {
-                *s = (*s - mx).exp();
-                denom += *s;
-            }
-            let inv = 1.0 / denom;
-            for s in row.iter_mut() {
-                *s *= inv;
-            }
+            simd::softmax_row(lv, row, &mut probs[r * n..(r + 1) * n]);
         }
-        // Pass 2: out_block = P · V. Each V row is loaded once and
-        // accumulated into every output row of the block.
-        for r in 0..ib {
-            om[(i0 + r) * d..(i0 + r + 1) * d].fill(0.0);
-        }
-        for j in 0..n {
-            let v_row = &vm[j * d..(j + 1) * d];
-            for r in 0..ib {
-                let w = scores[r * n + j];
-                let o_row = &mut om[(i0 + r) * d..(i0 + r + 1) * d];
-                for c in 0..d {
-                    o_row[c] += w * v_row[c];
-                }
-            }
-        }
+        // Pass 2: out_block = P · V.
+        simd::attn_pv_block(
+            lv,
+            &probs[..ib * n],
+            vm,
+            &mut om[i0 * d..(i0 + ib) * d],
+            ib,
+            n,
+            d,
+        );
     }
 }
 
 /// Single-matrix GEBP: C (m×n, pre-zeroed or bias-seeded) += A (m×k) · B (k×n).
-fn gebp(a: &[f32], b: &[f32], c: &mut [f32], m: usize, k: usize, n: usize, bias: Option<&[f32]>) {
+#[allow(clippy::too_many_arguments)]
+fn gebp(
+    lv: SimdLevel,
+    a: &[f32],
+    b: &[f32],
+    c: &mut [f32],
+    m: usize,
+    k: usize,
+    n: usize,
+    bias: Option<&[f32]>,
+) {
     // Seed the output rows.
     if let Some(bias) = bias {
         for row in c.chunks_mut(n) {
@@ -493,19 +597,9 @@ fn gebp(a: &[f32], b: &[f32], c: &mut [f32], m: usize, k: usize, n: usize, bias:
             for p in 0..panels {
                 let j0 = p * NR;
                 let jw = (n - j0).min(NR);
-                // MR×NR register tile.
+                // MR×NR register tile (FMA microkernel on the lane path).
                 let mut acc = [[0.0f32; NR]; MR];
-                let panel = &bpack[p * KC * NR..];
-                for kk in 0..kc {
-                    let brow = &panel[kk * NR..kk * NR + NR];
-                    for r in 0..MR {
-                        let av = apack[kk * MR + r];
-                        let arow = &mut acc[r];
-                        for cix in 0..NR {
-                            arow[cix] += av * brow[cix];
-                        }
-                    }
-                }
+                simd::microkernel_4x16(lv, &apack[..kc * MR], &bpack[p * KC * NR..], kc, &mut acc);
                 for r in 0..mi {
                     let crow = &mut c[(i0 + r) * n + j0..(i0 + r) * n + j0 + jw];
                     for (co, &av) in crow.iter_mut().zip(&acc[r][..jw]) {

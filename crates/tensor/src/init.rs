@@ -1,9 +1,51 @@
 //! Weight initializers (deterministic, seeded).
+//!
+//! [`defer`] suppresses the (expensive, rejection-sampling) random fills
+//! for code paths that construct a module skeleton only to overwrite every
+//! parameter immediately — e.g. rebuilding a model from a snapshot on a
+//! serve-pool worker, where the wasted init work used to land inside the
+//! serving-latency window.
+
+use std::cell::Cell;
 
 use rand::rngs::StdRng;
 use rand::Rng;
 
 use crate::tensor::Tensor;
+
+thread_local! {
+    static DEFER_INIT: Cell<bool> = const { Cell::new(false) };
+}
+
+/// RAII guard from [`defer`]; initializers fill with zeros while it lives.
+pub struct DeferGuard {
+    prev: bool,
+}
+
+impl Drop for DeferGuard {
+    fn drop(&mut self) {
+        DEFER_INIT.with(|f| f.set(self.prev));
+    }
+}
+
+/// Suppress random weight initialization on this thread until the returned
+/// guard drops: [`randn`], [`trunc_normal`], [`xavier_uniform`] and
+/// [`uniform`] return zero tensors of the right shape (the RNG is not
+/// advanced). Only sound when every produced parameter is overwritten
+/// before use — `load_state_dict` asserts it covers every param, which is
+/// what makes the snapshot-restore path safe.
+pub fn defer() -> DeferGuard {
+    DEFER_INIT.with(|f| {
+        let prev = f.get();
+        f.set(true);
+        DeferGuard { prev }
+    })
+}
+
+#[inline]
+fn deferred() -> bool {
+    DEFER_INIT.with(|f| f.get())
+}
 
 /// Standard normal sample via Box-Muller (rand 0.8 has no Normal distr
 /// without rand_distr; two uniforms suffice here).
@@ -20,12 +62,18 @@ pub fn sample_normal(rng: &mut StdRng) -> f32 {
 
 /// Tensor of N(0, std²) samples.
 pub fn randn(shape: &[usize], std: f32, rng: &mut StdRng) -> Tensor {
+    if deferred() {
+        return Tensor::zeros(shape);
+    }
     let n = crate::shape::numel(shape);
     Tensor::from_vec((0..n).map(|_| sample_normal(rng) * std).collect(), shape)
 }
 
 /// Truncated normal in ±2 std (re-sample outside), the ViT/Swin default.
 pub fn trunc_normal(shape: &[usize], std: f32, rng: &mut StdRng) -> Tensor {
+    if deferred() {
+        return Tensor::zeros(shape);
+    }
     let n = crate::shape::numel(shape);
     let data = (0..n)
         .map(|_| loop {
@@ -40,6 +88,9 @@ pub fn trunc_normal(shape: &[usize], std: f32, rng: &mut StdRng) -> Tensor {
 
 /// Xavier/Glorot uniform for a `[fan_in, fan_out]` weight.
 pub fn xavier_uniform(fan_in: usize, fan_out: usize, rng: &mut StdRng) -> Tensor {
+    if deferred() {
+        return Tensor::zeros(&[fan_in, fan_out]);
+    }
     let bound = (6.0 / (fan_in + fan_out) as f32).sqrt();
     let n = fan_in * fan_out;
     Tensor::from_vec(
@@ -52,6 +103,9 @@ pub fn xavier_uniform(fan_in: usize, fan_out: usize, rng: &mut StdRng) -> Tensor
 
 /// Uniform in [lo, hi).
 pub fn uniform(shape: &[usize], lo: f32, hi: f32, rng: &mut StdRng) -> Tensor {
+    if deferred() {
+        return Tensor::zeros(shape);
+    }
     let n = crate::shape::numel(shape);
     Tensor::from_vec(
         (0..n).map(|_| rng.gen::<f32>() * (hi - lo) + lo).collect(),
@@ -96,5 +150,37 @@ mod tests {
         let a = randn(&[16], 1.0, &mut StdRng::seed_from_u64(42));
         let b = randn(&[16], 1.0, &mut StdRng::seed_from_u64(42));
         assert_eq!(a.as_slice(), b.as_slice());
+    }
+
+    #[test]
+    fn defer_guard_zeroes_without_advancing_rng() {
+        let mut rng = StdRng::seed_from_u64(9);
+        {
+            let _g = defer();
+            assert!(randn(&[8], 1.0, &mut rng)
+                .as_slice()
+                .iter()
+                .all(|&v| v == 0.0));
+            assert!(trunc_normal(&[8], 1.0, &mut rng)
+                .as_slice()
+                .iter()
+                .all(|&v| v == 0.0));
+            {
+                let _inner = defer(); // nesting keeps the outer guard live
+            }
+            assert!(uniform(&[4], 1.0, 2.0, &mut rng)
+                .as_slice()
+                .iter()
+                .all(|&v| v == 0.0));
+            assert!(xavier_uniform(3, 2, &mut rng)
+                .as_slice()
+                .iter()
+                .all(|&v| v == 0.0));
+        }
+        // Guard dropped: sampling resumes, and because deferred calls never
+        // touched the RNG, the stream matches a fresh seed-9 generator.
+        let fresh = randn(&[8], 1.0, &mut StdRng::seed_from_u64(9));
+        let after = randn(&[8], 1.0, &mut rng);
+        assert_eq!(fresh.as_slice(), after.as_slice());
     }
 }

@@ -37,6 +37,7 @@ pub mod init;
 pub mod nn;
 pub mod optim;
 pub mod shape;
+pub mod simd;
 pub mod tensor;
 
 /// Convenient glob import.

@@ -225,4 +225,124 @@ proptest! {
         let d = reference.max_abs_diff(&fast);
         prop_assert!(d < 1e-4, "elementwise chain: max diff {d}");
     }
+
+    /// SIMD elementwise kernels agree across backends on ragged,
+    /// non-lane-multiple lengths (the vector tail is where lane kernels
+    /// go wrong first), including lengths straddling the fixed parallel
+    /// chunk size.
+    #[test]
+    fn backend_parity_ragged_tails(
+        chunks in 0usize..3,
+        tail in 0usize..9,
+        seed in 0u64..1_000_000,
+    ) {
+        // 4096 is Blocked's fixed SIMD chunk; ±tail lands on every
+        // remainder class mod the 8-wide lanes.
+        let len = (chunks * 4096 + tail).max(1);
+        let mut rng = StdRng::seed_from_u64(seed);
+        let x = randn(&[len], 2.0, &mut rng);
+        let (reference, fast) = under_both(|| (x.gelu().tanh(), x.exp().sum_all()));
+        let d = reference.0.max_abs_diff(&fast.0);
+        prop_assert!(d < 1e-4, "len {len}: max diff {d}");
+        let (sr, sf) = (reference.1, fast.1);
+        prop_assert!((sr - sf).abs() < 1e-3 * (1.0 + sr.abs()), "sum {sr} vs {sf}");
+    }
+
+    /// NaN and infinity placed at an arbitrary offset propagate
+    /// identically through the SIMD and scalar elementwise paths: NaN
+    /// stays NaN, infinities keep their saturation semantics, and no
+    /// neighboring lane element is contaminated.
+    #[test]
+    fn backend_parity_nonfinite_propagation(
+        len in 1usize..200,
+        at in 0usize..200,
+        kind in 0u8..3,
+        seed in 0u64..1_000_000,
+    ) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut data = randn(&[len], 1.5, &mut rng).as_slice().to_vec();
+        let at = at % len;
+        data[at] = match kind {
+            0 => f32::NAN,
+            1 => f32::INFINITY,
+            _ => f32::NEG_INFINITY,
+        };
+        let x = Tensor::from_vec(data, &[len]);
+        for (name, out) in [
+            ("exp", under_both(|| x.exp())),
+            ("tanh", under_both(|| x.tanh())),
+            ("gelu", under_both(|| x.gelu())),
+        ] {
+            let (reference, fast) = out;
+            for (i, (&r, &f)) in reference
+                .as_slice()
+                .iter()
+                .zip(fast.as_slice())
+                .enumerate()
+            {
+                if r.is_nan() {
+                    prop_assert!(f.is_nan(), "{name}[{i}]: scalar NaN, simd {f}");
+                } else {
+                    prop_assert!(
+                        (f - r).abs() <= 1e-5 * (1.0 + r.abs()) || f == r,
+                        "{name}[{i}]: scalar {r}, simd {f}"
+                    );
+                }
+            }
+        }
+    }
+}
+
+/// Empty and length-1 tensors survive every SIMD-dispatched op without
+/// panicking, under both backends (degenerate shapes are where tail
+/// handling divides by zero or slices out of bounds).
+#[test]
+fn backend_degenerate_shapes() {
+    for len in [0usize, 1] {
+        let x = Tensor::from_vec(vec![0.75; len], &[len]);
+        let (r, f) = under_both(|| (x.gelu(), x.exp(), x.tanh(), x.sum_all()));
+        assert_eq!(r.0.as_slice(), f.0.as_slice());
+        assert_eq!(r.1.as_slice(), f.1.as_slice());
+        assert_eq!(r.2.as_slice(), f.2.as_slice());
+        assert!((r.3 - f.3).abs() < 1e-6);
+    }
+    // 1x1 matmul / softmax / attention-adjacent shapes.
+    let a = Tensor::from_vec(vec![3.0], &[1, 1]);
+    let b = Tensor::from_vec(vec![-2.0], &[1, 1]);
+    let (r, f) = under_both(|| (a.matmul(&b), a.softmax_last()));
+    assert_eq!(r.0.as_slice(), f.0.as_slice());
+    assert_eq!(r.1.as_slice(), &[1.0]);
+    assert_eq!(f.1.as_slice(), &[1.0]);
+}
+
+/// Parallel matmul under `Blocked` is bitwise identical at 1, 2, 4 and 8
+/// rayon threads: the row partition never changes per-element
+/// accumulation order (Blocked v2's determinism contract).
+#[test]
+fn matmul_thread_count_bitwise_invariance() {
+    let mut rng = StdRng::seed_from_u64(417);
+    let a = randn(&[3, 57, 43], 1.0, &mut rng);
+    let b = randn(&[3, 43, 39], 1.0, &mut rng);
+    let run = || {
+        let _g = backend::scoped(Arc::new(Blocked::new(1)) as Arc<dyn Backend>);
+        a.matmul(&b)
+    };
+    let mut reference: Option<Vec<u32>> = None;
+    for threads in [1usize, 2, 4, 8] {
+        rayon::ThreadPoolBuilder::new()
+            .num_threads(threads)
+            .build_global()
+            .expect("thread pool override");
+        let bits: Vec<u32> = run().as_slice().iter().map(|v| v.to_bits()).collect();
+        match &reference {
+            None => reference = Some(bits),
+            Some(want) => assert_eq!(
+                &bits, want,
+                "matmul output bits changed at {threads} threads"
+            ),
+        }
+    }
+    rayon::ThreadPoolBuilder::new()
+        .build_global()
+        .expect("restore thread pool default");
 }
