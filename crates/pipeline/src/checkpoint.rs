@@ -1,0 +1,220 @@
+//! Training checkpoints: the complete trainer state — parameters, BatchNorm
+//! running statistics, Adam moments, step counter, epoch — captured as
+//! tensors and round-trippable through a self-describing byte format.
+//!
+//! Restoring a checkpoint into a freshly constructed trainer and continuing
+//! training is bitwise-identical to never having stopped: the optimizer's
+//! moments and bias-correction counter are part of the snapshot, and every
+//! update kernel is deterministic (see `DESIGN.md`, "Gradient tape").
+
+use ctensor::prelude::*;
+
+const MAGIC: &[u8; 4] = b"CTRN";
+const VERSION: u32 = 1;
+
+/// Full training state at an instant: enough to resume bitwise-identically.
+#[derive(Clone, Debug)]
+pub struct TrainCheckpoint {
+    /// Epoch counter at capture time (caller-defined meaning).
+    pub epoch: u64,
+    /// Adam step counter (`t`) — drives bias correction on resume.
+    pub opt_t: i32,
+    /// Trainable parameters in `Module::params` order.
+    pub params: Vec<Tensor>,
+    /// Non-trainable buffers (BatchNorm running mean/var, interleaved).
+    pub buffers: Vec<Tensor>,
+    /// Adam first moments, positionally aligned with `params`.
+    pub m: Vec<Option<Tensor>>,
+    /// Adam second moments, positionally aligned with `params`.
+    pub v: Vec<Option<Tensor>>,
+}
+
+fn put_u64(out: &mut Vec<u8>, v: u64) {
+    out.extend_from_slice(&v.to_le_bytes());
+}
+
+fn put_tensor(out: &mut Vec<u8>, t: &Tensor) {
+    put_u64(out, t.ndim() as u64);
+    for &d in t.shape() {
+        put_u64(out, d as u64);
+    }
+    for &x in t.as_slice() {
+        out.extend_from_slice(&x.to_le_bytes());
+    }
+}
+
+fn put_tensor_list(out: &mut Vec<u8>, ts: &[Tensor]) {
+    put_u64(out, ts.len() as u64);
+    for t in ts {
+        put_tensor(out, t);
+    }
+}
+
+fn put_opt_list(out: &mut Vec<u8>, ts: &[Option<Tensor>]) {
+    put_u64(out, ts.len() as u64);
+    for t in ts {
+        match t {
+            Some(t) => {
+                out.push(1);
+                put_tensor(out, t);
+            }
+            None => out.push(0),
+        }
+    }
+}
+
+/// Little-endian cursor over a checkpoint byte stream.
+struct Reader<'a> {
+    buf: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Reader<'a> {
+    fn take(&mut self, n: usize) -> Result<&'a [u8], String> {
+        if self.pos + n > self.buf.len() {
+            return Err(format!(
+                "checkpoint truncated at byte {} (need {n} more)",
+                self.pos
+            ));
+        }
+        let s = &self.buf[self.pos..self.pos + n];
+        self.pos += n;
+        Ok(s)
+    }
+
+    fn u64(&mut self) -> Result<u64, String> {
+        Ok(u64::from_le_bytes(self.take(8)?.try_into().unwrap()))
+    }
+
+    fn tensor(&mut self) -> Result<Tensor, String> {
+        let ndim = self.u64()? as usize;
+        if ndim > 16 {
+            return Err(format!("implausible tensor rank {ndim}"));
+        }
+        let mut shape = Vec::with_capacity(ndim);
+        for _ in 0..ndim {
+            shape.push(self.u64()? as usize);
+        }
+        let numel: usize = shape.iter().product();
+        let raw = self.take(numel * 4)?;
+        let data: Vec<f32> = raw
+            .chunks_exact(4)
+            .map(|c| f32::from_le_bytes(c.try_into().unwrap()))
+            .collect();
+        Ok(Tensor::from_vec(data, &shape))
+    }
+
+    fn tensor_list(&mut self) -> Result<Vec<Tensor>, String> {
+        let n = self.u64()? as usize;
+        (0..n).map(|_| self.tensor()).collect()
+    }
+
+    fn opt_list(&mut self) -> Result<Vec<Option<Tensor>>, String> {
+        let n = self.u64()? as usize;
+        (0..n)
+            .map(|_| match self.take(1)?[0] {
+                0 => Ok(None),
+                1 => self.tensor().map(Some),
+                t => Err(format!("bad option tag {t}")),
+            })
+            .collect()
+    }
+}
+
+impl TrainCheckpoint {
+    /// Serialize to a self-describing little-endian byte stream.
+    pub fn to_bytes(&self) -> Vec<u8> {
+        let mut out = Vec::new();
+        out.extend_from_slice(MAGIC);
+        out.extend_from_slice(&VERSION.to_le_bytes());
+        put_u64(&mut out, self.epoch);
+        out.extend_from_slice(&(self.opt_t as i64).to_le_bytes());
+        put_tensor_list(&mut out, &self.params);
+        put_tensor_list(&mut out, &self.buffers);
+        put_opt_list(&mut out, &self.m);
+        put_opt_list(&mut out, &self.v);
+        out
+    }
+
+    /// Parse a stream produced by [`TrainCheckpoint::to_bytes`].
+    pub fn from_bytes(buf: &[u8]) -> Result<Self, String> {
+        let mut r = Reader { buf, pos: 0 };
+        if r.take(4)? != MAGIC {
+            return Err("not a training checkpoint (bad magic)".into());
+        }
+        let version = u32::from_le_bytes(r.take(4)?.try_into().unwrap());
+        if version != VERSION {
+            return Err(format!("unsupported checkpoint version {version}"));
+        }
+        let epoch = r.u64()?;
+        let opt_t = i64::from_le_bytes(r.take(8)?.try_into().unwrap()) as i32;
+        let params = r.tensor_list()?;
+        let buffers = r.tensor_list()?;
+        let m = r.opt_list()?;
+        let v = r.opt_list()?;
+        if m.len() != params.len() || v.len() != params.len() {
+            return Err(format!(
+                "moment/param length mismatch: {} params, {} m, {} v",
+                params.len(),
+                m.len(),
+                v.len()
+            ));
+        }
+        Ok(Self {
+            epoch,
+            opt_t,
+            params,
+            buffers,
+            m,
+            v,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> TrainCheckpoint {
+        TrainCheckpoint {
+            epoch: 7,
+            opt_t: 42,
+            params: vec![
+                Tensor::from_vec(vec![1.5, -2.25, 0.0], &[3]),
+                Tensor::from_vec(vec![f32::MIN_POSITIVE, -0.0], &[1, 2]),
+            ],
+            buffers: vec![Tensor::scalar(3.125)],
+            m: vec![Some(Tensor::from_vec(vec![0.1, 0.2, 0.3], &[3])), None],
+            v: vec![Some(Tensor::from_vec(vec![0.4, 0.5, 0.6], &[3])), None],
+        }
+    }
+
+    #[test]
+    fn byte_round_trip_is_bitwise_exact() {
+        let ck = sample();
+        let back = TrainCheckpoint::from_bytes(&ck.to_bytes()).unwrap();
+        assert_eq!(back.epoch, ck.epoch);
+        assert_eq!(back.opt_t, ck.opt_t);
+        for (a, b) in ck.params.iter().zip(&back.params) {
+            assert_eq!(a.shape(), b.shape());
+            // Bitwise, not approximate: -0.0 and subnormals must survive.
+            let ab: Vec<u32> = a.as_slice().iter().map(|x| x.to_bits()).collect();
+            let bb: Vec<u32> = b.as_slice().iter().map(|x| x.to_bits()).collect();
+            assert_eq!(ab, bb);
+        }
+        assert!(back.m[1].is_none());
+        assert!(back.v[1].is_none());
+        assert_eq!(back.m[0].as_ref().unwrap().as_slice(), &[0.1, 0.2, 0.3]);
+    }
+
+    #[test]
+    fn corrupt_streams_are_rejected() {
+        let ck = sample();
+        let bytes = ck.to_bytes();
+        assert!(TrainCheckpoint::from_bytes(&bytes[..bytes.len() - 3]).is_err());
+        assert!(TrainCheckpoint::from_bytes(b"nope").is_err());
+        let mut bad = bytes.clone();
+        bad[0] = b'X';
+        assert!(TrainCheckpoint::from_bytes(&bad).is_err());
+    }
+}

@@ -9,11 +9,14 @@
 //!   scaled), decompression-as-I/O.
 //! - [`loader`]: prefetch workers, pinned staging-buffer pool, and
 //!   deterministic batch ordering.
-//! - [`trainer`]: Adam training with activation-memory budgeting and
-//!   throughput metering.
+//! - [`trainer`]: batch-first Adam training with gradient accumulation,
+//!   activation-memory budgeting, and throughput metering.
+//! - [`checkpoint`]: full training-state snapshots (params, buffers, Adam
+//!   moments) for bitwise-identical stop/resume.
 //! - [`parallel`]: data-parallel replicas with synchronous gradient
 //!   all-reduce (weak scaling, Fig. 10).
 
+pub mod checkpoint;
 pub mod dataset;
 pub mod loader;
 pub mod normalize;
@@ -21,6 +24,7 @@ pub mod parallel;
 pub mod store;
 pub mod trainer;
 
+pub use checkpoint::TrainCheckpoint;
 pub use dataset::{
     decode_prediction, decode_prediction_batch, decode_sample, encode_episode, stack_episodes,
     EncodeConfig, Episode, WindowSpec,

@@ -4,11 +4,18 @@
 //! closure capturing cheap `Arc` clones of whatever tensors the gradient
 //! needs. Gradients of broadcast operands are reduced with
 //! [`Tensor::sum_to`], the adjoint of broadcasting.
+//!
+//! Backward closures run on the same [`crate::backend::Backend`] kernels as
+//! the forward pass: matmul/linear adjoints go through the strided-GEBP
+//! `matmul_grad_a`/`matmul_grad_b` + `col_sums`, activations through the
+//! `GeluGrad`/`TanhGrad`/`ReluGrad` unary kernels (SIMD lanes under
+//! `Blocked`), and softmax / layer-norm / attention through their dedicated
+//! fused row/block backward kernels — the `(B, H, N, N)` attention score
+//! tensor is never materialized on the tape.
 
 use super::{Graph, Var};
 use crate::backend::{self, AttentionSpec, UnaryOp};
-use crate::tensor::ops::{gelu_grad_scalar, gelu_scalar};
-use crate::tensor::Tensor;
+use crate::tensor::{matmul_grads, Tensor};
 
 impl Graph {
     // ---------------------------------------------------------------- binary
@@ -83,13 +90,12 @@ impl Graph {
             "autograd matmul requires ndim >= 2 operands"
         );
         let out = va.matmul(&vb);
-        let (sa, sb) = (va.shape().to_vec(), vb.shape().to_vec());
         self.push(
             out,
             Some(Box::new(move |g, buf| {
-                // dA = g @ B^T, dB = A^T @ g; reduce broadcast batch dims.
-                let da = g.matmul(&vb.transpose_last()).sum_to(&sa);
-                let db = va.transpose_last().matmul(g).sum_to(&sb);
+                // dA = g·Bᵀ, dB = Aᵀ·g on the backend's strided-GEBP adjoint
+                // kernels (broadcast batch dims reduced inside).
+                let (da, db) = matmul_grads(&va, &vb, g);
                 buf.accum(a, da);
                 buf.accum(b, db);
             })),
@@ -156,7 +162,9 @@ impl Graph {
         self.push(
             out,
             Some(Box::new(move |g, buf| {
-                let d = y.map(|t| 1.0 - t * t);
+                // 1 − y² through the named kernel (y = tanh(x) is saved, so
+                // backward never re-evaluates the transcendental).
+                let d = y.unary_op(UnaryOp::TanhGrad);
                 buf.accum(a, g.mul(&d));
             })),
         )
@@ -165,11 +173,12 @@ impl Graph {
     /// GELU activation (tanh approximation).
     pub fn gelu(&mut self, a: Var) -> Var {
         let va = self.value(a).clone();
-        let out = va.map(gelu_scalar);
+        let out = va.gelu();
         self.push(
             out,
             Some(Box::new(move |g, buf| {
-                let d = va.map(gelu_grad_scalar);
+                // The GeluGrad kernel — simd::gelu_grad lanes under Blocked.
+                let d = va.unary_op(UnaryOp::GeluGrad);
                 buf.accum(a, g.mul(&d));
             })),
         )
@@ -182,7 +191,7 @@ impl Graph {
         self.push(
             out,
             Some(Box::new(move |g, buf| {
-                let d = va.map(|x| if x > 0.0 { 1.0 } else { 0.0 });
+                let d = va.unary_op(UnaryOp::ReluGrad);
                 buf.accum(a, g.mul(&d));
             })),
         )
@@ -342,11 +351,12 @@ impl Graph {
         self.push(
             out,
             Some(Box::new(move |g, buf| {
-                // dx = (g - sum(g * y, last, keepdims)) * y
-                let gy = g.mul(&y);
-                let last = y.ndim() - 1;
-                let s = gy.sum_axes_keepdims(&[last]);
-                buf.accum(a, g.sub(&s).mul(&y));
+                // dx = (g − Σ g⊙y) ⊙ y per row — one fused kernel pass
+                // instead of the mul/sum/sub/mul composite.
+                let row = *y.shape().last().expect("softmax output is ndim >= 1");
+                let mut dx = vec![0.0f32; y.numel()];
+                backend::current().softmax_grad_rows(y.as_slice(), g.as_slice(), &mut dx, row);
+                buf.accum(a, Tensor::from_vec(dx, y.shape()));
             })),
         )
     }
@@ -366,18 +376,19 @@ impl Graph {
         let vw = self.value(w).clone();
         let vb = self.value(bvar).clone();
         let out = vx.matmul_bias(&vw, &vb);
-        let (sx, sw, sb) = (
-            vx.shape().to_vec(),
-            vw.shape().to_vec(),
-            vb.shape().to_vec(),
-        );
+        let sb = vb.shape().to_vec();
         self.push(
             out,
             Some(Box::new(move |g, buf| {
-                // dX = g @ Wᵀ, dW = Xᵀ @ g, dB = Σ_rows g.
-                buf.accum(x, g.matmul(&vw.transpose_last()).sum_to(&sx));
-                buf.accum(w, vx.transpose_last().matmul(g).sum_to(&sw));
-                buf.accum(bvar, g.sum_to(&sb));
+                // dX = g·Wᵀ, dW = Xᵀ·g via the strided-GEBP adjoints;
+                // dB = Σ_rows g via the column-reduction kernel.
+                let (dx, dw) = matmul_grads(&vx, &vw, g);
+                buf.accum(x, dx);
+                buf.accum(w, dw);
+                let n = vb.numel();
+                let mut dbias = vec![0.0f32; n];
+                backend::current().col_sums(g.as_slice(), &mut dbias, n);
+                buf.accum(bvar, Tensor::from_vec(dbias, &sb));
             })),
         )
     }
@@ -421,10 +432,11 @@ impl Graph {
     /// `q`, `k`, `v`: `(B, H, N, hd)`; `mask`: `(num_windows, N, N)`
     /// additive, with `B` a multiple of `num_windows` (Swin layout).
     ///
-    /// Inference graphs run the backend's fused kernel — the `(B, H, N, N)`
-    /// score tensor is never materialized. Recording graphs decompose into
-    /// matmul/softmax nodes (whose kernels are the same backend's), keeping
-    /// the probabilities on the tape for backward.
+    /// Both inference and recording graphs run the backend's fused kernel —
+    /// the `(B, H, N, N)` score tensor is never materialized, not even on
+    /// the tape. The backward closure saves only `Arc` clones of q/k/v and
+    /// replays probabilities inside the backend's `attention_grad` kernel
+    /// (`O(n²)` scratch per batch-head).
     pub fn attention(&mut self, q: Var, k: Var, v: Var, mask: Option<&Tensor>, scale: f32) -> Var {
         let shape = self.value(q).shape().to_vec();
         assert_eq!(shape.len(), 4, "attention expects (B, H, N, hd) operands");
@@ -439,64 +451,96 @@ impl Graph {
             nw
         });
 
+        let spec = AttentionSpec {
+            batch: b * h,
+            heads: h,
+            n,
+            d: hd,
+            scale,
+            mask: mask.map(|m| m.as_slice()),
+            mask_windows: nw,
+        };
+        let mut out = vec![0.0f32; b * h * n * hd];
+        backend::current().attention(
+            self.value(q).as_slice(),
+            self.value(k).as_slice(),
+            self.value(v).as_slice(),
+            &mut out,
+            &spec,
+        );
+        let out = Tensor::from_vec(out, &shape);
         if !self.is_recording() {
-            let spec = AttentionSpec {
-                batch: b * h,
-                heads: h,
-                n,
-                d: hd,
-                scale,
-                mask: mask.map(|m| m.as_slice()),
-                mask_windows: nw,
-            };
-            let mut out = vec![0.0f32; b * h * n * hd];
-            backend::current().attention(
-                self.value(q).as_slice(),
-                self.value(k).as_slice(),
-                self.value(v).as_slice(),
-                &mut out,
-                &spec,
-            );
-            return self.push(Tensor::from_vec(out, &shape), None);
+            return self.push(out, None);
         }
 
-        let kt = self.permute(k, &[0, 1, 3, 2]); // (B, H, hd, N)
-        let scores = self.matmul(q, kt); // (B, H, N, N)
-        let mut scores = self.scale(scores, scale);
-        if let Some(m) = mask {
-            let batch = b / nw;
-            // (B,H,N,N) -> (batch, nW, H, N, N) + (1, nW, 1, N, N)
-            let s5 = self.reshape(scores, &[batch, nw, h, n, n]);
-            let m5 = self.constant(m.reshaped(&[1, nw, 1, n, n]));
-            let s5 = self.add(s5, m5);
-            scores = self.reshape(s5, &[b, h, n, n]);
-        }
-        let attn = self.softmax_last(scores);
-        self.matmul(attn, v)
+        let vq = self.value(q).clone();
+        let vk = self.value(k).clone();
+        let vv = self.value(v).clone();
+        let mask = mask.cloned();
+        self.push(
+            out,
+            Some(Box::new(move |g, buf| {
+                let spec = AttentionSpec {
+                    batch: b * h,
+                    heads: h,
+                    n,
+                    d: hd,
+                    scale,
+                    mask: mask.as_ref().map(|m| m.as_slice()),
+                    mask_windows: nw,
+                };
+                let sz = b * h * n * hd;
+                let mut dq = vec![0.0f32; sz];
+                let mut dk = vec![0.0f32; sz];
+                let mut dv = vec![0.0f32; sz];
+                backend::current().attention_grad(
+                    vq.as_slice(),
+                    vk.as_slice(),
+                    vv.as_slice(),
+                    g.as_slice(),
+                    &mut dq,
+                    &mut dk,
+                    &mut dv,
+                    &spec,
+                );
+                buf.accum(q, Tensor::from_vec(dq, &shape));
+                buf.accum(k, Tensor::from_vec(dk, &shape));
+                buf.accum(v, Tensor::from_vec(dv, &shape));
+            })),
+        )
     }
 
     /// Layer normalization over the last axis (no affine; compose with
     /// `mul`/`add` for gamma/beta).
     ///
-    /// Inference graphs use the backend's fused row kernel; recording
-    /// graphs build the differentiable composite.
+    /// Both inference and recording graphs use the backend's fused row
+    /// kernel; the backward closure re-derives the per-row statistics from
+    /// the saved input inside `layernorm_grad_rows` — the six-node
+    /// mean/sub/square/rsqrt composite never lands on the tape.
     pub fn layer_norm(&mut self, x: Var, eps: f32) -> Var {
+        let vx = self.value(x).clone();
+        let row = *vx.shape().last().expect("layer_norm needs ndim >= 1");
+        let mut out = vec![0.0f32; vx.numel()];
+        backend::current().layernorm_rows(vx.as_slice(), &mut out, row, eps);
+        let shape = vx.shape().to_vec();
+        let out = Tensor::from_vec(out, &shape);
         if !self.is_recording() {
-            let vx = self.value(x);
-            let row = *vx.shape().last().expect("layer_norm needs ndim >= 1");
-            let mut out = vec![0.0f32; vx.numel()];
-            backend::current().layernorm_rows(vx.as_slice(), &mut out, row, eps);
-            let shape = vx.shape().to_vec();
-            return self.push(Tensor::from_vec(out, &shape), None);
+            return self.push(out, None);
         }
-        let last = self.value(x).ndim() - 1;
-        let mu = self.mean_axes_keepdims(x, &[last]);
-        let centered = self.sub(x, mu);
-        let sq = self.square(centered);
-        let var = self.mean_axes_keepdims(sq, &[last]);
-        let var_eps = self.add_scalar(var, eps);
-        let inv_std = self.rsqrt(var_eps);
-        self.mul(centered, inv_std)
+        self.push(
+            out,
+            Some(Box::new(move |g, buf| {
+                let mut dx = vec![0.0f32; vx.numel()];
+                backend::current().layernorm_grad_rows(
+                    vx.as_slice(),
+                    g.as_slice(),
+                    &mut dx,
+                    row,
+                    eps,
+                );
+                buf.accum(x, Tensor::from_vec(dx, &shape));
+            })),
+        )
     }
 
     /// Mean squared error between `pred` and `target`.

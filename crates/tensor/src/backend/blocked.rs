@@ -191,6 +191,116 @@ impl Blocked {
             kern(self.simd, x);
         }
     }
+
+    /// Shared driver of the two matmul adjoints: a batched `gm×gk · gk×gn`
+    /// product where each operand is a *strided view* (`ars`/`acs`,
+    /// `brs`/`bcs` = row/column element strides), so transposed operands run
+    /// through the packed microkernel without materializing a transpose.
+    /// `offs[bi]` are element offsets of batch `bi`'s operand matrices; the
+    /// output is dense `gm×gn` per batch. Parallel dispatch mirrors
+    /// [`Backend::matmul`]: per-batch tasks when batches are plentiful,
+    /// MR-aligned row splits otherwise — accumulation order per output
+    /// element is thread-count invariant either way.
+    #[allow(clippy::too_many_arguments)]
+    fn grad_gemm(
+        &self,
+        aop: &[f32],
+        bop: &[f32],
+        out: &mut [f32],
+        gm: usize,
+        gk: usize,
+        gn: usize,
+        ars: usize,
+        acs: usize,
+        brs: usize,
+        bcs: usize,
+        offs: &[(usize, usize)],
+    ) {
+        let o_mat = gm * gn;
+        if o_mat == 0 || offs.is_empty() {
+            return;
+        }
+        let n_batch = offs.len();
+        let flops = 2 * n_batch * gm * gk * gn;
+        let threads = rayon::current_num_threads();
+
+        if flops < MIN_PAR_FLOPS || threads <= 1 {
+            for (bi, o) in out.chunks_mut(o_mat).enumerate() {
+                let (aoff, boff) = offs[bi];
+                gebp_strided(
+                    self.simd,
+                    &aop[aoff..],
+                    &bop[boff..],
+                    o,
+                    gm,
+                    gk,
+                    gn,
+                    ars,
+                    acs,
+                    brs,
+                    bcs,
+                );
+            }
+        } else if n_batch >= threads {
+            out.par_chunks_mut(o_mat).enumerate().for_each(|(bi, o)| {
+                let (aoff, boff) = offs[bi];
+                gebp_strided(
+                    self.simd,
+                    &aop[aoff..],
+                    &bop[boff..],
+                    o,
+                    gm,
+                    gk,
+                    gn,
+                    ars,
+                    acs,
+                    brs,
+                    bcs,
+                );
+            });
+        } else {
+            let rows_per_task = gm.div_ceil(threads.div_ceil(n_batch)).div_ceil(MR).max(1) * MR;
+            let tasks: Vec<(usize, usize, usize)> = (0..n_batch)
+                .flat_map(|bi| {
+                    (0..gm)
+                        .step_by(rows_per_task)
+                        .map(move |r0| (bi, r0, (r0 + rows_per_task).min(gm)))
+                })
+                .collect();
+            type RowTask<'a> = (&'a mut [f32], (usize, usize, usize));
+            let mut slices: Vec<RowTask<'_>> = Vec::with_capacity(tasks.len());
+            {
+                let mut rest = out;
+                let mut prev_end = 0usize;
+                for &(bi, r0, r1) in &tasks {
+                    let start = bi * o_mat + r0 * gn;
+                    let end = bi * o_mat + r1 * gn;
+                    let (_, tail) = rest.split_at_mut(start - prev_end);
+                    let (mine, tail) = tail.split_at_mut(end - start);
+                    rest = tail;
+                    prev_end = end;
+                    slices.push((mine, (bi, r0, r1)));
+                }
+            }
+            slices.par_iter_mut().for_each(|(o, (bi, r0, r1))| {
+                let (aoff, boff) = offs[*bi];
+                // Row block [r0, r1) of the A view starts r0 row-strides in.
+                gebp_strided(
+                    self.simd,
+                    &aop[aoff + *r0 * ars..],
+                    &bop[boff..],
+                    o,
+                    *r1 - *r0,
+                    gk,
+                    gn,
+                    ars,
+                    acs,
+                    brs,
+                    bcs,
+                );
+            });
+        }
+    }
 }
 
 /// Slice-level lane kernel signatures (see `ctensor::simd`).
@@ -488,6 +598,208 @@ impl Backend for Blocked {
             }
         }
     }
+
+    fn matmul_grad_a(&self, dc: &[f32], b: &[f32], da: &mut [f32], spec: &MatmulSpec) {
+        let (m, k, n) = (spec.m, spec.k, spec.n);
+        // dA (m×k) = dC (m×n, row-major) · Bᵀ. Bᵀ is a strided view of B:
+        // element (kk∈[0,n), j∈[0,k)) lives at b[j·n + kk] → strides (1, n).
+        let offs: Vec<(usize, usize)> = spec
+            .batch_offsets
+            .iter()
+            .enumerate()
+            .map(|(bi, &(_, bo))| (bi * m * n, bo * k * n))
+            .collect();
+        self.grad_gemm(dc, b, da, m, n, k, n, 1, 1, n, &offs);
+    }
+
+    fn matmul_grad_b(&self, a: &[f32], dc: &[f32], db: &mut [f32], spec: &MatmulSpec) {
+        let (m, k, n) = (spec.m, spec.k, spec.n);
+        // dB (k×n) = Aᵀ · dC. Aᵀ element (i∈[0,k), kk∈[0,m)) lives at
+        // a[kk·k + i] → strides (1, k); dC is row-major (n, 1).
+        let offs: Vec<(usize, usize)> = spec
+            .batch_offsets
+            .iter()
+            .enumerate()
+            .map(|(bi, &(ao, _))| (ao * m * k, bi * m * n))
+            .collect();
+        self.grad_gemm(a, dc, db, k, m, n, 1, k, n, 1, &offs);
+    }
+
+    fn col_sums(&self, x: &[f32], out: &mut [f32], row: usize) {
+        if row == 0 {
+            return;
+        }
+        let lv = self.simd;
+        // FMA with w = 1.0 rounds exactly like a plain add, so the axpy lane
+        // kernel is bitwise-equal to the serial reference; SIMD_CHUNK column
+        // blocks keep lane/tail splits a function of geometry, not threads.
+        if self.parallel(x.len()) && row > 1 {
+            out[..row]
+                .par_chunks_mut(SIMD_CHUNK)
+                .enumerate()
+                .for_each(|(ci, oc)| {
+                    let j0 = ci * SIMD_CHUNK;
+                    for r in x.chunks_exact(row) {
+                        simd::axpy(lv, 1.0, &r[j0..j0 + oc.len()], oc);
+                    }
+                });
+        } else {
+            for r in x.chunks_exact(row) {
+                simd::axpy(lv, 1.0, r, &mut out[..row]);
+            }
+        }
+    }
+
+    fn row_sums(&self, x: &[f32], out: &mut [f32], row: usize) {
+        if row == 0 {
+            return;
+        }
+        let rows = x.len() / row;
+        if self.parallel(x.len()) && rows > 1 {
+            out[..rows]
+                .par_iter_mut()
+                .zip(x[..rows * row].par_chunks(row))
+                .for_each(|(o, r)| *o += r.iter().sum::<f32>());
+        } else {
+            for (o, r) in out.iter_mut().zip(x.chunks_exact(row)) {
+                *o += r.iter().sum::<f32>();
+            }
+        }
+    }
+
+    fn softmax_grad_rows(&self, y: &[f32], dy: &[f32], dx: &mut [f32], row: usize) {
+        if row == 0 {
+            return;
+        }
+        let lv = self.simd;
+        if self.parallel(y.len()) && y.len() > row {
+            dx.par_chunks_mut(row)
+                .zip(y.par_chunks(row).zip(dy.par_chunks(row)))
+                .for_each(|(dxr, (yr, dyr))| simd::softmax_grad_row(lv, yr, dyr, dxr));
+        } else {
+            for ((yr, dyr), dxr) in y.chunks(row).zip(dy.chunks(row)).zip(dx.chunks_mut(row)) {
+                simd::softmax_grad_row(lv, yr, dyr, dxr);
+            }
+        }
+    }
+
+    fn layernorm_grad_rows(&self, x: &[f32], dy: &[f32], dx: &mut [f32], row: usize, eps: f32) {
+        if row == 0 {
+            return;
+        }
+        let lv = self.simd;
+        if self.parallel(x.len()) && x.len() > row {
+            dx.par_chunks_mut(row)
+                .zip(x.par_chunks(row).zip(dy.par_chunks(row)))
+                .for_each(|(dxr, (xr, dyr))| simd::layernorm_grad_row(lv, xr, dyr, dxr, eps));
+        } else {
+            for ((xr, dyr), dxr) in x.chunks(row).zip(dy.chunks(row)).zip(dx.chunks_mut(row)) {
+                simd::layernorm_grad_row(lv, xr, dyr, dxr, eps);
+            }
+        }
+    }
+
+    fn attention_grad(
+        &self,
+        q: &[f32],
+        k: &[f32],
+        v: &[f32],
+        dout: &[f32],
+        dq: &mut [f32],
+        dk: &mut [f32],
+        dv: &mut [f32],
+        spec: &AttentionSpec,
+    ) {
+        let (n, d) = (spec.n, spec.d);
+        let mat = n * d;
+        if mat == 0 || spec.batch == 0 {
+            return;
+        }
+        let lv = self.simd;
+        // ~10 n²d flops per batch-head (recompute + four products).
+        let flops = 10 * spec.batch * n * n * d;
+        if flops >= MIN_PAR_FLOPS && rayon::current_num_threads() > 1 && spec.batch > 1 {
+            // Each batch-head owns disjoint dq/dk/dv slices, so the three
+            // gradient buffers split in lockstep.
+            dq.par_chunks_mut(mat)
+                .zip(dk.par_chunks_mut(mat).zip(dv.par_chunks_mut(mat)))
+                .enumerate()
+                .for_each(|(bh, (dqm, (dkm, dvm)))| {
+                    attention_grad_one(
+                        lv,
+                        &q[bh * mat..(bh + 1) * mat],
+                        &k[bh * mat..(bh + 1) * mat],
+                        &v[bh * mat..(bh + 1) * mat],
+                        &dout[bh * mat..(bh + 1) * mat],
+                        dqm,
+                        dkm,
+                        dvm,
+                        bh,
+                        spec,
+                    );
+                });
+        } else {
+            for bh in 0..spec.batch {
+                attention_grad_one(
+                    lv,
+                    &q[bh * mat..(bh + 1) * mat],
+                    &k[bh * mat..(bh + 1) * mat],
+                    &v[bh * mat..(bh + 1) * mat],
+                    &dout[bh * mat..(bh + 1) * mat],
+                    &mut dq[bh * mat..(bh + 1) * mat],
+                    &mut dk[bh * mat..(bh + 1) * mat],
+                    &mut dv[bh * mat..(bh + 1) * mat],
+                    bh,
+                    spec,
+                );
+            }
+        }
+    }
+
+    fn adam_step(
+        &self,
+        p: &mut [f32],
+        g: &[f32],
+        m: &mut [f32],
+        v: &mut [f32],
+        s: &super::AdamStepSpec,
+    ) {
+        let lv = self.simd;
+        if self.parallel(p.len()) {
+            p.par_chunks_mut(SIMD_CHUNK)
+                .zip(
+                    g.par_chunks(SIMD_CHUNK).zip(
+                        m.par_chunks_mut(SIMD_CHUNK)
+                            .zip(v.par_chunks_mut(SIMD_CHUNK)),
+                    ),
+                )
+                .for_each(|(pc, (gc, (mc, vc)))| simd::adam_step_slice(lv, pc, gc, mc, vc, s));
+        } else {
+            simd::adam_step_slice(lv, p, g, m, v, s);
+        }
+    }
+
+    fn sgd_step(&self, p: &mut [f32], g: &[f32], vel: Option<&mut [f32]>, lr: f32, momentum: f32) {
+        let lv = self.simd;
+        if self.parallel(p.len()) {
+            match vel {
+                Some(vel) => {
+                    p.par_chunks_mut(SIMD_CHUNK)
+                        .zip(g.par_chunks(SIMD_CHUNK).zip(vel.par_chunks_mut(SIMD_CHUNK)))
+                        .for_each(|(pc, (gc, vc))| {
+                            simd::sgd_step_slice(lv, pc, gc, Some(vc), lr, momentum)
+                        });
+                }
+                None => {
+                    p.par_chunks_mut(SIMD_CHUNK)
+                        .zip(g.par_chunks(SIMD_CHUNK))
+                        .for_each(|(pc, gc)| simd::sgd_step_slice(lv, pc, gc, None, lr, momentum));
+                }
+            }
+        } else {
+            simd::sgd_step_slice(lv, p, g, vel, lr, momentum);
+        }
+    }
 }
 
 /// Fused attention for one `(n, d)` head: blocked two-pass streaming of K
@@ -609,6 +921,147 @@ fn gebp(
             }
         }
     }
+}
+
+/// Strided-operand GEBP: C (dense m×n) += A·B where A element `(i, kk)` is
+/// `a[i·ars + kk·acs]` and B element `(kk, j)` is `b[kk·brs + j·bcs]`.
+///
+/// With `(ars, acs) = (k, 1)` / `(brs, bcs) = (n, 1)` this is the forward
+/// [`gebp`]; the matmul adjoints pass stride pairs that read a transposed
+/// view directly out of the untransposed buffer, so `dC·Bᵀ` and `Aᵀ·dC`
+/// reuse the same packed panels + 4×16 FMA microkernel as the forward pass.
+/// Accumulation order per output element (KC-block outer, packed-kk inner)
+/// is identical to [`gebp`] and independent of any parallel row split.
+#[allow(clippy::too_many_arguments)]
+fn gebp_strided(
+    lv: SimdLevel,
+    a: &[f32],
+    b: &[f32],
+    c: &mut [f32],
+    m: usize,
+    k: usize,
+    n: usize,
+    ars: usize,
+    acs: usize,
+    brs: usize,
+    bcs: usize,
+) {
+    let panels = n.div_ceil(NR);
+    let mut bpack = vec![0.0f32; panels * KC * NR];
+    let mut apack = [0.0f32; MR * KC];
+    for kc0 in (0..k).step_by(KC) {
+        let kc = (k - kc0).min(KC);
+        for p in 0..panels {
+            let j0 = p * NR;
+            let jw = (n - j0).min(NR);
+            let dst = &mut bpack[p * KC * NR..p * KC * NR + kc * NR];
+            for kk in 0..kc {
+                let base = (kc0 + kk) * brs + j0 * bcs;
+                let d = &mut dst[kk * NR..kk * NR + NR];
+                if bcs == 1 {
+                    d[..jw].copy_from_slice(&b[base..base + jw]);
+                } else {
+                    for (jj, slot) in d[..jw].iter_mut().enumerate() {
+                        *slot = b[base + jj * bcs];
+                    }
+                }
+                d[jw..].fill(0.0);
+            }
+        }
+        for i0 in (0..m).step_by(MR) {
+            let mi = (m - i0).min(MR);
+            for kk in 0..kc {
+                for r in 0..MR {
+                    apack[kk * MR + r] = if r < mi {
+                        a[(i0 + r) * ars + (kc0 + kk) * acs]
+                    } else {
+                        0.0
+                    };
+                }
+            }
+            for p in 0..panels {
+                let j0 = p * NR;
+                let jw = (n - j0).min(NR);
+                let mut acc = [[0.0f32; NR]; MR];
+                simd::microkernel_4x16(lv, &apack[..kc * MR], &bpack[p * KC * NR..], kc, &mut acc);
+                for r in 0..mi {
+                    let crow = &mut c[(i0 + r) * n + j0..(i0 + r) * n + j0 + jw];
+                    for (co, &av) in crow.iter_mut().zip(&acc[r][..jw]) {
+                        *co += av;
+                    }
+                }
+            }
+        }
+    }
+}
+
+/// Attention backward for one `(n, d)` batch-head. P is recomputed exactly
+/// as [`attention_one`] does (QB-blocked scores + mask + lane softmax), then
+/// the four adjoint products run on SIMD kernels:
+/// `dP = dO·Vᵀ` via [`simd::attn_scores_block`] (scale 1),
+/// `dS = (dP − rowsum(dP⊙P))⊙P·scale` via [`simd::softmax_grad_row`],
+/// and `dV += Pᵀ·dO`, `dQ += dS·K`, `dK += dSᵀ·Q` via [`gebp_strided`]
+/// (transposed views by stride, nothing materialized). Scratch is `O(n²)`
+/// per batch-head, matching the reference contract.
+#[allow(clippy::too_many_arguments)]
+fn attention_grad_one(
+    lv: SimdLevel,
+    qm: &[f32],
+    km: &[f32],
+    vm: &[f32],
+    dom: &[f32],
+    dqm: &mut [f32],
+    dkm: &mut [f32],
+    dvm: &mut [f32],
+    bh: usize,
+    spec: &AttentionSpec,
+) {
+    let (n, d) = (spec.n, spec.d);
+    let mut scores = vec![0.0f32; QB * n];
+    let mut probs = vec![0.0f32; n * n];
+    for i0 in (0..n).step_by(QB) {
+        let ib = (n - i0).min(QB);
+        simd::attn_scores_block(
+            lv,
+            &qm[i0 * d..(i0 + ib) * d],
+            km,
+            &mut scores[..ib * n],
+            ib,
+            n,
+            d,
+            spec.scale,
+        );
+        for r in 0..ib {
+            let row = &mut scores[r * n..(r + 1) * n];
+            if let Some(mr) = spec.mask_row(bh, i0 + r) {
+                for (s, &mv) in row.iter_mut().zip(mr) {
+                    *s += mv;
+                }
+            }
+            simd::softmax_row(lv, row, &mut probs[(i0 + r) * n..(i0 + r + 1) * n]);
+        }
+    }
+    // dP[i·n + j] = dO_i · V_j — the score kernel against V with scale 1.
+    let mut dp = vec![0.0f32; n * n];
+    simd::attn_scores_block(lv, dom, vm, &mut dp, n, n, d, 1.0);
+    let mut dsm = vec![0.0f32; n * n];
+    for i in 0..n {
+        simd::softmax_grad_row(
+            lv,
+            &probs[i * n..(i + 1) * n],
+            &dp[i * n..(i + 1) * n],
+            &mut dsm[i * n..(i + 1) * n],
+        );
+    }
+    if spec.scale != 1.0 {
+        for x in dsm.iter_mut() {
+            *x *= spec.scale;
+        }
+    }
+    // dV += Pᵀ·dO ; dQ += dS·K ; dK += dSᵀ·Q.
+    gebp_strided(lv, &probs, dom, dvm, n, n, d, 1, n, d, 1);
+    gebp_strided(lv, &dsm, km, dqm, n, n, d, n, 1, d, 1);
+    gebp_strided(lv, &dsm, qm, dkm, n, n, d, 1, n, d, 1);
 }
 
 #[cfg(test)]
@@ -758,5 +1211,156 @@ mod tests {
     fn env_threshold_constructor() {
         let b = Blocked::new(7);
         assert_eq!(b.par_threshold(), 7);
+    }
+
+    #[test]
+    fn matmul_grads_match_reference() {
+        // Shapes cover the serial, per-batch-parallel, and row-split paths.
+        for &(m, k, n, nb) in &[
+            (3usize, 5usize, 7usize, 1usize),
+            (33, 20, 17, 4),
+            (133, 40, 37, 2),
+        ] {
+            let a = fill(nb * m * k, |i| ((i * 7 % 13) as f32 - 6.0) * 0.3);
+            let b = fill(nb * k * n, |i| ((i * 5 % 11) as f32 - 5.0) * 0.25);
+            let dc = fill(nb * m * n, |i| ((i * 3 % 17) as f32 - 8.0) * 0.2);
+            let offsets: Vec<(usize, usize)> = (0..nb).map(|bi| (bi, bi)).collect();
+            let spec = MatmulSpec {
+                m,
+                k,
+                n,
+                batch_offsets: &offsets,
+                bias: None,
+            };
+            let fast = Blocked::new(1);
+            let mut da_f = vec![0.0f32; nb * m * k];
+            let mut db_f = vec![0.0f32; nb * k * n];
+            fast.matmul_grad_a(&dc, &b, &mut da_f, &spec);
+            fast.matmul_grad_b(&a, &dc, &mut db_f, &spec);
+            let mut da_s = vec![0.0f32; nb * m * k];
+            let mut db_s = vec![0.0f32; nb * k * n];
+            ScalarRef.matmul_grad_a(&dc, &b, &mut da_s, &spec);
+            ScalarRef.matmul_grad_b(&a, &dc, &mut db_s, &spec);
+            for (x, y) in da_f.iter().zip(&da_s) {
+                assert!((x - y).abs() < 2e-2, "dA {m}x{k}x{n}x{nb}: {x} vs {y}");
+            }
+            for (x, y) in db_f.iter().zip(&db_s) {
+                assert!((x - y).abs() < 2e-2, "dB {m}x{k}x{n}x{nb}: {x} vs {y}");
+            }
+        }
+    }
+
+    #[test]
+    fn attention_grad_matches_reference_with_mask() {
+        let (batch, heads, n, d) = (4, 2, 10, 8);
+        let q = fill(batch * n * d, |i| ((i * 3 % 23) as f32 - 11.0) * 0.1);
+        let k = fill(batch * n * d, |i| ((i * 5 % 19) as f32 - 9.0) * 0.1);
+        let v = fill(batch * n * d, |i| ((i * 7 % 29) as f32 - 14.0) * 0.1);
+        let dout = fill(batch * n * d, |i| ((i * 11 % 31) as f32 - 15.0) * 0.05);
+        let nw = 2;
+        let mask = fill(nw * n * n, |i| if i % 13 == 0 { -1e9 } else { 0.0 });
+        let spec = AttentionSpec {
+            batch,
+            heads,
+            n,
+            d,
+            scale: 1.0 / (d as f32).sqrt(),
+            mask: Some(&mask),
+            mask_windows: nw,
+        };
+        let sz = batch * n * d;
+        let (mut dq_f, mut dk_f, mut dv_f) = (vec![0.0; sz], vec![0.0; sz], vec![0.0; sz]);
+        Blocked::new(1).attention_grad(&q, &k, &v, &dout, &mut dq_f, &mut dk_f, &mut dv_f, &spec);
+        let (mut dq_s, mut dk_s, mut dv_s) = (vec![0.0; sz], vec![0.0; sz], vec![0.0; sz]);
+        ScalarRef.attention_grad(&q, &k, &v, &dout, &mut dq_s, &mut dk_s, &mut dv_s, &spec);
+        for (name, f, s) in [
+            ("dq", &dq_f, &dq_s),
+            ("dk", &dk_f, &dk_s),
+            ("dv", &dv_f, &dv_s),
+        ] {
+            for (x, y) in f.iter().zip(s.iter()) {
+                assert!((x - y).abs() < 1e-4, "{name}: {x} vs {y}");
+            }
+        }
+    }
+
+    #[test]
+    fn reductions_and_row_grads_match_reference() {
+        let (rows, row) = (37, 29);
+        let x = fill(rows * row, |i| ((i * 7 % 23) as f32 - 11.0) * 0.17);
+        let dy = fill(rows * row, |i| ((i * 5 % 19) as f32 - 9.0) * 0.13);
+        let fast = Blocked::new(1);
+
+        let mut cs_f = vec![0.1f32; row];
+        let mut cs_s = vec![0.1f32; row];
+        fast.col_sums(&x, &mut cs_f, row);
+        ScalarRef.col_sums(&x, &mut cs_s, row);
+        // axpy(w=1) is a plain add on every path — bitwise equal.
+        assert_eq!(cs_f, cs_s);
+
+        let mut rs_f = vec![0.2f32; rows];
+        let mut rs_s = vec![0.2f32; rows];
+        fast.row_sums(&x, &mut rs_f, row);
+        ScalarRef.row_sums(&x, &mut rs_s, row);
+        assert_eq!(rs_f, rs_s);
+
+        let mut y = vec![0.0f32; rows * row];
+        fast.softmax_rows(&x, &mut y, row);
+        let mut sg_f = vec![0.0f32; rows * row];
+        let mut sg_s = vec![0.0f32; rows * row];
+        fast.softmax_grad_rows(&y, &dy, &mut sg_f, row);
+        ScalarRef.softmax_grad_rows(&y, &dy, &mut sg_s, row);
+        for (a, b) in sg_f.iter().zip(&sg_s) {
+            assert!((a - b).abs() < 1e-5, "softmax grad: {a} vs {b}");
+        }
+
+        let mut lg_f = vec![0.0f32; rows * row];
+        let mut lg_s = vec![0.0f32; rows * row];
+        fast.layernorm_grad_rows(&x, &dy, &mut lg_f, row, 1e-5);
+        ScalarRef.layernorm_grad_rows(&x, &dy, &mut lg_s, row, 1e-5);
+        for (a, b) in lg_f.iter().zip(&lg_s) {
+            assert!((a - b).abs() < 1e-4, "layernorm grad: {a} vs {b}");
+        }
+    }
+
+    #[test]
+    fn fused_optimizer_steps_match_reference() {
+        let n = 10_000; // crosses the par threshold with chunked lanes
+        let g = fill(n, |i| ((i * 13 % 37) as f32 - 18.0) * 0.02);
+        let spec = super::super::AdamStepSpec {
+            lr: 1e-3,
+            beta1: 0.9,
+            beta2: 0.999,
+            eps: 1e-8,
+            weight_decay: 0.01,
+            bc1: 0.1,
+            bc2: 1e-3,
+        };
+        let fast = Blocked::new(1);
+        let (mut p_f, mut m_f, mut v_f) = (
+            fill(n, |i| (i % 7) as f32 * 0.1),
+            vec![0.01; n],
+            vec![0.02; n],
+        );
+        let (mut p_s, mut m_s, mut v_s) = (p_f.clone(), m_f.clone(), v_f.clone());
+        fast.adam_step(&mut p_f, &g, &mut m_f, &mut v_f, &spec);
+        ScalarRef.adam_step(&mut p_s, &g, &mut m_s, &mut v_s, &spec);
+        for (a, b) in p_f.iter().zip(&p_s) {
+            assert!((a - b).abs() < 1e-6, "adam p: {a} vs {b}");
+        }
+
+        let (mut p_f, mut vel_f) = (fill(n, |i| (i % 5) as f32 * 0.2), vec![0.05f32; n]);
+        let (mut p_s, mut vel_s) = (p_f.clone(), vel_f.clone());
+        fast.sgd_step(&mut p_f, &g, Some(&mut vel_f), 0.01, 0.9);
+        ScalarRef.sgd_step(&mut p_s, &g, Some(&mut vel_s), 0.01, 0.9);
+        for (a, b) in p_f.iter().zip(&p_s) {
+            assert!((a - b).abs() < 1e-6, "sgd p: {a} vs {b}");
+        }
+        // Plain SGD (no velocity) path.
+        fast.sgd_step(&mut p_f, &g, None, 0.01, 0.0);
+        ScalarRef.sgd_step(&mut p_s, &g, None, 0.01, 0.0);
+        for (a, b) in p_f.iter().zip(&p_s) {
+            assert!((a - b).abs() < 1e-6, "sgd plain p: {a} vs {b}");
+        }
     }
 }

@@ -90,6 +90,10 @@ pub enum UnaryOp {
     Relu,
     Gelu,
     GeluGrad,
+    /// Heaviside step of the ReLU input (`1` where `x > 0`, else `0`).
+    ReluGrad,
+    /// `1 - x²` — the tanh derivative expressed in terms of `y = tanh(x)`.
+    TanhGrad,
     Scale(f32),
     AddScalar(f32),
 }
@@ -109,6 +113,14 @@ impl UnaryOp {
             UnaryOp::Relu => x.max(0.0),
             UnaryOp::Gelu => crate::tensor::ops::gelu_scalar(x),
             UnaryOp::GeluGrad => crate::tensor::ops::gelu_grad_scalar(x),
+            UnaryOp::ReluGrad => {
+                if x > 0.0 {
+                    1.0
+                } else {
+                    0.0
+                }
+            }
+            UnaryOp::TanhGrad => 1.0 - x * x,
             UnaryOp::Scale(c) => x * c,
             UnaryOp::AddScalar(c) => x + c,
         }
@@ -182,6 +194,22 @@ impl AttentionSpec<'_> {
     }
 }
 
+/// Hyperparameters of one fused Adam/AdamW update ([`Backend::adam_step`]).
+///
+/// `bc1`/`bc2` are the bias corrections `1 − βᵢᵗ` for the *current* step,
+/// computed by the optimizer (the kernel stays stateless).
+#[derive(Copy, Clone, Debug)]
+pub struct AdamStepSpec {
+    pub lr: f32,
+    pub beta1: f32,
+    pub beta2: f32,
+    pub eps: f32,
+    /// Decoupled (AdamW) decay; `0` disables it.
+    pub weight_decay: f32,
+    pub bc1: f32,
+    pub bc2: f32,
+}
+
 // ------------------------------------------------------------------ trait
 
 /// The kernel surface every compute backend implements.
@@ -250,6 +278,253 @@ pub trait Backend: Send + Sync + fmt::Debug {
     /// materializing the `(batch, n, n)` score tensor (backends may choose
     /// to materialize per-row/block internally).
     fn attention(&self, q: &[f32], k: &[f32], v: &[f32], out: &mut [f32], spec: &AttentionSpec);
+
+    // ------------------------------------------------------- backward kernels
+    //
+    // Adjoints of the forward kernels above, with serial reference default
+    // bodies (the oracle `ScalarRef` inherits these; `Blocked` overrides
+    // them with blocked/SIMD/parallel implementations). All outputs are
+    // accumulated into (callers pre-zero or seed them), and every override
+    // must keep results bitwise invariant under the rayon thread count.
+
+    /// Matmul adjoint w.r.t. A: `da[bi] += dc[bi] · B[bo]ᵀ` per output
+    /// batch, where `spec` is the *forward* geometry (`m,k,n`,
+    /// `batch_offsets`; `bias` is ignored). `da` holds one dense `m×k`
+    /// matrix per entry of `spec.batch_offsets` — broadcast batch
+    /// reduction happens in the tensor layer.
+    fn matmul_grad_a(&self, dc: &[f32], b: &[f32], da: &mut [f32], spec: &MatmulSpec) {
+        let (m, k, n) = (spec.m, spec.k, spec.n);
+        for (bi, &(_, bo)) in spec.batch_offsets.iter().enumerate() {
+            let dc_mat = &dc[bi * m * n..(bi + 1) * m * n];
+            let b_mat = &b[bo * k * n..(bo + 1) * k * n];
+            let da_mat = &mut da[bi * m * k..(bi + 1) * m * k];
+            for i in 0..m {
+                for kk in 0..k {
+                    let mut acc = 0.0f32;
+                    for j in 0..n {
+                        acc += dc_mat[i * n + j] * b_mat[kk * n + j];
+                    }
+                    da_mat[i * k + kk] += acc;
+                }
+            }
+        }
+    }
+
+    /// Matmul adjoint w.r.t. B: `db[bi] += A[ao]ᵀ · dc[bi]` per output
+    /// batch (dense `k×n` matrices; same conventions as
+    /// [`Backend::matmul_grad_a`]).
+    fn matmul_grad_b(&self, a: &[f32], dc: &[f32], db: &mut [f32], spec: &MatmulSpec) {
+        let (m, k, n) = (spec.m, spec.k, spec.n);
+        for (bi, &(ao, _)) in spec.batch_offsets.iter().enumerate() {
+            let a_mat = &a[ao * m * k..(ao + 1) * m * k];
+            let dc_mat = &dc[bi * m * n..(bi + 1) * m * n];
+            let db_mat = &mut db[bi * k * n..(bi + 1) * k * n];
+            for kk in 0..k {
+                for j in 0..n {
+                    let mut acc = 0.0f32;
+                    for i in 0..m {
+                        acc += a_mat[i * k + kk] * dc_mat[i * n + j];
+                    }
+                    db_mat[kk * n + j] += acc;
+                }
+            }
+        }
+    }
+
+    /// Column sums over rows of length `row`: `out[j] += Σ_i x[i·row + j]`
+    /// (the linear-bias gradient and leading-axis reduction kernel).
+    /// Accumulation runs in row order for every column.
+    fn col_sums(&self, x: &[f32], out: &mut [f32], row: usize) {
+        if row == 0 {
+            return;
+        }
+        for r in x.chunks_exact(row) {
+            for (o, &v) in out.iter_mut().zip(r) {
+                *o += v;
+            }
+        }
+    }
+
+    /// Row sums: `out[i] += Σ_j x[i·row + j]` (trailing-axis reduction
+    /// kernel), serial f32 accumulation within each row.
+    fn row_sums(&self, x: &[f32], out: &mut [f32], row: usize) {
+        if row == 0 {
+            return;
+        }
+        for (o, r) in out.iter_mut().zip(x.chunks_exact(row)) {
+            *o += r.iter().sum::<f32>();
+        }
+    }
+
+    /// Softmax backward per row: given `y = softmax(x)` and upstream `dy`,
+    /// `dx = (dy − Σ_j dy_j·y_j) ⊙ y`.
+    fn softmax_grad_rows(&self, y: &[f32], dy: &[f32], dx: &mut [f32], row: usize) {
+        if row == 0 {
+            return;
+        }
+        for ((yr, dyr), dxr) in y
+            .chunks_exact(row)
+            .zip(dy.chunks_exact(row))
+            .zip(dx.chunks_exact_mut(row))
+        {
+            let s: f32 = yr.iter().zip(dyr).map(|(&a, &b)| a * b).sum();
+            for ((o, &yv), &dv) in dxr.iter_mut().zip(yr).zip(dyr) {
+                *o = (dv - s) * yv;
+            }
+        }
+    }
+
+    /// Backward of [`Backend::layernorm_rows`] (no affine). Per-row stats
+    /// are recomputed from `x`, then with `x̂ = (x − μ)·inv`:
+    /// `dx = inv·(dy − mean(dy) − x̂·mean(dy ⊙ x̂))`.
+    fn layernorm_grad_rows(&self, x: &[f32], dy: &[f32], dx: &mut [f32], row: usize, eps: f32) {
+        if row == 0 {
+            return;
+        }
+        let inv_n = 1.0 / row as f32;
+        for ((xr, dyr), dxr) in x
+            .chunks_exact(row)
+            .zip(dy.chunks_exact(row))
+            .zip(dx.chunks_exact_mut(row))
+        {
+            let mean = xr.iter().sum::<f32>() * inv_n;
+            let var = xr.iter().map(|&v| (v - mean) * (v - mean)).sum::<f32>() * inv_n;
+            let inv = 1.0 / (var + eps).sqrt();
+            let mut a = 0.0f32; // Σ dy
+            let mut b = 0.0f32; // Σ dy·x̂
+            for (&dv, &xv) in dyr.iter().zip(xr) {
+                a += dv;
+                b += dv * (xv - mean) * inv;
+            }
+            a *= inv_n;
+            b *= inv_n;
+            for ((o, &dv), &xv) in dxr.iter_mut().zip(dyr).zip(xr) {
+                *o = inv * (dv - a - (xv - mean) * inv * b);
+            }
+        }
+    }
+
+    /// Backward of the fused attention kernel. Probabilities are recomputed
+    /// from `q`/`k`/mask (only `O(n²)` scratch per batch-head, never a
+    /// `(batch, n, n)` tensor), then `dq`/`dk`/`dv` are accumulated:
+    /// `dV += Pᵀ·dO`, `dP = dO·Vᵀ`, `dS = (dP − rowsum(dP⊙P))⊙P·scale`,
+    /// `dQ += dS·K`, `dK += dSᵀ·Q`.
+    #[allow(clippy::too_many_arguments)]
+    fn attention_grad(
+        &self,
+        q: &[f32],
+        k: &[f32],
+        v: &[f32],
+        dout: &[f32],
+        dq: &mut [f32],
+        dk: &mut [f32],
+        dv: &mut [f32],
+        spec: &AttentionSpec,
+    ) {
+        let (n, d) = (spec.n, spec.d);
+        let mat = n * d;
+        if mat == 0 {
+            return;
+        }
+        let mut probs = vec![0.0f32; n * n];
+        let mut ds = vec![0.0f32; n];
+        for bh in 0..spec.batch {
+            let qm = &q[bh * mat..(bh + 1) * mat];
+            let km = &k[bh * mat..(bh + 1) * mat];
+            let vm = &v[bh * mat..(bh + 1) * mat];
+            let dom = &dout[bh * mat..(bh + 1) * mat];
+            // Recompute P = softmax(Q·Kᵀ·scale + mask) row by row.
+            for i in 0..n {
+                let q_row = &qm[i * d..(i + 1) * d];
+                let mask_row = spec.mask_row(bh, i);
+                let p_row = &mut probs[i * n..(i + 1) * n];
+                for (j, s) in p_row.iter_mut().enumerate() {
+                    let k_row = &km[j * d..(j + 1) * d];
+                    let mut acc = 0.0f32;
+                    for c in 0..d {
+                        acc += q_row[c] * k_row[c];
+                    }
+                    *s = acc * spec.scale + mask_row.map_or(0.0, |mr| mr[j]);
+                }
+                let mx = p_row.iter().copied().fold(f32::NEG_INFINITY, f32::max);
+                let mut denom = 0.0f32;
+                for s in p_row.iter_mut() {
+                    *s = (*s - mx).exp();
+                    denom += *s;
+                }
+                let inv = 1.0 / denom;
+                for s in p_row.iter_mut() {
+                    *s *= inv;
+                }
+            }
+            let dqm = &mut dq[bh * mat..(bh + 1) * mat];
+            let dkm = &mut dk[bh * mat..(bh + 1) * mat];
+            let dvm = &mut dv[bh * mat..(bh + 1) * mat];
+            for i in 0..n {
+                let p_row = &probs[i * n..(i + 1) * n];
+                let do_row = &dom[i * d..(i + 1) * d];
+                // dV += P_i ⊗ dO_i ; dP_ij = dO_i · V_j.
+                let mut srow = 0.0f32;
+                for (j, dsj) in ds.iter_mut().enumerate() {
+                    let v_row = &vm[j * d..(j + 1) * d];
+                    let mut acc = 0.0f32;
+                    for c in 0..d {
+                        dvm[j * d + c] += p_row[j] * do_row[c];
+                        acc += do_row[c] * v_row[c];
+                    }
+                    *dsj = acc;
+                    srow += acc * p_row[j];
+                }
+                // dS_ij = (dP_ij − Σ_j dP⊙P) · P_ij · scale, then
+                // dQ_i += dS_i · K ; dK_j += dS_ij · Q_i.
+                let q_row = &qm[i * d..(i + 1) * d];
+                for (j, dsj) in ds.iter().enumerate() {
+                    let w = (dsj - srow) * p_row[j] * spec.scale;
+                    let k_row = &km[j * d..(j + 1) * d];
+                    for c in 0..d {
+                        dqm[i * d + c] += w * k_row[c];
+                        dkm[j * d + c] += w * q_row[c];
+                    }
+                }
+            }
+        }
+    }
+
+    // ------------------------------------------------- fused optimizer steps
+
+    /// One fused Adam/AdamW update over a parameter slice: updates `m`,
+    /// `v`, and `p` in a single pass with no temporaries.
+    fn adam_step(&self, p: &mut [f32], g: &[f32], m: &mut [f32], v: &mut [f32], s: &AdamStepSpec) {
+        for i in 0..p.len() {
+            let gi = g[i];
+            m[i] = m[i] * s.beta1 + gi * (1.0 - s.beta1);
+            v[i] = v[i] * s.beta2 + gi * gi * (1.0 - s.beta2);
+            let m_hat = m[i] * (1.0 / s.bc1);
+            let v_hat = v[i] * (1.0 / s.bc2);
+            let update = s.lr * (m_hat / (v_hat.sqrt() + s.eps));
+            // Decoupled decay reads the pre-update weight (AdamW).
+            let decay = s.lr * s.weight_decay * p[i];
+            p[i] = p[i] - update - decay;
+        }
+    }
+
+    /// One fused SGD(+momentum) update: `vel = momentum·vel + g` (when
+    /// `vel` is present), `p −= lr·vel` — single pass, no temporaries.
+    fn sgd_step(&self, p: &mut [f32], g: &[f32], vel: Option<&mut [f32]>, lr: f32, momentum: f32) {
+        match vel {
+            Some(vel) => {
+                for i in 0..p.len() {
+                    vel[i] = vel[i] * momentum + g[i];
+                    p[i] -= lr * vel[i];
+                }
+            }
+            None => {
+                for (pv, &gv) in p.iter_mut().zip(g) {
+                    *pv -= lr * gv;
+                }
+            }
+        }
+    }
 }
 
 // -------------------------------------------------------------- selection

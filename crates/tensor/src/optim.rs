@@ -1,6 +1,14 @@
 //! Optimizers: SGD (with momentum), Adam, AdamW; global-norm clipping.
+//!
+//! Both `step` methods run as fused single-pass kernels through the active
+//! [`Backend`](crate::backend::Backend) (`sgd_step` / `adam_step`): one sweep
+//! over params+grads+moments, no per-op temporaries. Moment buffers are
+//! zero-initialized on first use, which is bitwise-identical to the
+//! "first step copies the gradient" formulation (`0·β + x` rounds to `x·(1−β)`
+//! exactly).
 
 use crate::autograd::Param;
+use crate::backend::{self, AdamStepSpec};
 use crate::tensor::Tensor;
 
 /// Clip gradients so the global L2 norm is at most `max_norm`.
@@ -56,20 +64,33 @@ impl Sgd {
     }
 
     /// Apply one update using accumulated gradients, then clear them.
+    ///
+    /// Runs the fused [`Backend::sgd_step`](crate::backend::Backend::sgd_step)
+    /// kernel in place on the parameter (and velocity) buffers.
     pub fn step(&mut self) {
+        let be = backend::current();
         for (i, p) in self.params.iter().enumerate() {
             let Some(g) = p.grad() else { continue };
-            let update = if self.momentum > 0.0 {
-                let v = match &self.velocity[i] {
-                    Some(v) => v.scale(self.momentum).add(&g),
-                    None => g.clone(),
-                };
-                self.velocity[i] = Some(v.clone());
-                v
+            let mut val = p.value();
+            if self.momentum > 0.0 {
+                let vel = self.velocity[i].get_or_insert_with(|| Tensor::zeros(val.shape()));
+                be.sgd_step(
+                    val.as_mut_slice(),
+                    g.as_slice(),
+                    Some(vel.as_mut_slice()),
+                    self.lr,
+                    self.momentum,
+                );
             } else {
-                g
-            };
-            p.set_value(p.value().sub(&update.scale(self.lr)));
+                be.sgd_step(
+                    val.as_mut_slice(),
+                    g.as_slice(),
+                    None,
+                    self.lr,
+                    self.momentum,
+                );
+            }
+            p.set_value(val);
             p.zero_grad();
         }
     }
@@ -124,33 +145,59 @@ impl Adam {
         p * 4 * 4
     }
 
+    /// Step counter (number of `step` calls applied so far).
+    pub fn t(&self) -> i32 {
+        self.t
+    }
+
+    /// Snapshot the moment state for checkpointing:
+    /// `(step count, first moments, second moments)`. `None` entries are
+    /// parameters whose moments have not been touched yet.
+    pub fn state_snapshot(&self) -> (i32, Vec<Option<Tensor>>, Vec<Option<Tensor>>) {
+        (self.t, self.m.clone(), self.v.clone())
+    }
+
+    /// Restore moment state captured by [`Adam::state_snapshot`]. Lengths must
+    /// match the managed parameter list.
+    pub fn load_state(&mut self, t: i32, m: Vec<Option<Tensor>>, v: Vec<Option<Tensor>>) {
+        assert_eq!(m.len(), self.params.len(), "moment/param length mismatch");
+        assert_eq!(v.len(), self.params.len(), "moment/param length mismatch");
+        self.t = t;
+        self.m = m;
+        self.v = v;
+    }
+
     /// Apply one Adam update using accumulated gradients, then clear them.
+    ///
+    /// Runs the fused [`Backend::adam_step`](crate::backend::Backend::adam_step)
+    /// kernel: a single pass updating `p`, `m`, `v` in place, with
+    /// reciprocal-multiply bias correction and decoupled (AdamW) decay that
+    /// reads the pre-update weight.
     pub fn step(&mut self) {
         self.t += 1;
-        let bc1 = 1.0 - self.beta1.powi(self.t);
-        let bc2 = 1.0 - self.beta2.powi(self.t);
+        let spec = AdamStepSpec {
+            lr: self.lr,
+            beta1: self.beta1,
+            beta2: self.beta2,
+            eps: self.eps,
+            weight_decay: self.weight_decay,
+            bc1: 1.0 - self.beta1.powi(self.t),
+            bc2: 1.0 - self.beta2.powi(self.t),
+        };
+        let be = backend::current();
         for (i, p) in self.params.iter().enumerate() {
             let Some(g) = p.grad() else { continue };
-            let m = match &self.m[i] {
-                Some(m) => m.scale(self.beta1).add(&g.scale(1.0 - self.beta1)),
-                None => g.scale(1.0 - self.beta1),
-            };
-            let v = match &self.v[i] {
-                Some(v) => v.scale(self.beta2).add(&g.square().scale(1.0 - self.beta2)),
-                None => g.square().scale(1.0 - self.beta2),
-            };
-            self.m[i] = Some(m.clone());
-            self.v[i] = Some(v.clone());
-
-            let m_hat = m.scale(1.0 / bc1);
-            let v_hat = v.scale(1.0 / bc2);
-            let eps = self.eps;
-            let denom = v_hat.map(|x| x.sqrt() + eps);
-            let mut new_val = p.value().sub(&m_hat.div(&denom).scale(self.lr));
-            if self.weight_decay > 0.0 {
-                new_val = new_val.sub(&p.value().scale(self.lr * self.weight_decay));
-            }
-            p.set_value(new_val);
+            let mut val = p.value();
+            let m = self.m[i].get_or_insert_with(|| Tensor::zeros(val.shape()));
+            let v = self.v[i].get_or_insert_with(|| Tensor::zeros(val.shape()));
+            be.adam_step(
+                val.as_mut_slice(),
+                g.as_slice(),
+                m.as_mut_slice(),
+                v.as_mut_slice(),
+                &spec,
+            );
+            p.set_value(val);
             p.zero_grad();
         }
     }

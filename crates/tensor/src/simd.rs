@@ -184,6 +184,71 @@ mod scalar {
         }
     }
 
+    /// Softmax backward of one row: `dx = (dy − Σ dy⊙y) ⊙ y`.
+    pub fn softmax_grad_row(y: &[f32], dy: &[f32], dx: &mut [f32]) {
+        let s: f32 = y.iter().zip(dy).map(|(&a, &b)| a * b).sum();
+        for ((o, &yv), &dv) in dx.iter_mut().zip(y).zip(dy) {
+            *o = (dv - s) * yv;
+        }
+    }
+
+    /// Layernorm backward of one row (stats recomputed from `x`):
+    /// `dx = inv·(dy − mean(dy) − x̂·mean(dy⊙x̂))`.
+    pub fn layernorm_grad_row(x: &[f32], dy: &[f32], dx: &mut [f32], eps: f32) {
+        let inv_n = 1.0 / x.len() as f32;
+        let mean = x.iter().sum::<f32>() * inv_n;
+        let var = x.iter().map(|&v| (v - mean) * (v - mean)).sum::<f32>() * inv_n;
+        let inv = 1.0 / (var + eps).sqrt();
+        let mut a = 0.0f32;
+        let mut b = 0.0f32;
+        for (&dv, &xv) in dy.iter().zip(x) {
+            a += dv;
+            b += dv * (xv - mean) * inv;
+        }
+        a *= inv_n;
+        b *= inv_n;
+        for ((o, &dv), &xv) in dx.iter_mut().zip(dy).zip(x) {
+            *o = inv * (dv - a - (xv - mean) * inv * b);
+        }
+    }
+
+    /// Fused Adam/AdamW update over one chunk (see `Backend::adam_step`).
+    pub fn adam_step_slice(
+        p: &mut [f32],
+        g: &[f32],
+        m: &mut [f32],
+        v: &mut [f32],
+        s: &crate::backend::AdamStepSpec,
+    ) {
+        for i in 0..p.len() {
+            let gi = g[i];
+            m[i] = m[i] * s.beta1 + gi * (1.0 - s.beta1);
+            v[i] = v[i] * s.beta2 + gi * gi * (1.0 - s.beta2);
+            let m_hat = m[i] * (1.0 / s.bc1);
+            let v_hat = v[i] * (1.0 / s.bc2);
+            let update = s.lr * (m_hat / (v_hat.sqrt() + s.eps));
+            let decay = s.lr * s.weight_decay * p[i];
+            p[i] = p[i] - update - decay;
+        }
+    }
+
+    /// Fused SGD(+momentum) update over one chunk.
+    pub fn sgd_step_slice(p: &mut [f32], g: &[f32], vel: Option<&mut [f32]>, lr: f32, mom: f32) {
+        match vel {
+            Some(vel) => {
+                for i in 0..p.len() {
+                    vel[i] = vel[i] * mom + g[i];
+                    p[i] -= lr * vel[i];
+                }
+            }
+            None => {
+                for (pv, &gv) in p.iter_mut().zip(g) {
+                    *pv -= lr * gv;
+                }
+            }
+        }
+    }
+
     /// Numerically-stable softmax of one row (max-subtracted).
     pub fn softmax_row(x: &[f32], out: &mut [f32]) {
         let m = x.iter().copied().fold(f32::NEG_INFINITY, f32::max);
@@ -633,6 +698,182 @@ mod avx2 {
         store(&mut acc[3], 0, c30);
         store(&mut acc[3], 8, c31);
     }
+
+    /// Softmax backward of one row: lane-FMA dot `Σ dy⊙y`, then a fused
+    /// `(dy − s)·y` pass.
+    #[target_feature(enable = "avx2,fma")]
+    pub unsafe fn softmax_grad_row(y: &[f32], dy: &[f32], dx: &mut [f32]) {
+        let s = dot(dy, y);
+        let n = y.len();
+        let main = n - n % LANES;
+        let sv = _mm256_set1_ps(s);
+        let mut i = 0;
+        while i < main {
+            let d = _mm256_sub_ps(load(dy, i), sv);
+            store(dx, i, _mm256_mul_ps(d, load(y, i)));
+            i += LANES;
+        }
+        for j in main..n {
+            dx[j] = (dy[j] - s) * y[j];
+        }
+    }
+
+    /// Layernorm backward of one row: three lane-reduced sums
+    /// (`Σx`, `Σx²`-centered, `Σdy` / `Σdy⊙x̂`), then one fused output pass.
+    #[target_feature(enable = "avx2,fma")]
+    pub unsafe fn layernorm_grad_row(x: &[f32], dy: &[f32], dx: &mut [f32], eps: f32) {
+        let n = x.len();
+        let main = n - n % LANES;
+        let inv_n = 1.0 / n as f32;
+        // mean
+        let mut sx = _mm256_setzero_ps();
+        let mut i = 0;
+        while i < main {
+            sx = _mm256_add_ps(sx, load(x, i));
+            i += LANES;
+        }
+        let mut mean = hsum(sx);
+        for &xv in &x[main..] {
+            mean += xv;
+        }
+        mean *= inv_n;
+        // variance
+        let mv = _mm256_set1_ps(mean);
+        let mut sv = _mm256_setzero_ps();
+        let mut i = 0;
+        while i < main {
+            let c = _mm256_sub_ps(load(x, i), mv);
+            sv = _mm256_fmadd_ps(c, c, sv);
+            i += LANES;
+        }
+        let mut var = hsum(sv);
+        for &xv in &x[main..] {
+            var += (xv - mean) * (xv - mean);
+        }
+        var *= inv_n;
+        let inv = 1.0 / (var + eps).sqrt();
+        // a = Σdy, b = Σ dy·x̂
+        let invv = _mm256_set1_ps(inv);
+        let mut sa = _mm256_setzero_ps();
+        let mut sb = _mm256_setzero_ps();
+        let mut i = 0;
+        while i < main {
+            let d = load(dy, i);
+            let xh = _mm256_mul_ps(_mm256_sub_ps(load(x, i), mv), invv);
+            sa = _mm256_add_ps(sa, d);
+            sb = _mm256_fmadd_ps(d, xh, sb);
+            i += LANES;
+        }
+        let mut a = hsum(sa);
+        let mut b = hsum(sb);
+        for j in main..n {
+            a += dy[j];
+            b += dy[j] * (x[j] - mean) * inv;
+        }
+        a *= inv_n;
+        b *= inv_n;
+        // dx = inv·(dy − a − x̂·b)
+        let av = _mm256_set1_ps(a);
+        let bv = _mm256_set1_ps(b);
+        let mut i = 0;
+        while i < main {
+            let xh = _mm256_mul_ps(_mm256_sub_ps(load(x, i), mv), invv);
+            let t = _mm256_sub_ps(_mm256_sub_ps(load(dy, i), av), _mm256_mul_ps(xh, bv));
+            store(dx, i, _mm256_mul_ps(t, invv));
+            i += LANES;
+        }
+        for j in main..n {
+            dx[j] = inv * (dy[j] - a - (x[j] - mean) * inv * b);
+        }
+    }
+
+    /// Fused Adam/AdamW update: one load/store pass over `p`, `m`, `v`.
+    #[target_feature(enable = "avx2,fma")]
+    pub unsafe fn adam_step_slice(
+        p: &mut [f32],
+        g: &[f32],
+        m: &mut [f32],
+        v: &mut [f32],
+        s: &crate::backend::AdamStepSpec,
+    ) {
+        let n = p.len();
+        let main = n - n % LANES;
+        let b1 = _mm256_set1_ps(s.beta1);
+        let omb1 = _mm256_set1_ps(1.0 - s.beta1);
+        let b2 = _mm256_set1_ps(s.beta2);
+        let omb2 = _mm256_set1_ps(1.0 - s.beta2);
+        let ibc1 = _mm256_set1_ps(1.0 / s.bc1);
+        let ibc2 = _mm256_set1_ps(1.0 / s.bc2);
+        let lr = _mm256_set1_ps(s.lr);
+        let eps = _mm256_set1_ps(s.eps);
+        let lrwd = _mm256_set1_ps(s.lr * s.weight_decay);
+        let mut i = 0;
+        while i < main {
+            let gv = load(g, i);
+            let mi = _mm256_fmadd_ps(load(m, i), b1, _mm256_mul_ps(gv, omb1));
+            let vi = _mm256_fmadd_ps(load(v, i), b2, _mm256_mul_ps(_mm256_mul_ps(gv, gv), omb2));
+            store(m, i, mi);
+            store(v, i, vi);
+            let m_hat = _mm256_mul_ps(mi, ibc1);
+            let v_hat = _mm256_mul_ps(vi, ibc2);
+            let denom = _mm256_add_ps(_mm256_sqrt_ps(v_hat), eps);
+            let update = _mm256_mul_ps(lr, _mm256_div_ps(m_hat, denom));
+            let pv = load(p, i);
+            let decay = _mm256_mul_ps(lrwd, pv);
+            store(p, i, _mm256_sub_ps(_mm256_sub_ps(pv, update), decay));
+            i += LANES;
+        }
+        for j in main..n {
+            let gi = g[j];
+            m[j] = m[j] * s.beta1 + gi * (1.0 - s.beta1);
+            v[j] = v[j] * s.beta2 + gi * gi * (1.0 - s.beta2);
+            let m_hat = m[j] * (1.0 / s.bc1);
+            let v_hat = v[j] * (1.0 / s.bc2);
+            let update = s.lr * (m_hat / (v_hat.sqrt() + s.eps));
+            let decay = s.lr * s.weight_decay * p[j];
+            p[j] = p[j] - update - decay;
+        }
+    }
+
+    /// Fused SGD(+momentum) update.
+    #[target_feature(enable = "avx2,fma")]
+    pub unsafe fn sgd_step_slice(
+        p: &mut [f32],
+        g: &[f32],
+        vel: Option<&mut [f32]>,
+        lr: f32,
+        mom: f32,
+    ) {
+        let n = p.len();
+        let main = n - n % LANES;
+        let lrv = _mm256_set1_ps(lr);
+        match vel {
+            Some(vel) => {
+                let momv = _mm256_set1_ps(mom);
+                let mut i = 0;
+                while i < main {
+                    let vi = _mm256_fmadd_ps(load(vel, i), momv, load(g, i));
+                    store(vel, i, vi);
+                    store(p, i, _mm256_fnmadd_ps(lrv, vi, load(p, i)));
+                    i += LANES;
+                }
+                for j in main..n {
+                    vel[j] = vel[j] * mom + g[j];
+                    p[j] -= lr * vel[j];
+                }
+            }
+            None => {
+                let mut i = 0;
+                while i < main {
+                    store(p, i, _mm256_fnmadd_ps(lrv, load(g, i), load(p, i)));
+                    i += LANES;
+                }
+                for j in main..n {
+                    p[j] -= lr * g[j];
+                }
+            }
+        }
+    }
 }
 
 // ===================================================== dispatch surface
@@ -759,6 +1000,64 @@ pub fn dot(level: SimdLevel, a: &[f32], b: &[f32]) -> f32 {
         SimdLevel::Avx2Fma => unsafe { avx2::dot(a, b) },
         #[allow(unreachable_patterns)]
         _ => a.iter().zip(b).map(|(&x, &y)| x * y).sum(),
+    }
+}
+
+/// Softmax backward of one row: `dx = (dy − Σ dy⊙y) ⊙ y`.
+pub fn softmax_grad_row(level: SimdLevel, y: &[f32], dy: &[f32], dx: &mut [f32]) {
+    debug_assert!(y.len() == dy.len() && y.len() == dx.len());
+    match level {
+        #[cfg(target_arch = "x86_64")]
+        SimdLevel::Avx2Fma => unsafe { avx2::softmax_grad_row(y, dy, dx) },
+        #[allow(unreachable_patterns)]
+        _ => scalar::softmax_grad_row(y, dy, dx),
+    }
+}
+
+/// Layernorm backward of one row (per-row stats recomputed from `x`).
+pub fn layernorm_grad_row(level: SimdLevel, x: &[f32], dy: &[f32], dx: &mut [f32], eps: f32) {
+    debug_assert!(x.len() == dy.len() && x.len() == dx.len());
+    match level {
+        #[cfg(target_arch = "x86_64")]
+        SimdLevel::Avx2Fma => unsafe { avx2::layernorm_grad_row(x, dy, dx, eps) },
+        #[allow(unreachable_patterns)]
+        _ => scalar::layernorm_grad_row(x, dy, dx, eps),
+    }
+}
+
+/// Fused Adam/AdamW update over one chunk (single pass over `p`/`m`/`v`).
+pub fn adam_step_slice(
+    level: SimdLevel,
+    p: &mut [f32],
+    g: &[f32],
+    m: &mut [f32],
+    v: &mut [f32],
+    s: &crate::backend::AdamStepSpec,
+) {
+    debug_assert!(p.len() == g.len() && p.len() == m.len() && p.len() == v.len());
+    match level {
+        #[cfg(target_arch = "x86_64")]
+        SimdLevel::Avx2Fma => unsafe { avx2::adam_step_slice(p, g, m, v, s) },
+        #[allow(unreachable_patterns)]
+        _ => scalar::adam_step_slice(p, g, m, v, s),
+    }
+}
+
+/// Fused SGD(+momentum) update over one chunk.
+pub fn sgd_step_slice(
+    level: SimdLevel,
+    p: &mut [f32],
+    g: &[f32],
+    vel: Option<&mut [f32]>,
+    lr: f32,
+    momentum: f32,
+) {
+    debug_assert!(p.len() == g.len());
+    match level {
+        #[cfg(target_arch = "x86_64")]
+        SimdLevel::Avx2Fma => unsafe { avx2::sgd_step_slice(p, g, vel, lr, momentum) },
+        #[allow(unreachable_patterns)]
+        _ => scalar::sgd_step_slice(p, g, vel, lr, momentum),
     }
 }
 
@@ -989,6 +1288,62 @@ mod tests {
                         );
                     }
                 }
+            }
+        }
+    }
+
+    #[test]
+    fn grad_and_step_kernels_match_scalar_pair() {
+        let n = 37; // ragged tail past 4 lanes
+        let y: Vec<f32> = (0..n).map(|i| ((i * 7 % 13) as f32 + 1.0) * 0.02).collect();
+        let dy: Vec<f32> = (0..n).map(|i| ((i * 5 % 11) as f32 - 5.0) * 0.3).collect();
+        let x: Vec<f32> = (0..n).map(|i| ((i * 3 % 17) as f32 - 8.0) * 0.7).collect();
+        for lv in both_levels() {
+            let mut dx = vec![0.0f32; n];
+            softmax_grad_row(lv, &y, &dy, &mut dx);
+            let mut want = vec![0.0f32; n];
+            super::scalar::softmax_grad_row(&y, &dy, &mut want);
+            for (a, b) in dx.iter().zip(&want) {
+                assert!((a - b).abs() < 1e-4, "{lv:?} softmax_grad {a} vs {b}");
+            }
+
+            let mut dx = vec![0.0f32; n];
+            layernorm_grad_row(lv, &x, &dy, &mut dx, 1e-5);
+            let mut want = vec![0.0f32; n];
+            super::scalar::layernorm_grad_row(&x, &dy, &mut want, 1e-5);
+            for (a, b) in dx.iter().zip(&want) {
+                assert!((a - b).abs() < 1e-4, "{lv:?} layernorm_grad {a} vs {b}");
+            }
+
+            let spec = crate::backend::AdamStepSpec {
+                lr: 0.01,
+                beta1: 0.9,
+                beta2: 0.999,
+                eps: 1e-8,
+                weight_decay: 0.01,
+                bc1: 0.1,
+                bc2: 0.001,
+            };
+            let (mut p, mut m, mut v) = (
+                x.clone(),
+                y.clone(),
+                dy.iter().map(|d| d * d).collect::<Vec<_>>(),
+            );
+            let (mut pw, mut mw, mut vw) = (p.clone(), m.clone(), v.clone());
+            adam_step_slice(lv, &mut p, &dy, &mut m, &mut v, &spec);
+            super::scalar::adam_step_slice(&mut pw, &dy, &mut mw, &mut vw, &spec);
+            for (a, b) in p.iter().zip(&pw) {
+                assert!((a - b).abs() < 1e-5, "{lv:?} adam {a} vs {b}");
+            }
+
+            let mut p = x.clone();
+            let mut vel = y.clone();
+            let mut pw = x.clone();
+            let mut velw = y.clone();
+            sgd_step_slice(lv, &mut p, &dy, Some(&mut vel), 0.05, 0.9);
+            super::scalar::sgd_step_slice(&mut pw, &dy, Some(&mut velw), 0.05, 0.9);
+            for (a, b) in p.iter().zip(&pw).chain(vel.iter().zip(&velw)) {
+                assert!((a - b).abs() < 1e-5, "{lv:?} sgd {a} vs {b}");
             }
         }
     }

@@ -85,6 +85,58 @@ impl Tensor {
     }
 }
 
+/// Adjoints of [`Tensor::matmul`] / [`Tensor::matmul_bias`]: given the
+/// forward operands and the upstream gradient `g` of shape
+/// `(batch..., m, n)`, returns `(dA, dB)` already sum-reduced onto the
+/// operand shapes (the adjoint of batch broadcasting).
+///
+/// The per-batch products `dA = g·Bᵀ` and `dB = Aᵀ·g` run on the backend's
+/// dedicated [`crate::backend::Backend::matmul_grad_a`] /
+/// [`crate::backend::Backend::matmul_grad_b`] kernels — transposed operands
+/// are read by stride, never materialized. Both operands must be ≥ 2-D
+/// (the autograd layer enforces this before recording).
+pub(crate) fn matmul_grads(a: &Tensor, b: &Tensor, g: &Tensor) -> (Tensor, Tensor) {
+    let (m, k) = (a.shape()[a.ndim() - 2], a.shape()[a.ndim() - 1]);
+    let n = b.shape()[b.ndim() - 1];
+    let a_batch = &a.shape()[..a.ndim() - 2];
+    let b_batch = &b.shape()[..b.ndim() - 2];
+    let batch_shape = broadcast_shapes(a_batch, b_batch)
+        .expect("matmul_grads: operands already multiplied in the forward pass");
+    let n_batch = numel(&batch_shape);
+    let a_bstrides = broadcast_strides(a_batch, &batch_shape);
+    let b_bstrides = broadcast_strides(b_batch, &batch_shape);
+    let nd = batch_shape.len();
+    let batch_offsets: Vec<(usize, usize)> = (0..n_batch)
+        .map(|bi| {
+            let mut idx = vec![0usize; nd];
+            unravel(bi, &batch_shape, &mut idx);
+            let ao: usize = idx.iter().zip(&a_bstrides).map(|(&i, &s)| i * s).sum();
+            let bo: usize = idx.iter().zip(&b_bstrides).map(|(&i, &s)| i * s).sum();
+            (ao, bo)
+        })
+        .collect();
+    let spec = MatmulSpec {
+        m,
+        k,
+        n,
+        batch_offsets: &batch_offsets,
+        bias: None,
+    };
+    let be = backend::current();
+    let mut da = vec![0.0f32; n_batch * m * k];
+    be.matmul_grad_a(g.as_slice(), b.as_slice(), &mut da, &spec);
+    let mut db = vec![0.0f32; n_batch * k * n];
+    be.matmul_grad_b(a.as_slice(), g.as_slice(), &mut db, &spec);
+    let mut da_shape = batch_shape.clone();
+    da_shape.extend([m, k]);
+    let mut db_shape = batch_shape;
+    db_shape.extend([k, n]);
+    (
+        Tensor::from_vec(da, &da_shape).sum_to(a.shape()),
+        Tensor::from_vec(db, &db_shape).sum_to(b.shape()),
+    )
+}
+
 fn try_matmul_nd(a: &Tensor, b: &Tensor, bias: Option<&Tensor>) -> Result<Tensor, ShapeError> {
     let (am, ak) = (a.shape()[a.ndim() - 2], a.shape()[a.ndim() - 1]);
     let (bk, bn) = (b.shape()[b.ndim() - 2], b.shape()[b.ndim() - 1]);

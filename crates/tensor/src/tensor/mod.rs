@@ -8,6 +8,8 @@ mod layout;
 mod linalg;
 pub mod ops;
 
+pub(crate) use linalg::matmul_grads;
+
 use std::fmt;
 use std::sync::Arc;
 

@@ -278,8 +278,40 @@ impl Tensor {
         let n_out = numel(&out_shape);
         let mut out = vec![0.0f32; n_out];
         let in_shape = self.shape().to_vec();
-        let out_strides = strides_for(&out_shape);
         let nd = in_shape.len();
+
+        // Fast path: reductions over a leading prefix and/or trailing suffix
+        // of axes (bias gradients, broadcast adjoints, batch-norm statistics
+        // — every backward-pass reduction in practice) route through the
+        // backend's parallel column/row-sum kernels. Anything else falls to
+        // the serial odometer below.
+        if !axes.is_empty() && self.numel() > 0 {
+            let p = (0..nd).take_while(|d| axes.contains(d)).count();
+            let s = (0..nd - p)
+                .take_while(|i| axes.contains(&(nd - 1 - i)))
+                .count();
+            if axes.len() == p + s {
+                let lead: usize = in_shape[..p].iter().product();
+                let tail: usize = in_shape[nd - s..].iter().product();
+                let rest = self.numel() / lead; // mid·tail
+                let be = backend::current();
+                let colled: std::borrow::Cow<'_, [f32]> = if p > 0 && lead > 1 {
+                    let mut tmp = vec![0.0f32; rest];
+                    be.col_sums(self.as_slice(), &mut tmp, rest);
+                    tmp.into()
+                } else {
+                    self.as_slice().into()
+                };
+                if s > 0 && tail > 1 {
+                    be.row_sums(&colled, &mut out, tail);
+                } else {
+                    out.copy_from_slice(&colled);
+                }
+                return Tensor::from_vec(out, &out_shape);
+            }
+        }
+
+        let out_strides = strides_for(&out_shape);
         let data = self.as_slice();
         // Serial odometer walk over the input, accumulating into the output.
         // Reductions here are small relative to matmuls; keep it simple.
