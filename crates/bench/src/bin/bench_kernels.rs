@@ -109,6 +109,38 @@ fn main() {
         std::hint::black_box(act.gelu());
     }));
 
+    // Quantized serving path on the linear shape: f32 Blocked matmul_bias
+    // vs the fused int8 dequant GEMM (including dynamic activation
+    // quantization — the real per-request cost) vs the f16 tier
+    // (widen-then-matmul, exactly what `forward_quantized` runs).
+    // Acceptance: int8 >= 2x the f32 Blocked time on this shape.
+    let quant = {
+        let (m, k, n) = (4096usize, 96usize, 288usize);
+        let qw = ctensor::quant::QuantizedTensor::quantize(w.as_slice(), k, n);
+        let fw = ctensor::quant::F16Weight::compress(w.as_slice(), k, n);
+        let mut out = vec![0.0f32; m * n];
+        let blocked: Arc<dyn Backend> = Arc::new(Blocked::from_env());
+        let f32_ms = time_under(Arc::clone(&blocked), 10, || {
+            std::hint::black_box(x.matmul_bias(&w, &bias));
+        });
+        let int8_ms = time_under(Arc::clone(&blocked), 10, || {
+            let acts = ctensor::quant::quantize_acts(x.as_slice(), m, k);
+            backend::current().qlinear_i8(&acts, &qw, Some(bias.as_slice()), &mut out);
+            std::hint::black_box(&out);
+        });
+        let f16_ms = time_under(blocked, 10, || {
+            let wt = ctensor::tensor::Tensor::from_vec(fw.decompress(), &[k, n]);
+            std::hint::black_box(x.matmul_bias(&wt, &bias));
+        });
+        eprintln!(
+            "[kernels] quantized linear_{m}x{k}x{n}: f32 {f32_ms:.2} ms, int8 {int8_ms:.2} ms \
+             ({:.1}x), f16 {f16_ms:.2} ms ({:.1}x)",
+            f32_ms / int8_ms,
+            f32_ms / f16_ms
+        );
+        (format!("linear_{m}x{k}x{n}_bias"), f32_ms, int8_ms, f16_ms)
+    };
+
     // Threads axis: the same parallel matmul at 1/2/4 worker threads via
     // the ThreadPoolBuilder facade (the shim allows reconfiguration, so
     // the sweep runs in-process). Output is bitwise thread-invariant; only
@@ -153,7 +185,17 @@ fn main() {
             if i + 1 < results.len() { "," } else { "" }
         ));
     }
-    json.push_str("  ],\n  \"matmul_thread_scaling\": {\n    \"workload\": \"matmul_b8_256x256x256\",\n    \"points\": [\n");
+    json.push_str(&format!(
+        "  ],\n  \"quantized\": {{\"name\": \"{}\", \"f32_ms\": {:.4}, \"int8_ms\": {:.4}, \
+         \"f16_ms\": {:.4}, \"speedup_int8_vs_f32\": {:.3}, \"speedup_f16_vs_f32\": {:.3}}},\n",
+        quant.0,
+        quant.1,
+        quant.2,
+        quant.3,
+        quant.1 / quant.2,
+        quant.1 / quant.3
+    ));
+    json.push_str("  \"matmul_thread_scaling\": {\n    \"workload\": \"matmul_b8_256x256x256\",\n    \"points\": [\n");
     for (i, (t, ms)) in scaling.iter().enumerate() {
         json.push_str(&format!(
             "      {{\"threads\": {t}, \"blocked_ms\": {ms:.4}}}{}\n",
@@ -177,6 +219,17 @@ fn main() {
         "[kernels] headline matmul speedup: {:.1}x ({})",
         headline.speedup(),
         if headline.speedup() >= 2.0 {
+            "PASS >= 2x"
+        } else {
+            "below 2x target"
+        }
+    );
+    let int8_speedup = quant.1 / quant.2;
+    eprintln!(
+        "[kernels] int8 fused dequant GEMM vs f32 Blocked on {}: {:.1}x ({})",
+        quant.0,
+        int8_speedup,
+        if int8_speedup >= 2.0 {
             "PASS >= 2x"
         } else {
             "below 2x target"

@@ -20,8 +20,12 @@
 //! Headline criterion: mixed-traffic micro-batched throughput ≥ 3× the
 //! sequential baseline.
 //!
-//! `--smoke` trims training so CI finishes in seconds; the measured
-//! points and the JSON schema are identical.
+//! Every sweep point (and the sequential baseline) is best-of-N over
+//! fresh servers — scheduler noise on small hosts easily swamps the
+//! effect being measured, and best-of is the standard cure.
+//!
+//! `--smoke` trims training and repeats so CI finishes in seconds; the
+//! measured points and the JSON schema are identical.
 
 use std::io::Write;
 use std::time::{Duration, Instant};
@@ -50,7 +54,8 @@ fn episode_windows(archive: &[Snapshot], t_out: usize, n: usize) -> Vec<Vec<Snap
 }
 
 /// Push `requests` through a fresh server and measure wall-clock
-/// first-submit → last-response.
+/// first-submit → last-response. Repeated `reps` times (fresh server and
+/// cold queue each time); the best-throughput repetition is reported.
 fn serve_run(
     spec: &SurrogateSpec,
     requests: &[Vec<Snapshot>],
@@ -58,46 +63,55 @@ fn serve_run(
     workers: usize,
     max_batch: usize,
     seq_rps: f64,
+    reps: usize,
 ) -> RunResult {
-    let server = ForecastServer::new(
-        spec.clone(),
-        ServeConfig {
+    let mut best: Option<RunResult> = None;
+    for _ in 0..reps {
+        let server = ForecastServer::new(
+            spec.clone(),
+            ServeConfig {
+                workers,
+                max_batch,
+                max_wait: Duration::from_millis(2),
+                queue_capacity: requests.len() * 2,
+                cache_capacity: 0, // measure the serving machinery, not the LRU
+                backend: BackendChoice::Blocked,
+                scenario_id: None,
+                ..Default::default()
+            },
+        );
+        let t0 = Instant::now();
+        let handles: Vec<_> = requests
+            .iter()
+            .map(|w| {
+                server
+                    .submit(ForecastRequest::new(0, w.clone(), t_out))
+                    .expect("benchmark stays under queue capacity")
+            })
+            .collect();
+        for h in handles {
+            h.wait().expect("request answered");
+        }
+        let wall = t0.elapsed().as_secs_f64();
+        let m = server.metrics();
+        let rps = requests.len() as f64 / wall;
+        let r = RunResult {
             workers,
             max_batch,
-            max_wait: Duration::from_millis(2),
-            queue_capacity: requests.len() * 2,
-            cache_capacity: 0, // measure the serving machinery, not the LRU
-            backend: BackendChoice::Blocked,
-            scenario_id: None,
-        },
-    );
-    let t0 = Instant::now();
-    let handles: Vec<_> = requests
-        .iter()
-        .map(|w| {
-            server
-                .submit(ForecastRequest::new(0, w.clone(), t_out))
-                .expect("benchmark stays under queue capacity")
-        })
-        .collect();
-    for h in handles {
-        h.wait().expect("request answered");
+            wall_s: wall,
+            rps,
+            speedup: rps / seq_rps,
+            p50_ms: m.p50_ms,
+            p95_ms: m.p95_ms,
+            p99_ms: m.p99_ms,
+            mean_batch: m.mean_batch_size(),
+            coalesced: m.coalesced,
+        };
+        if best.as_ref().is_none_or(|b| r.rps > b.rps) {
+            best = Some(r);
+        }
     }
-    let wall = t0.elapsed().as_secs_f64();
-    let m = server.metrics();
-    let rps = requests.len() as f64 / wall;
-    RunResult {
-        workers,
-        max_batch,
-        wall_s: wall,
-        rps,
-        speedup: rps / seq_rps,
-        p50_ms: m.p50_ms,
-        p95_ms: m.p95_ms,
-        p99_ms: m.p99_ms,
-        mean_batch: m.mean_batch_size(),
-        coalesced: m.coalesced,
-    }
+    best.expect("reps >= 1")
 }
 
 fn result_json(r: &RunResult) -> String {
@@ -139,16 +153,21 @@ fn main() {
         .collect();
     let spec = trained.spec();
 
+    let reps = if smoke { 2 } else { 3 };
+
     // ------------------------------------------------ sequential baseline
     // One thread, one `predict_episode` per request, no serving stack —
     // the pre-serving deployment recomputes every request, so distinct
-    // and mixed traffic cost the same.
+    // and mixed traffic cost the same. Best-of-`reps` like the sweep.
     let _pin = ctensor::backend::scoped(BackendChoice::Blocked.resolve());
-    let t0 = Instant::now();
-    for w in &distinct {
-        std::hint::black_box(trained.predict_episode(w));
+    let mut seq_wall = f64::INFINITY;
+    for _ in 0..reps {
+        let t0 = Instant::now();
+        for w in &distinct {
+            std::hint::black_box(trained.predict_episode(w));
+        }
+        seq_wall = seq_wall.min(t0.elapsed().as_secs_f64());
     }
-    let seq_wall = t0.elapsed().as_secs_f64();
     drop(_pin);
     let seq_rps = n_requests as f64 / seq_wall;
     eprintln!("[serve] sequential baseline: {seq_rps:.1} req/s ({seq_wall:.3} s for {n_requests})");
@@ -161,7 +180,7 @@ fn main() {
     };
     let mut sweep = Vec::new();
     for &(w, b) in points {
-        let r = serve_run(&spec, &distinct, sc.t_out, w, b, seq_rps);
+        let r = serve_run(&spec, &distinct, sc.t_out, w, b, seq_rps, reps);
         eprintln!(
             "[serve] distinct workers={w} max_batch={b:>2}: {:>7.1} req/s ({:.2}x seq), \
              p50 {:.1} ms, p99 {:.1} ms, mean batch {:.1}",
@@ -172,7 +191,7 @@ fn main() {
 
     // ------------------------------------------- mixed-traffic headline
     let workers = 2;
-    let mixed_run = serve_run(&spec, &mixed, sc.t_out, workers, 16, seq_rps);
+    let mixed_run = serve_run(&spec, &mixed, sc.t_out, workers, 16, seq_rps, reps);
     eprintln!(
         "[serve] mixed ({n_distinct_mixed} distinct / {n_requests} requests) workers={workers} \
          max_batch=16: {:>7.1} req/s ({:.2}x seq), {} coalesced, mean batch {:.1}",
@@ -183,6 +202,7 @@ fn main() {
     let stamp = cbench::RunStamp::capture("blocked");
     let mut json = format!(
         "{{\n  \"bench\": \"serve\",\n  \"smoke\": {smoke},\n  \"requests\": {n_requests},\n  \
+         \"best_of\": {reps},\n  \
          {},\n  \
          \"sequential\": {{\"wall_s\": {seq_wall:.4}, \"throughput_rps\": {seq_rps:.2}}},\n  \
          \"distinct_results\": [\n",

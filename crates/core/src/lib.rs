@@ -28,5 +28,6 @@ pub use forecast::DualModelForecaster;
 pub use metrics::ErrorTable;
 pub use train::{
     train_surrogate, validate_episode_window, Scenario, SurrogateSpec, TrainedSurrogate,
+    ZETA_TOL_F16, ZETA_TOL_INT8,
 };
 pub use workflow::{HybridForecaster, HybridOutcome};

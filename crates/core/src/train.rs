@@ -147,6 +147,16 @@ impl Scenario {
     }
 }
 
+/// End-to-end parity gates for the reduced-precision inference tiers:
+/// maximum allowed `max |Δζ|` (meters) of an int8 / f16 forecast against
+/// the f32 forward of the same trained model on the standard verification
+/// scenarios. Enforced by `tests/quant_parity.rs`; reported per mode by
+/// `bench_load`. ζ on these scenarios spans O(1 m) of tidal range, so the
+/// int8 gate is ~1% of signal and the f16 gate ~0.1%.
+pub const ZETA_TOL_INT8: f32 = 2e-2;
+/// See [`ZETA_TOL_INT8`].
+pub const ZETA_TOL_F16: f32 = 2e-3;
+
 /// A trained surrogate bundle.
 pub struct TrainedSurrogate {
     pub model: SwinSurrogate,
@@ -156,6 +166,11 @@ pub struct TrainedSurrogate {
     pub snapshot_interval: f64,
     /// Final training-epoch statistics.
     pub last_epoch: cpipeline::EpochStats,
+    /// Numeric precision of the inference forward: every `predict_*`
+    /// builds its graph at this precision. Training always runs f32;
+    /// reduced tiers quantize `Linear` weights lazily (cached on the
+    /// params) on first predict.
+    pub precision: Precision,
 }
 
 /// Everything needed to reconstruct a [`TrainedSurrogate`] in another
@@ -179,9 +194,18 @@ pub struct SurrogateSpec {
     pub mask: Tensor,
     pub encode: EncodeConfig,
     pub snapshot_interval: f64,
+    /// Precision the instantiated surrogate serves at.
+    pub precision: Precision,
 }
 
 impl SurrogateSpec {
+    /// Same spec at a different serving precision (replica pools use this
+    /// to run heterogeneous-precision workers from one trained model).
+    pub fn with_precision(mut self, p: Precision) -> Self {
+        self.precision = p;
+        self
+    }
+
     /// Forecast steps per episode.
     pub fn t_out(&self) -> usize {
         self.swin.t_out
@@ -198,6 +222,20 @@ impl SurrogateSpec {
     pub fn instantiate(&self) -> TrainedSurrogate {
         let model = SwinSurrogate::from_state(self.swin.clone(), &self.state);
         model.load_buffers(&self.buffers);
+        if self.precision != Precision::F32 {
+            // Warm the per-param quantized-weight caches now, at load
+            // time, so the first request doesn't pay for quantizing every
+            // layer. Only 2-D params (Linear weights) have a quantized
+            // form; the tier gate may still keep individual layers at f16.
+            let mut params = Vec::new();
+            model.collect_params(&mut params);
+            for p in &params {
+                let shape = p.value().shape().to_vec();
+                if let [k, n] = shape[..] {
+                    let _ = p.quantized(self.precision, k, n);
+                }
+            }
+        }
         TrainedSurrogate {
             model,
             stats: self.stats,
@@ -205,6 +243,7 @@ impl SurrogateSpec {
             encode: self.encode.clone(),
             snapshot_interval: self.snapshot_interval,
             last_epoch: cpipeline::EpochStats::default(),
+            precision: self.precision,
         }
     }
 }
@@ -285,6 +324,7 @@ pub fn train_surrogate(scenario: &Scenario, grid: &Grid, archive: &[Snapshot]) -
         encode,
         snapshot_interval: scenario.snapshot_interval,
         last_epoch: last,
+        precision: Precision::F32,
     }
 }
 
@@ -300,6 +340,7 @@ impl TrainedSurrogate {
             mask: self.mask.clone(),
             encode: self.encode.clone(),
             snapshot_interval: self.snapshot_interval,
+            precision: self.precision,
         }
     }
 
@@ -353,7 +394,7 @@ impl TrainedSurrogate {
             .collect();
         let t0s: Vec<f64> = eps.iter().map(|e| e.t0).collect();
         let batch = stack_episodes(&eps);
-        let mut g = Graph::inference();
+        let mut g = Graph::inference_with_precision(self.precision);
         let x3 = g.constant(batch.x3d);
         let x2 = g.constant(batch.x2d);
         let (p3, p2) = self.model.forward(&mut g, x3, x2);
@@ -372,7 +413,7 @@ impl TrainedSurrogate {
 
     /// Predict from an already-encoded episode.
     pub fn predict_encoded(&self, ep: &Episode) -> Vec<Snapshot> {
-        let mut g = Graph::inference();
+        let mut g = Graph::inference_with_precision(self.precision);
         let x3 = g.constant(ep.x3d.clone());
         let x2 = g.constant(ep.x2d.clone());
         let (p3, p2) = self.model.forward(&mut g, x3, x2);
@@ -415,7 +456,7 @@ impl TrainedSurrogate {
             .collect();
         let batch = stack_episodes(&eps);
         let t0 = std::time::Instant::now();
-        let mut g = Graph::inference();
+        let mut g = Graph::inference_with_precision(self.precision);
         let x3 = g.constant(batch.x3d.clone());
         let x2 = g.constant(batch.x2d.clone());
         let _ = self.model.forward(&mut g, x3, x2);

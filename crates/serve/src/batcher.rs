@@ -153,7 +153,33 @@ impl<T> MicroBatcher<T> {
                 .unwrap_or_else(|e| e.into_inner());
             st = g;
         }
-        let n = st.total().min(self.cfg.max_batch);
+        Some(Self::take_locked(&mut st, self.cfg.max_batch))
+    }
+
+    /// Work-conserving flush: block only until **anything** is pending,
+    /// then take up to `max_batch` immediately — no `max_wait` stall.
+    ///
+    /// This is the consumer for token-first dispatch: the caller acquires
+    /// an idle worker *before* asking for a batch, so whenever compute
+    /// capacity is free the queue flushes instantly (a lone request never
+    /// idles against its deadline while a worker sits empty — the
+    /// `workers=2` distinct-request regression). While every worker is
+    /// busy the caller isn't asking, and requests pile into full
+    /// `max_batch` flushes on their own. Returns `None` once closed and
+    /// drained.
+    pub fn next_ready(&self) -> Option<Vec<T>> {
+        let mut st = self.lock();
+        while st.total() == 0 {
+            if st.closed {
+                return None;
+            }
+            st = self.cond.wait(st).unwrap_or_else(|e| e.into_inner());
+        }
+        Some(Self::take_locked(&mut st, self.cfg.max_batch))
+    }
+
+    fn take_locked(st: &mut QueueState<T>, max_batch: usize) -> Vec<T> {
+        let n = st.total().min(max_batch);
         let mut batch = Vec::with_capacity(n);
         while batch.len() < n {
             let (_, item) = match st.high.pop_front() {
@@ -162,7 +188,7 @@ impl<T> MicroBatcher<T> {
             };
             batch.push(item);
         }
-        Some(batch)
+        batch
     }
 
     /// Move every queued `Normal`-class item matching `pred` into the
@@ -342,6 +368,32 @@ mod tests {
         assert_eq!(b.next_batch().unwrap(), vec![1, 2]);
         // …then the queue reports end-of-stream.
         assert!(b.next_batch().is_none());
+    }
+
+    #[test]
+    fn next_ready_flushes_single_item_without_deadline_wait() {
+        // Deadline is far away (10 s): the work-conserving consumer must
+        // still flush a lone item immediately.
+        let b = batcher(16, 10_000, 64);
+        b.push(5, Priority::Normal).unwrap();
+        let t0 = Instant::now();
+        assert_eq!(b.next_ready().unwrap(), vec![5]);
+        assert!(
+            t0.elapsed() < Duration::from_secs(2),
+            "next_ready must not wait on max_wait"
+        );
+        b.close();
+        assert!(b.next_ready().is_none());
+    }
+
+    #[test]
+    fn next_ready_respects_max_batch_and_priority() {
+        let b = batcher(2, 10_000, 64);
+        b.push(10, Priority::Normal).unwrap();
+        b.push(20, Priority::High).unwrap();
+        b.push(11, Priority::Normal).unwrap();
+        assert_eq!(b.next_ready().unwrap(), vec![20, 10]);
+        assert_eq!(b.next_ready().unwrap(), vec![11]);
     }
 
     #[test]

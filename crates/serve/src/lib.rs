@@ -9,12 +9,15 @@
 //! - [`ForecastRequest`] — scenario id, initial-condition window, horizon,
 //!   [`Priority`]; hashed into a [`request::CacheKey`].
 //! - [`ForecastCache`] — LRU over completed trajectories with hit/miss
-//!   accounting; repeated identical requests return **bit-identical**
-//!   snapshots (hits share the first computation's buffers).
-//! - [`MicroBatcher`] — bounded admission queue + dynamic micro-batching:
-//!   a batch flushes when `max_batch` requests are pending **or** the
-//!   oldest has waited `max_wait`, whichever comes first. Saturation is a
-//!   typed [`ServeError::Overloaded`], not unbounded growth.
+//!   accounting; entries rest as f16 payloads (half the f32 bytes) and
+//!   hits widen back to f32, matching the first computation to f16
+//!   rounding. Exact buffer sharing happens via single-flight coalescing
+//!   of concurrent identical requests.
+//! - [`MicroBatcher`] — bounded admission queue + dynamic micro-batching.
+//!   Dispatch is work-conserving: an idle replica drains whatever is
+//!   pending immediately; `max_batch`/`max_wait` only shape batches while
+//!   every replica is busy. Saturation is a typed
+//!   [`ServeError::Overloaded`], not unbounded growth.
 //! - [`replica` pool][ForecastServer] — worker threads that each rebuild
 //!   the model from a [`ccore::SurrogateSpec`] (parameters are
 //!   thread-local `Rc`s; the spec's tensors are `Send`) and pin one

@@ -209,6 +209,75 @@ mod tests {
     }
 
     #[test]
+    fn reservoir_at_capacity_keeps_percentiles_finite_and_monotone() {
+        // Exactly LATENCY_RESERVOIR samples: the ring is full but has not
+        // wrapped. Percentiles must be finite, ordered, and describe the
+        // whole sample.
+        let m = MetricsRecorder::new();
+        for i in 0..LATENCY_RESERVOIR {
+            m.record_completion(Duration::from_micros(1 + i as u64));
+        }
+        let s = m.snapshot((0, 0));
+        assert_eq!(s.completed, LATENCY_RESERVOIR as u64);
+        for p in [s.p50_ms, s.p95_ms, s.p99_ms, s.mean_ms] {
+            assert!(p.is_finite() && p > 0.0, "non-finite percentile: {p}");
+        }
+        assert!(s.p50_ms <= s.p95_ms && s.p95_ms <= s.p99_ms);
+    }
+
+    #[test]
+    fn reservoir_wrap_overwrites_oldest_and_stays_monotone() {
+        // Overfill by half a reservoir: the ring wraps and the oldest
+        // samples fall out. Old samples are all 1000 ms, new ones 1..=N µs
+        // — after a full extra reservoir of new samples, the slow cohort
+        // is gone entirely, so p99 must reflect the recent window.
+        let m = MetricsRecorder::new();
+        for _ in 0..LATENCY_RESERVOIR {
+            m.record_completion(Duration::from_millis(1000));
+        }
+        for i in 0..LATENCY_RESERVOIR {
+            m.record_completion(Duration::from_micros(1 + i as u64));
+        }
+        let s = m.snapshot((0, 0));
+        assert_eq!(s.completed, 2 * LATENCY_RESERVOIR as u64);
+        for p in [s.p50_ms, s.p95_ms, s.p99_ms] {
+            assert!(p.is_finite(), "non-finite percentile after wrap: {p}");
+        }
+        assert!(
+            s.p50_ms <= s.p95_ms && s.p95_ms <= s.p99_ms,
+            "percentiles out of order after wrap: p50={} p95={} p99={}",
+            s.p50_ms,
+            s.p95_ms,
+            s.p99_ms
+        );
+        assert!(
+            s.p99_ms < 1000.0,
+            "wrapped ring must describe the recent window, not evicted \
+             samples: p99={}",
+            s.p99_ms
+        );
+    }
+
+    #[test]
+    fn reservoir_partial_wrap_mixes_cohorts() {
+        // Wrap by a quarter reservoir: 75% old (10 ms) + 25% new (1 ms)
+        // coexist; the quantile ordering must survive the mixed, unsorted
+        // ring layout.
+        let m = MetricsRecorder::new();
+        for _ in 0..LATENCY_RESERVOIR {
+            m.record_completion(Duration::from_millis(10));
+        }
+        for _ in 0..LATENCY_RESERVOIR / 4 {
+            m.record_completion(Duration::from_millis(1));
+        }
+        let s = m.snapshot((0, 0));
+        assert!(s.p50_ms <= s.p95_ms && s.p95_ms <= s.p99_ms);
+        // The new cohort is 25% of the window → p50 sits in the old one.
+        assert!((s.p50_ms - 10.0).abs() < 1e-9, "p50={}", s.p50_ms);
+        assert!((s.mean_ms - (0.75 * 10.0 + 0.25 * 1.0)).abs() < 1e-6);
+    }
+
+    #[test]
     fn snapshot_aggregates() {
         let m = MetricsRecorder::new();
         for i in 1..=10 {

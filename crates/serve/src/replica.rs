@@ -31,6 +31,7 @@ use std::time::Instant;
 use ccore::SurrogateSpec;
 use cocean::Snapshot;
 use ctensor::backend::BackendChoice;
+use ctensor::quant::Precision;
 use parking_lot::Mutex;
 
 use crate::cache::ForecastCache;
@@ -150,27 +151,31 @@ pub(crate) struct ReplicaPool {
 }
 
 impl ReplicaPool {
+    /// Spawn `precisions.len()` workers; worker `w` rebuilds the model at
+    /// `precisions[w]`, so one pool can serve a heterogeneous-precision
+    /// mix (e.g. int8 bulk workers plus one f32 reference worker).
     pub fn spawn(
         spec: &SurrogateSpec,
-        workers: usize,
+        precisions: &[Precision],
         backend: BackendChoice,
         cache: Arc<ForecastCache>,
         inflight: Arc<InflightRegistry>,
         metrics: Arc<MetricsRecorder>,
     ) -> Self {
+        let workers = precisions.len();
         assert!(workers >= 1, "need at least one replica");
         let cores = std::thread::available_parallelism().map_or(1, |n| n.get());
         let gate = Arc::new(ComputeGate::new(workers.min(cores)));
         let (idle_tx, idle_rx) = std::sync::mpsc::channel::<usize>();
         let (ready_tx, ready_rx) = std::sync::mpsc::channel::<()>();
         let mut handles = Vec::with_capacity(workers);
-        for w in 0..workers {
+        for (w, &precision) in precisions.iter().enumerate() {
             // Rendezvous (capacity 0): a send completes only when the
             // worker is receiving, so an idle token always means "this
             // worker is actually waiting", and backpressure flows to the
             // dispatcher the moment no token is available.
             let (batch_tx, batch_rx) = sync_channel::<Vec<PendingRequest>>(0);
-            let spec = spec.clone();
+            let spec = spec.clone().with_precision(precision);
             let cache = Arc::clone(&cache);
             let inflight = Arc::clone(&inflight);
             let metrics = Arc::clone(&metrics);
@@ -205,15 +210,32 @@ impl ReplicaPool {
         }
     }
 
-    /// Hand a batch to the next idle replica (blocks when all are busy —
-    /// pressure backs up into the admission queue and surfaces as
-    /// `Overloaded`). Returns the batch when every worker is gone
-    /// (shutdown race) so the caller can fail its requests.
-    pub fn dispatch(&self, mut batch: Vec<PendingRequest>) -> Result<(), Vec<PendingRequest>> {
+    /// Block until some replica is idle; `None` when every worker has
+    /// exited (shutdown race). Token-first dispatch: the dispatcher
+    /// acquires capacity *before* flushing the batcher, so a queued
+    /// request never waits out a batching deadline while a worker idles.
+    pub fn acquire_idle(&self) -> Option<usize> {
+        self.idle_rx.recv().ok()
+    }
+
+    /// Hand `batch` to worker `w` (previously acquired via
+    /// [`Self::acquire_idle`]). If that worker died between announcing
+    /// idle and receiving, falls back to the next idle token. Returns the
+    /// batch when every worker is gone so the caller can fail its
+    /// requests.
+    pub fn send_to(
+        &self,
+        w: usize,
+        mut batch: Vec<PendingRequest>,
+    ) -> Result<(), Vec<PendingRequest>> {
+        let mut next = Some(w);
         loop {
-            let w = match self.idle_rx.recv() {
-                Ok(w) => w,
-                Err(_) => return Err(batch), // every worker exited
+            let w = match next.take() {
+                Some(w) => w,
+                None => match self.idle_rx.recv() {
+                    Ok(w) => w,
+                    Err(_) => return Err(batch), // every worker exited
+                },
             };
             match &self.workers[w].batch_tx {
                 Some(tx) => match tx.send(batch) {

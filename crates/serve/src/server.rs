@@ -3,12 +3,13 @@
 //! Request lifecycle:
 //!
 //! ```text
-//! submit ──▶ validate ──▶ cache probe ──hit──▶ respond (bit-identical)
+//! submit ──▶ validate ──▶ cache probe ──hit──▶ respond (f16 round-trip)
 //!                             │miss
 //!                             ▼
 //!                    bounded queue (admission control, Overloaded)
 //!                             ▼
-//!                    micro-batcher (flush on max_batch OR max_wait)
+//!                    micro-batcher (work-conserving: idle workers drain
+//!                    immediately; max_batch caps the flush size)
 //!                             ▼
 //!                    replica pool (one predict_batch per batch)
 //!                             ▼
@@ -23,6 +24,7 @@ use std::time::{Duration, Instant};
 use ccore::SurrogateSpec;
 use cocean::Snapshot;
 use ctensor::backend::BackendChoice;
+use ctensor::quant::Precision;
 
 use crate::batcher::{BatcherConfig, MicroBatcher};
 use crate::cache::ForecastCache;
@@ -51,6 +53,15 @@ pub struct ServeConfig {
     /// answered by this deployment's model. `None` accepts any id and
     /// treats it purely as a cache namespace.
     pub scenario_id: Option<u64>,
+    /// Numeric precision every replica serves at (unless overridden
+    /// per-worker below). Reduced tiers quantize the model at load time
+    /// and stay within the documented ζ parity gates
+    /// (`ccore::ZETA_TOL_INT8` / `ccore::ZETA_TOL_F16`).
+    pub precision: Precision,
+    /// Per-worker precision override for heterogeneous pools (e.g. int8
+    /// bulk workers plus an f32 reference worker). Length must equal
+    /// `workers`; `None` gives every worker `precision`.
+    pub worker_precisions: Option<Vec<Precision>>,
 }
 
 impl Default for ServeConfig {
@@ -63,6 +74,8 @@ impl Default for ServeConfig {
             cache_capacity: 128,
             backend: BackendChoice::default(),
             scenario_id: None,
+            precision: Precision::F32,
+            worker_precisions: None,
         }
     }
 }
@@ -76,7 +89,8 @@ pub struct ResponseHandle {
 
 impl ResponseHandle {
     /// True when the response was served from the forecast cache (it is
-    /// then bit-identical to the first computation of this request).
+    /// then the first computation of this request widened back from the
+    /// cache's f16-at-rest payload — equal to within f16 rounding).
     pub fn from_cache(&self) -> bool {
         self.from_cache
     }
@@ -134,9 +148,20 @@ impl ForecastServer {
         spec.swin.backend = BackendChoice::Auto;
         let t_out = spec.t_out();
         let mesh = spec.mesh();
+        let precisions: Vec<Precision> = match &cfg.worker_precisions {
+            Some(v) => {
+                assert_eq!(
+                    v.len(),
+                    cfg.workers,
+                    "worker_precisions length must equal workers"
+                );
+                v.clone()
+            }
+            None => vec![cfg.precision; cfg.workers],
+        };
         let mut pool = ReplicaPool::spawn(
             &spec,
-            cfg.workers,
+            &precisions,
             cfg.backend,
             Arc::clone(&cache),
             Arc::clone(&inflight),
@@ -145,25 +170,47 @@ impl ForecastServer {
 
         // Dispatcher: drains the micro-batcher into the pool until the
         // queue is closed and empty, then shuts the workers down.
+        //
+        // Token-first, work-conserving: acquire an idle worker *before*
+        // flushing the batcher. With capacity in hand, `next_ready`
+        // releases whatever is pending immediately (no `max_wait` stall —
+        // the source of the old workers=2 distinct-request regression);
+        // while every worker is busy we aren't flushing, so requests
+        // accumulate into full `max_batch` batches on their own.
         let dispatcher = {
             let batcher = Arc::clone(&batcher);
             let inflight = Arc::clone(&inflight);
             let metrics = Arc::clone(&metrics);
+            let fail = move |batch: Vec<PendingRequest>,
+                             inflight: &InflightRegistry,
+                             metrics: &MetricsRecorder| {
+                // Workers are gone; fail the batch cleanly — and account
+                // for it, so completed + failed + rejected still covers
+                // every admitted request during the shutdown race.
+                for p in batch {
+                    for w in inflight.take(&p.key) {
+                        metrics.record_failure();
+                        let _ = w.tx.send(Err(ServeError::Shutdown));
+                    }
+                }
+            };
             std::thread::Builder::new()
                 .name("serve-dispatcher".into())
                 .spawn(move || {
-                    while let Some(batch) = batcher.next_batch() {
-                        if let Err(orphaned) = pool.dispatch(batch) {
-                            // Workers are gone; fail the batch cleanly —
-                            // and account for it, so completed + failed +
-                            // rejected still covers every admitted
-                            // request during the shutdown race.
-                            for p in orphaned {
-                                for w in inflight.take(&p.key) {
-                                    metrics.record_failure();
-                                    let _ = w.tx.send(Err(ServeError::Shutdown));
-                                }
+                    loop {
+                        let Some(w) = pool.acquire_idle() else {
+                            // Every worker exited: drain and fail what's
+                            // still queued.
+                            while let Some(batch) = batcher.next_ready() {
+                                fail(batch, &inflight, &metrics);
                             }
+                            break;
+                        };
+                        let Some(batch) = batcher.next_ready() else {
+                            break; // closed and drained
+                        };
+                        if let Err(orphaned) = pool.send_to(w, batch) {
+                            fail(orphaned, &inflight, &metrics);
                         }
                     }
                     pool.shutdown();

@@ -143,7 +143,7 @@ fn served_forecast_matches_direct_prediction() {
 }
 
 #[test]
-fn repeated_requests_hit_cache_bit_identically() {
+fn repeated_requests_hit_cache_within_f16_rounding() {
     let c = ctx();
     let server = ForecastServer::new(c.spec.clone(), ServeConfig::default());
     let w = windows(1).pop().unwrap();
@@ -158,13 +158,16 @@ fn repeated_requests_hit_cache_bit_identically() {
     assert!(second.from_cache(), "identical request must hit the cache");
     let second = second.wait_shared().unwrap();
 
-    // Bit-identical: the hit shares the first computation's buffers.
-    assert!(Arc::ptr_eq(&first, &second));
+    // The cache stores f16 payloads: the hit is a fresh f32 widening of
+    // the first computation, equal to within f16 rounding (rel ≤ 2⁻¹¹).
+    assert!(!Arc::ptr_eq(&first, &second));
     for (a, b) in first.iter().zip(second.iter()) {
-        assert_eq!(
-            a.zeta.iter().map(|v| v.to_bits()).collect::<Vec<_>>(),
-            b.zeta.iter().map(|v| v.to_bits()).collect::<Vec<_>>()
-        );
+        for (x, y) in a.zeta.iter().zip(&b.zeta) {
+            assert!(
+                (x - y).abs() <= x.abs() / 2048.0 + 6.2e-5,
+                "cache hit outside f16 rounding: {x} vs {y}"
+            );
+        }
     }
     let m = server.metrics();
     assert_eq!(m.cache_hits, 1);
@@ -198,26 +201,36 @@ fn overload_surfaces_as_typed_backpressure() {
         c.spec.clone(),
         ServeConfig {
             workers: 1,
-            max_batch: 64,                     // never size-triggers
-            max_wait: Duration::from_secs(30), // never deadline-triggers
+            max_batch: 1, // one request per model run: the worker saturates at once
+            max_wait: Duration::from_millis(1),
             queue_capacity: 3,
             cache_capacity: 0,
             ..Default::default()
         },
     );
+    // Dispatch is work-conserving (an idle worker drains the queue
+    // immediately, regardless of max_wait), so overload requires genuine
+    // saturation: flood the lone worker with distinct requests faster
+    // than it can forecast until the bounded queue rejects one. Each
+    // submit is microseconds while a forecast is milliseconds, so the
+    // queue fills long before the flood ends.
     let mut handles = Vec::new();
-    for i in 0..3 {
-        handles.push(server.submit(request(i)).expect("under capacity"));
-    }
-    match server.submit(request(3)) {
-        Err(ServeError::Overloaded { depth, capacity }) => {
-            assert_eq!((depth, capacity), (3, 3));
+    let mut overloaded = None;
+    for i in 0..32 {
+        match server.submit(request(i)) {
+            Ok(h) => handles.push(h),
+            Err(ServeError::Overloaded { depth, capacity }) => {
+                overloaded = Some((depth, capacity));
+                break;
+            }
+            Err(e) => panic!("unexpected rejection: {e}"),
         }
-        other => panic!("expected Overloaded, got {other:?}", other = other.err()),
     }
+    let (depth, capacity) = overloaded.expect("flood must trip the bounded queue");
+    assert_eq!((depth, capacity), (3, 3));
     assert_eq!(server.metrics().rejected, 1);
 
-    // Graceful shutdown flushes the stuck queue; the admitted requests
+    // Graceful shutdown flushes the backlog; the admitted requests
     // still complete.
     server.shutdown();
     for h in handles {
@@ -393,8 +406,12 @@ fn ensemble_submission_reuses_batcher_and_cache() {
             assert_eq!(a.zeta, b.zeta, "served member must match direct prediction");
         }
     }
-    // The duplicate member returned the same trajectory as member 0.
-    assert_eq!(forecasts[5][0].zeta, forecasts[0][0].zeta);
+    // The duplicate member returned member 0's trajectory — exactly when
+    // it coalesced onto the in-flight computation, or to f16 rounding if
+    // it raced member 0's completion and hit the compressed cache.
+    for (x, y) in forecasts[5][0].zeta.iter().zip(&forecasts[0][0].zeta) {
+        assert!((x - y).abs() <= x.abs() / 2048.0 + 6.2e-5, "{x} vs {y}");
+    }
 
     // A later client asking for a member forecast hits the warm cache.
     let again = server
@@ -456,8 +473,8 @@ fn malformed_or_saturating_ensembles_reject_as_typed_errors() {
         c.spec.clone(),
         ServeConfig {
             workers: 1,
-            // The batch never fills and the deadline is far away, so the
-            // dispatcher drains nothing while members pile up.
+            // A single worker busy on the first members gates the drain;
+            // later members pile into the two-slot queue.
             max_batch: 16,
             max_wait: Duration::from_secs(10),
             queue_capacity: 2,
@@ -496,6 +513,51 @@ fn malformed_or_saturating_ensembles_reject_as_typed_errors() {
         Err(ServeError::Overloaded { capacity, .. }) => assert_eq!(capacity, 2),
         other => panic!("expected Overloaded, got {:?}", other.map(|_| "handles")),
     }
+}
+
+/// A heterogeneous pool (one int8 worker, one f16 worker) serves every
+/// request within the documented int8 ζ parity gate of the f32 model,
+/// whichever worker answers.
+#[test]
+fn heterogeneous_pool_serves_within_parity_gate() {
+    use ccore::ZETA_TOL_INT8;
+
+    let c = ctx();
+    let direct = c.spec.instantiate();
+    let server = ForecastServer::new(
+        c.spec.clone(),
+        ServeConfig {
+            workers: 2,
+            max_batch: 4,
+            max_wait: Duration::from_millis(2),
+            cache_capacity: 0,
+            worker_precisions: Some(vec![
+                ctensor::quant::Precision::Int8,
+                ctensor::quant::Precision::F16,
+            ]),
+            ..Default::default()
+        },
+    );
+    for i in 0..6 {
+        let w = windows(i + 1).pop().unwrap();
+        let want = direct.predict_episode(&w);
+        let got = server
+            .submit(ForecastRequest::new(0, w, c.t_out))
+            .unwrap()
+            .wait()
+            .unwrap();
+        let mut dz = 0.0f32;
+        for (a, b) in want.iter().zip(&got) {
+            for (x, y) in a.zeta.iter().zip(&b.zeta) {
+                dz = dz.max((x - y).abs());
+            }
+        }
+        assert!(
+            dz <= ZETA_TOL_INT8,
+            "reduced-precision worker drifted past the int8 gate: {dz:.3e}"
+        );
+    }
+    assert_eq!(server.metrics().completed, 6);
 }
 
 /// Regression guard for the v1 pool-scaling collapse (four workers fell

@@ -15,6 +15,7 @@ mod ops;
 use std::cell::RefCell;
 use std::rc::Rc;
 
+use crate::quant::{Precision, QuantWeight};
 use crate::tensor::Tensor;
 
 /// Handle to a node on the tape.
@@ -107,6 +108,11 @@ pub struct Graph {
     recording: bool,
     /// Training-mode flag consumed by layers like BatchNorm.
     pub training: bool,
+    /// Numeric precision of this forward pass. Only consulted by
+    /// non-recording graphs: layers with a quantized fast path (Linear)
+    /// route through it when the graph is in inference mode and the
+    /// precision is below f32.
+    precision: Precision,
     meter: MemMeter,
 }
 
@@ -123,6 +129,7 @@ impl Graph {
             nodes: Vec::with_capacity(256),
             recording: true,
             training: false,
+            precision: Precision::F32,
             meter: MemMeter::default(),
         }
     }
@@ -132,6 +139,22 @@ impl Graph {
         let mut g = Self::new();
         g.recording = false;
         g
+    }
+
+    /// Fresh non-recording graph running at a reduced numeric precision:
+    /// `Linear` layers dequantize through the int8 / f16 weight tiers
+    /// instead of the f32 matmul. `Precision::F32` is identical to
+    /// [`Graph::inference`].
+    pub fn inference_with_precision(p: Precision) -> Self {
+        let mut g = Self::inference();
+        g.precision = p;
+        g
+    }
+
+    /// Numeric precision of this graph's forward pass.
+    #[inline]
+    pub fn precision(&self) -> Precision {
+        self.precision
     }
 
     /// Whether backward closures are being recorded.
@@ -250,6 +273,11 @@ struct ParamInner {
     name: String,
     value: Tensor,
     grad: Option<Tensor>,
+    /// Lazily-built quantized weight for reduced-precision inference,
+    /// keyed by the precision it was built for. Invalidated whenever the
+    /// value is replaced ([`Param::set_value`] — the single mutation
+    /// path used by optimizers and state loading).
+    quant: Option<(Precision, Rc<QuantWeight>)>,
 }
 
 impl Param {
@@ -260,6 +288,7 @@ impl Param {
                 name: name.into(),
                 value,
                 grad: None,
+                quant: None,
             })),
         }
     }
@@ -274,9 +303,41 @@ impl Param {
         self.inner.borrow().value.clone()
     }
 
-    /// Replace the value (used by optimizers and state loading).
+    /// Replace the value (used by optimizers and state loading). Drops
+    /// any cached quantized representation — it was built from the old
+    /// bits.
     pub fn set_value(&self, t: Tensor) {
-        self.inner.borrow_mut().value = t;
+        let mut inner = self.inner.borrow_mut();
+        inner.value = t;
+        inner.quant = None;
+    }
+
+    /// The quantized representation of this parameter at `precision`,
+    /// building (and caching) it on first use. `shape` is the expected
+    /// `[k, n]` of the weight.
+    ///
+    /// `Precision::Int8` runs the per-layer calibration gate and may
+    /// return the f16 tier (see [`crate::quant::select_tier`]).
+    pub fn quantized(&self, precision: Precision, k: usize, n: usize) -> Rc<QuantWeight> {
+        assert_ne!(precision, Precision::F32, "f32 has no quantized form");
+        {
+            let inner = self.inner.borrow();
+            if let Some((p, q)) = &inner.quant {
+                if *p == precision {
+                    return Rc::clone(q);
+                }
+            }
+        }
+        let value = self.value();
+        assert_eq!(
+            value.shape(),
+            [k, n],
+            "param '{}': quantized() expects a [k, n] weight",
+            self.name()
+        );
+        let qw = Rc::new(QuantWeight::build(value.as_slice(), k, n, precision));
+        self.inner.borrow_mut().quant = Some((precision, Rc::clone(&qw)));
+        qw
     }
 
     /// Accumulated gradient, if any.

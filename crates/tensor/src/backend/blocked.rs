@@ -800,6 +800,18 @@ impl Backend for Blocked {
             simd::sgd_step_slice(lv, p, g, vel, lr, momentum);
         }
     }
+
+    fn qlinear_i8(
+        &self,
+        acts: &crate::quant::QuantActs,
+        w: &crate::quant::QuantizedTensor,
+        bias: Option<&[f32]>,
+        out: &mut [f32],
+    ) {
+        let flops = 2 * acts.m * w.kp * w.np;
+        let parallel = flops >= MIN_PAR_FLOPS && rayon::current_num_threads() > 1;
+        crate::quant::qgemm(self.simd, acts, w, bias, out, parallel);
+    }
 }
 
 /// Fused attention for one `(n, d)` head: blocked two-pass streaming of K

@@ -490,6 +490,26 @@ pub trait Backend: Send + Sync + fmt::Debug {
         }
     }
 
+    // ---------------------------------------------------- quantized inference
+
+    /// Fused int8 linear: `out[m, n] = dequant(qx · qW) + bias`, where the
+    /// activations were dynamically quantized with
+    /// [`crate::quant::quantize_acts`] and the weight packed by
+    /// [`crate::quant::QuantizedTensor::quantize`]. The default body is the
+    /// serial scalar oracle; [`Blocked`] overrides it with the AVX2
+    /// `maddubs` microkernel and a deterministic row-parallel split (the
+    /// integer accumulation is exact, so outputs are bitwise identical
+    /// across backends and thread counts).
+    fn qlinear_i8(
+        &self,
+        acts: &crate::quant::QuantActs,
+        w: &crate::quant::QuantizedTensor,
+        bias: Option<&[f32]>,
+        out: &mut [f32],
+    ) {
+        crate::quant::qgemm(crate::simd::SimdLevel::Scalar, acts, w, bias, out, false);
+    }
+
     // ------------------------------------------------- fused optimizer steps
 
     /// One fused Adam/AdamW update over a parameter slice: updates `m`,

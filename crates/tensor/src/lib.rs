@@ -36,6 +36,7 @@ pub mod f16;
 pub mod init;
 pub mod nn;
 pub mod optim;
+pub mod quant;
 pub mod shape;
 pub mod simd;
 pub mod tensor;
@@ -50,5 +51,6 @@ pub mod prelude {
         MultiHeadAttention,
     };
     pub use crate::optim::{clip_grad_norm, zero_grads, Adam, Sgd};
+    pub use crate::quant::Precision;
     pub use crate::tensor::Tensor;
 }

@@ -6,6 +6,7 @@ use super::Module;
 use crate::autograd::{Graph, Param, Var};
 use crate::backend::UnaryOp;
 use crate::init;
+use crate::quant::{self, Precision, QuantWeight};
 use crate::tensor::Tensor;
 
 /// `y = x @ W + b` applied over the last axis of an arbitrary-rank input.
@@ -63,6 +64,9 @@ impl Linear {
             in_shape
         );
         let rows: usize = in_shape[..in_shape.len() - 1].iter().product();
+        if !g.is_recording() && g.precision() != Precision::F32 {
+            return self.forward_quantized(g, x, act, in_shape, rows);
+        }
         let flat = g.reshape(x, &[rows, self.in_features]);
         let w = g.param(&self.weight);
         let bias = self.bias.as_ref().map(|b| g.param(b));
@@ -73,6 +77,60 @@ impl Linear {
         let mut out_shape = in_shape;
         *out_shape.last_mut().unwrap() = self.out_features;
         g.reshape(y, &out_shape)
+    }
+
+    /// Reduced-precision inference forward: the weight's quantized tier
+    /// (built lazily, cached on the [`Param`]) replaces the f32 matmul.
+    ///
+    /// - **int8 tier** — dynamic per-row activation quantization, then the
+    ///   backend's fused [`crate::backend::Backend::qlinear_i8`] GEMM
+    ///   (dequant + bias in the epilogue).
+    /// - **f16 tier** — weights decompress to an f32 scratch (O(k·n),
+    ///   small next to the O(m·k·n) GEMM) and run the regular
+    ///   `matmul_bias` path with f32 accumulation.
+    ///
+    /// The activation, when fused, runs in place on the output — the same
+    /// shape the f32 inference path of [`Graph::linear_act`] takes.
+    fn forward_quantized(
+        &self,
+        g: &mut Graph,
+        x: Var,
+        act: Option<UnaryOp>,
+        in_shape: Vec<usize>,
+        rows: usize,
+    ) -> Var {
+        let qw = self
+            .weight
+            .quantized(g.precision(), self.in_features, self.out_features);
+        let bias = self.bias.as_ref().map(|b| b.value());
+        let x_t = g.value(x).clone();
+        let mut y = match &*qw {
+            QuantWeight::Int8(qt) => {
+                let acts = quant::quantize_acts(x_t.as_slice(), rows, self.in_features);
+                let mut y = Tensor::zeros(&[rows, self.out_features]);
+                crate::backend::current().qlinear_i8(
+                    &acts,
+                    qt,
+                    bias.as_ref().map(|b| b.as_slice()),
+                    y.as_mut_slice(),
+                );
+                y
+            }
+            QuantWeight::F16(fw) => {
+                let w = Tensor::from_vec(fw.decompress(), &[self.in_features, self.out_features]);
+                let xf = x_t.reshaped(&[rows, self.in_features]);
+                match &bias {
+                    Some(b) => xf.matmul_bias(&w, b),
+                    None => xf.matmul(&w),
+                }
+            }
+        };
+        if let Some(op) = act {
+            y.unary_op_inplace(op);
+        }
+        let mut out_shape = in_shape;
+        *out_shape.last_mut().unwrap() = self.out_features;
+        g.constant(y.reshaped(&out_shape))
     }
 }
 
@@ -135,6 +193,49 @@ mod tests {
         for &v in bg.as_slice() {
             assert!((v - 0.5).abs() < 1e-6);
         }
+    }
+
+    #[test]
+    fn quantized_forward_tracks_f32() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let l = Linear::new("l", 24, 12, true, &mut rng);
+        let x = init::trunc_normal(&[2, 5, 24], 1.0, &mut rng);
+        let mut g32 = Graph::inference();
+        let v32 = g32.constant(x.clone());
+        let y32 = l.forward_act(&mut g32, v32, Some(UnaryOp::Gelu));
+        let ref_out = g32.value(y32);
+        let max_ref = ref_out
+            .as_slice()
+            .iter()
+            .fold(0.0f32, |a, &v| a.max(v.abs()));
+        for (prec, tol) in [(Precision::Int8, 0.05), (Precision::F16, 5e-3)] {
+            let mut g = Graph::inference_with_precision(prec);
+            let v = g.constant(x.clone());
+            let y = l.forward_act(&mut g, v, Some(UnaryOp::Gelu));
+            assert_eq!(g.value(y).shape(), ref_out.shape());
+            for (a, b) in ref_out.as_slice().iter().zip(g.value(y).as_slice()) {
+                assert!(
+                    (a - b).abs() <= tol * max_ref.max(1.0),
+                    "{prec}: {a} vs {b}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn set_value_invalidates_quant_cache() {
+        let mut rng = StdRng::seed_from_u64(4);
+        let l = Linear::new("l", 8, 8, false, &mut rng);
+        let q1 = l.weight.quantized(Precision::F16, 8, 8);
+        // Cached: same Rc comes back.
+        let q2 = l.weight.quantized(Precision::F16, 8, 8);
+        assert!(std::rc::Rc::ptr_eq(&q1, &q2));
+        l.weight.set_value(Tensor::ones(&[8, 8]));
+        let q3 = l.weight.quantized(Precision::F16, 8, 8);
+        assert!(!std::rc::Rc::ptr_eq(&q1, &q3));
+        // Asking for a different precision rebuilds too.
+        let q4 = l.weight.quantized(Precision::Int8, 8, 8);
+        assert!(matches!(&*q4, QuantWeight::Int8(_)));
     }
 
     #[test]

@@ -1,0 +1,95 @@
+//! End-to-end parity gate for the reduced-precision inference tiers.
+//!
+//! Trains the standard small verification scenario once, then forecasts
+//! the same test episode at f32 / f16 / int8 and asserts the reduced
+//! tiers stay within the documented ζ tolerances
+//! ([`coastal::core::ZETA_TOL_INT8`] / [`coastal::core::ZETA_TOL_F16`])
+//! of the f32 forward — the gate is enforced here, not just reported.
+
+use coastal::core::{ZETA_TOL_F16, ZETA_TOL_INT8};
+use coastal::tensor::quant::Precision;
+use coastal::{train_surrogate, Scenario};
+use cocean::Snapshot;
+
+fn max_abs_diff(a: &[f32], b: &[f32]) -> f32 {
+    a.iter()
+        .zip(b)
+        .fold(0.0f32, |m, (x, y)| m.max((x - y).abs()))
+}
+
+fn max_field_diffs(a: &[Snapshot], b: &[Snapshot]) -> (f32, f32) {
+    assert_eq!(a.len(), b.len());
+    let mut dz = 0.0f32;
+    let mut duv = 0.0f32;
+    for (s, t) in a.iter().zip(b) {
+        dz = dz.max(max_abs_diff(&s.zeta, &t.zeta));
+        duv = duv.max(max_abs_diff(&s.u, &t.u));
+        duv = duv.max(max_abs_diff(&s.v, &t.v));
+    }
+    (dz, duv)
+}
+
+#[test]
+fn quantized_forecasts_within_zeta_tolerance() {
+    let sc = Scenario::small();
+    let grid = sc.grid();
+    let archive = sc.simulate_archive(&grid, 0, 30);
+    let trained = train_surrogate(&sc, &grid, &archive);
+    let test = sc.simulate_archive(&grid, 1, sc.t_out + 1);
+    let spec = trained.spec();
+
+    let f32_model = spec.clone().instantiate();
+    assert_eq!(f32_model.precision, Precision::F32);
+    let pred_f32 = f32_model.predict_episode(&test);
+
+    // The f32 path through a precision-carrying graph must be identical
+    // to the default inference graph (no silent behavior change).
+    let pred_direct = trained.predict_episode(&test);
+    let (dz0, _) = max_field_diffs(&pred_direct, &pred_f32);
+    assert_eq!(dz0, 0.0, "f32 spec roundtrip must stay bitwise");
+
+    for (prec, tol) in [
+        (Precision::F16, ZETA_TOL_F16),
+        (Precision::Int8, ZETA_TOL_INT8),
+    ] {
+        let model = spec.clone().with_precision(prec).instantiate();
+        let pred = model.predict_episode(&test);
+        assert_eq!(pred.len(), pred_f32.len());
+        let (dz, duv) = max_field_diffs(&pred_f32, &pred);
+        println!("{prec}: max|Δζ| = {dz:.3e} m, max|Δu,v| = {duv:.3e} m/s");
+        assert!(
+            pred.iter().all(|s| s.zeta.iter().all(|v| v.is_finite())),
+            "{prec}: non-finite ζ"
+        );
+        assert!(
+            dz <= tol,
+            "{prec}: max|Δζ| {dz:.3e} exceeds documented tolerance {tol:.1e}"
+        );
+    }
+}
+
+#[test]
+fn quantized_batch_matches_episode_path() {
+    // The batched predict (the serving path) must run the same quantized
+    // kernels as the single-episode path: identical scheme, identical
+    // per-row activation quantization — per-episode rows are unchanged by
+    // stacking, so outputs agree to f32 accumulation noise.
+    let sc = Scenario::small();
+    let grid = sc.grid();
+    let archive = sc.simulate_archive(&grid, 0, 30);
+    let mut sc2 = sc.clone();
+    sc2.epochs = 2;
+    let trained = train_surrogate(&sc2, &grid, &archive);
+    let test = sc.simulate_archive(&grid, 1, sc.t_out + 1);
+    let model = trained.spec().with_precision(Precision::Int8).instantiate();
+
+    let single = model.predict_episode(&test);
+    let batch = model.predict_batch(&[&test, &test]).expect("batch predict");
+    for pred in &batch {
+        let (dz, _) = max_field_diffs(&single, pred);
+        assert!(
+            dz <= 1e-4,
+            "batched int8 forecast drifted from single-episode path: {dz:.3e}"
+        );
+    }
+}
