@@ -249,6 +249,7 @@ fn main() {
         verified.fallback_members(),
     );
 
+    let json = cbench::telemetry::splice_registry(json);
     let path = std::env::var("BENCH_ENSEMBLE_OUT").unwrap_or_else(|_| "BENCH_ensemble.json".into());
     std::fs::File::create(&path)
         .and_then(|mut f| f.write_all(json.as_bytes()))

@@ -208,6 +208,7 @@ fn main() {
     json.push('}');
     json.push('\n');
 
+    let json = cbench::telemetry::splice_registry(json);
     let path = std::env::var("BENCH_KERNELS_OUT").unwrap_or_else(|_| "BENCH_kernels.json".into());
     std::fs::File::create(&path)
         .and_then(|mut f| f.write_all(json.as_bytes()))

@@ -287,6 +287,7 @@ fn main() {
         rows.join(",\n")
     );
 
+    let json = cbench::telemetry::splice_registry(json);
     let path = std::env::var("BENCH_LOAD_OUT").unwrap_or_else(|_| "BENCH_load.json".into());
     std::fs::File::create(&path)
         .and_then(|mut f| f.write_all(json.as_bytes()))

@@ -231,11 +231,31 @@ fn main() {
         mixed_run.speedup
     ));
 
+    let json = cbench::telemetry::splice_registry(json);
     let path = std::env::var("BENCH_SERVE_OUT").unwrap_or_else(|_| "BENCH_serve.json".into());
     std::fs::File::create(&path)
         .and_then(|mut f| f.write_all(json.as_bytes()))
         .unwrap_or_else(|e| eprintln!("[serve] could not write {path}: {e}"));
     println!("{json}");
+
+    // Standalone telemetry artifacts: the registry as JSON and in
+    // Prometheus text exposition format. With COASTAL_PROFILE=1 the JSON
+    // additionally carries per-kernel `kernel.*` histograms.
+    let snap = cobs::global().snapshot();
+    for (suffix, body) in [("json", snap.to_json()), ("prom", snap.to_prometheus())] {
+        let tpath = format!("TELEMETRY_serve.{suffix}");
+        std::fs::File::create(&tpath)
+            .and_then(|mut f| f.write_all(body.as_bytes()))
+            .unwrap_or_else(|e| eprintln!("[serve] could not write {tpath}: {e}"));
+    }
+    eprintln!(
+        "[serve] telemetry: {} kernel histogram series recorded (COASTAL_PROFILE={})",
+        snap.histograms
+            .keys()
+            .filter(|k| k.starts_with("kernel."))
+            .count(),
+        std::env::var("COASTAL_PROFILE").unwrap_or_else(|_| "0".into()),
+    );
 
     eprintln!(
         "[serve] headline serving speedup (mixed traffic; coalescing + micro-batching): {:.1}x ({})",

@@ -385,6 +385,7 @@ fn main() {
         adam_unfused_blocked / adam_fused_blocked,
     ));
 
+    let json = cbench::telemetry::splice_registry(json);
     let path = std::env::var("BENCH_TRAIN_OUT").unwrap_or_else(|_| "BENCH_train.json".into());
     std::fs::File::create(&path)
         .and_then(|mut f| f.write_all(json.as_bytes()))

@@ -9,6 +9,7 @@ use cgrid::Grid;
 use cocean::Snapshot;
 
 pub mod stamp;
+pub mod telemetry;
 
 pub use stamp::RunStamp;
 

@@ -1,0 +1,43 @@
+//! Registry-snapshot splice for `BENCH_*.json` reports: every harness
+//! binary folds the global metrics registry into its report next to the
+//! [`crate::RunStamp`], so a benchmark artifact carries the kernel/serve
+//! counters and latency histograms that produced its headline numbers.
+
+/// Insert a `"telemetry"` field (the global registry snapshot as JSON)
+/// into a finished JSON-object report, just before its closing brace.
+///
+/// The report must be a single JSON object (every `BENCH_*.json` is);
+/// the splice keeps it valid JSON, so downstream parsers see the
+/// telemetry as one more top-level field.
+pub fn splice_registry(mut report: String) -> String {
+    let end = report
+        .rfind('}')
+        .expect("benchmark report must be a JSON object");
+    report.truncate(end);
+    while report.ends_with(|c: char| c.is_whitespace()) {
+        report.pop();
+    }
+    report.push_str(&format!(
+        ",\n  \"telemetry\": {}\n}}\n",
+        cobs::global().snapshot().to_json()
+    ));
+    report
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn splice_keeps_report_a_json_object() {
+        cobs::counter!("bench.telemetry_splice_test").inc();
+        let spliced = splice_registry("{\n  \"bench\": \"x\"\n}\n".to_string());
+        assert!(spliced.contains("\"telemetry\": {\"counters\""));
+        assert!(spliced.contains("bench.telemetry_splice_test"));
+        assert!(spliced.trim_end().ends_with('}'));
+        // Braces stay balanced (no string literals contain braces here).
+        let open = spliced.matches('{').count();
+        let close = spliced.matches('}').count();
+        assert_eq!(open, close, "{spliced}");
+    }
+}

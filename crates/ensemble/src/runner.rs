@@ -153,8 +153,13 @@ impl<'a> EnsembleRunner<'a> {
         for group in windows.chunks(chunk) {
             let refs: Vec<&[Snapshot]> = group.iter().map(|m| m.window.as_slice()).collect();
             let t0 = Instant::now();
-            let predictions = self.surrogate.predict_batch(&refs)?;
-            out.inference_seconds += t0.elapsed().as_secs_f64();
+            let predictions = {
+                let _span = cobs::span!("ensemble.predict_batch");
+                self.surrogate.predict_batch(&refs)?
+            };
+            let elapsed = t0.elapsed();
+            cobs::histogram!("ensemble.inference_seconds").record_duration(elapsed);
+            out.inference_seconds += elapsed.as_secs_f64();
             out.batches += 1;
 
             for (mw, prediction) in group.iter().zip(predictions) {
@@ -184,9 +189,19 @@ impl<'a> EnsembleRunner<'a> {
             None => (Vec::new(), true),
             Some(v) => {
                 let t0 = Instant::now();
-                let verdicts = v.check_episode(&mw.window[0], &prediction);
-                *verify_seconds += t0.elapsed().as_secs_f64();
+                let verdicts = {
+                    let _span = cobs::span!("ensemble.verify");
+                    v.check_episode(&mw.window[0], &prediction)
+                };
+                let elapsed = t0.elapsed();
+                cobs::histogram!("ensemble.verify_seconds").record_duration(elapsed);
+                *verify_seconds += elapsed.as_secs_f64();
                 let passed = verdicts.len() == t_out && verdicts.iter().all(|v| v.passed);
+                if passed {
+                    cobs::counter!("ensemble.members.passed").inc();
+                } else {
+                    cobs::counter!("ensemble.members.failed").inc();
+                }
                 (verdicts, passed)
             }
         };
@@ -203,13 +218,19 @@ impl<'a> EnsembleRunner<'a> {
 
         // Hybrid fallback: simulate this member's episode under its own
         // forcing, starting from its initial condition.
+        cobs::counter!("ensemble.roms_fallback").inc();
         let t0 = Instant::now();
-        let mut ocean = self.scenario.ocean_config(self.grid, self.year);
-        ocean.forcing = mw.forcing.clone();
-        let mut roms = Roms::new(self.grid, ocean);
-        roms.load(&mw.window[0]);
-        let sim = roms.record(t_out, self.surrogate.snapshot_interval);
-        *fallback_seconds += t0.elapsed().as_secs_f64();
+        let sim = {
+            let _span = cobs::span!("ensemble.roms_fallback");
+            let mut ocean = self.scenario.ocean_config(self.grid, self.year);
+            ocean.forcing = mw.forcing.clone();
+            let mut roms = Roms::new(self.grid, ocean);
+            roms.load(&mw.window[0]);
+            roms.record(t_out, self.surrogate.snapshot_interval)
+        };
+        let elapsed = t0.elapsed();
+        cobs::histogram!("ensemble.fallback_seconds").record_duration(elapsed);
+        *fallback_seconds += elapsed.as_secs_f64();
         if sim.is_empty() {
             return Err(ForecastError::EmptyEpisode);
         }

@@ -153,6 +153,8 @@ fn strict_verifier_forces_member_fallback() {
     let members = catalog(3, 1).members();
     let windows = synthesize_windows(&sc, &grid, &archive[..sc.t_out + 1], 0, &members).unwrap();
 
+    let fallback_metric = cobs::counter!("ensemble.roms_fallback");
+    let fallbacks_before = fallback_metric.get();
     let strict = EnsembleRunner::new(
         &grid,
         &trained,
@@ -168,6 +170,10 @@ fn strict_verifier_forces_member_fallback() {
     .run(&windows)
     .unwrap();
     assert_eq!(strict.fallback_members(), 3, "every member must fall back");
+    assert!(
+        fallback_metric.get() - fallbacks_before >= 3,
+        "ROMS fallbacks must surface in the global metrics registry"
+    );
     assert_eq!(strict.pass_rate(), 0.0);
     assert!(strict.fallback_seconds > 0.0);
     assert!(strict

@@ -1,0 +1,40 @@
+//! # coastal-obs (`cobs`)
+//!
+//! End-to-end telemetry for the coastal surrogate stack — the substrate
+//! every vertical crate (serve, pipeline, ensemble, tensor backends)
+//! reports through. Dependency-free (std only), so it sits below every
+//! other crate in the workspace graph.
+//!
+//! Three subsystems:
+//!
+//! - [`metrics`] — a process-global **metrics registry** of lock-sharded
+//!   [`metrics::Counter`]s, [`metrics::Gauge`]s and log-bucketed
+//!   [`metrics::Histogram`]s, registered by static name and snapshot-able
+//!   as JSON ([`metrics::MetricsSnapshot::to_json`]) or Prometheus text
+//!   exposition format ([`metrics::MetricsSnapshot::to_prometheus`]).
+//!   Call sites use the [`counter!`]/[`gauge!`]/[`histogram!`] macros,
+//!   which cache the registry lookup in a per-call-site `OnceLock` so the
+//!   hot path is one atomic op, never a map probe.
+//!
+//! - [`trace`] — **structured tracing**: per-request traces minted with
+//!   [`trace::start`], cheap nested span guards ([`span!`]) recording
+//!   wall time into a per-trace span tree, and cross-thread
+//!   [`trace::TraceHandle`]s so a request's trace follows it from the
+//!   admission thread through the batcher to a replica worker. Disabled
+//!   (the default) a span guard is a single atomic load; tracing is
+//!   enabled per process via [`trace::set_enabled`] or `COASTAL_TRACE=1`.
+//!
+//! - [`metrics::Reservoir`] — the bounded latency ring shared with
+//!   `cserve`'s percentile metrics (windowed exact quantiles, O(1) in
+//!   request count).
+//!
+//! Kernel-level profiling (`COASTAL_PROFILE=1`) lives in
+//! `ctensor::backend::Profiled`, which records per-op wall time into this
+//! registry and emits kernel spans into whatever trace is active on the
+//! calling thread.
+
+pub mod metrics;
+pub mod trace;
+
+pub use metrics::{global, Counter, Gauge, Histogram, MetricsSnapshot, Registry, Reservoir};
+pub use trace::{SpanId, TraceHandle, TraceId};

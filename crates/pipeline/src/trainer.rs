@@ -122,12 +122,15 @@ impl Trainer {
         let instances = batch.x3d.shape()[0];
         let mut g = Graph::new();
         g.training = true;
-        let x3 = g.constant(batch.x3d.clone());
-        let x2 = g.constant(batch.x2d.clone());
-        let (p3, p2) = self.model.forward(&mut g, x3, x2);
-        let loss = episode_loss(&mut g, p3, p2, &batch.target3, &batch.target2, &self.mask);
-        let loss_v = g.value(loss).item();
-        let resident = g.meter().current;
+        let (loss, loss_v, resident) = {
+            let _span = cobs::span!("train.forward");
+            let x3 = g.constant(batch.x3d.clone());
+            let x2 = g.constant(batch.x2d.clone());
+            let (p3, p2) = self.model.forward(&mut g, x3, x2);
+            let loss = episode_loss(&mut g, p3, p2, &batch.target3, &batch.target2, &self.mask);
+            (loss, g.value(loss).item(), g.meter().current)
+        };
+        cobs::histogram!("train.forward_seconds").record_duration(t0.elapsed());
         if let Some(budget) = self.cfg.memory_budget {
             assert!(
                 resident <= budget,
@@ -135,7 +138,12 @@ impl Trainer {
                  lower the batch size or enable checkpointing"
             );
         }
-        g.backward(loss);
+        let t_bwd = Instant::now();
+        {
+            let _span = cobs::span!("train.backward");
+            g.backward(loss);
+        }
+        cobs::histogram!("train.backward_seconds").record_duration(t_bwd.elapsed());
         StepStats {
             loss: loss_v,
             peak_activation_bytes: g.meter().peak,
@@ -150,6 +158,8 @@ impl Trainer {
     /// for any kernel thread count), clip, and apply one optimizer update.
     pub fn apply_accumulated(&mut self, micro_batches: usize) {
         let _backend = ctensor::backend::scoped(self.step_backend());
+        let _span = cobs::span!("train.optimizer");
+        let t0 = Instant::now();
         if micro_batches > 1 {
             let inv = 1.0 / micro_batches as f32;
             for p in self.opt.params() {
@@ -161,6 +171,7 @@ impl Trainer {
         }
         clip_grad_norm(self.opt.params(), self.cfg.grad_clip);
         self.opt.step();
+        cobs::histogram!("train.optimizer_seconds").record_duration(t0.elapsed());
     }
 
     /// One forward/backward/update on a (possibly batched) episode.
@@ -214,7 +225,11 @@ impl Trainer {
         }
         let wall = t0.elapsed().as_secs_f64();
         let dropped = loader.dropped_episodes() - dropped_before;
+        cobs::counter!("train.epochs").inc();
+        cobs::counter!("train.instances").add(instances as u64);
+        cobs::histogram!("train.epoch_seconds").record(wall);
         if dropped > 0 {
+            cobs::counter!("train.dropped_episodes").add(dropped as u64);
             eprintln!(
                 "[trainer] WARNING: epoch {epoch} dropped {dropped} episode(s) — \
                  prefetch worker(s) died; trained on {instances} of {} instances",
@@ -549,12 +564,19 @@ mod tests {
                 ..Default::default()
             },
         );
+        let dropped_metric = cobs::counter!("train.dropped_episodes");
+        let dropped_before = dropped_metric.get();
         let prev_hook = std::panic::take_hook();
         std::panic::set_hook(Box::new(|_| {})); // silence the worker panic
         let stats = trainer.train_epoch(&loader, 0);
         std::panic::set_hook(prev_hook);
         assert_eq!(stats.dropped_episodes, 2, "crashed + undelivered");
         assert_eq!(stats.instances, 2, "surviving episodes still train");
+        assert_eq!(
+            dropped_metric.get() - dropped_before,
+            2,
+            "drops must surface in the global metrics registry"
+        );
 
         // A healthy epoch reports zero drops.
         let healthy = DataLoader::new(

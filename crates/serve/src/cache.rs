@@ -121,6 +121,7 @@ impl ForecastCache {
     pub fn get(&self, key: &CacheKey) -> Option<Arc<Vec<Snapshot>>> {
         if self.capacity == 0 {
             self.misses.fetch_add(1, Ordering::Relaxed);
+            cobs::counter!("serve.cache.misses").inc();
             return None;
         }
         let mut inner = self.inner.lock();
@@ -130,10 +131,12 @@ impl ForecastCache {
             Some(e) => {
                 e.last_used = clock;
                 self.hits.fetch_add(1, Ordering::Relaxed);
+                cobs::counter!("serve.cache.hits").inc();
                 Some(e.decode())
             }
             None => {
                 self.misses.fetch_add(1, Ordering::Relaxed);
+                cobs::counter!("serve.cache.misses").inc();
                 None
             }
         }

@@ -1,10 +1,22 @@
 //! Serving telemetry: latency percentiles, throughput, batch-size
 //! histogram, cache hit rate.
+//!
+//! All mutable state lives behind **one** mutex ([`MetricsRecorder`]'s
+//! `Inner`), so [`MetricsRecorder::snapshot`] reads every counter and the
+//! latency reservoir in a single consistent pass — `completed` can never
+//! disagree with the latency window or the batch histogram mid-flush,
+//! and the reconcile invariant `completed + failed + rejected ==
+//! submitted` holds on every snapshot once writers have quiesced.
+//!
+//! Every recording also mirrors into the process-global `cobs` metrics
+//! registry (`serve.requests.*`, `serve.latency_seconds`,
+//! `serve.batch_size`), so serving counters appear in the same JSON /
+//! Prometheus dump as trainer, ensemble, and kernel telemetry.
 
 use std::collections::BTreeMap;
-use std::sync::atomic::{AtomicU64, Ordering};
 use std::time::{Duration, Instant};
 
+use cobs::metrics::Reservoir;
 use parking_lot::Mutex;
 
 /// Latency samples kept for percentile estimation. Bounded so a
@@ -13,35 +25,24 @@ use parking_lot::Mutex;
 /// oldest sample, so percentiles describe the most recent window.
 const LATENCY_RESERVOIR: usize = 65_536;
 
-struct LatencyRing {
-    buf: Vec<f64>,
-    /// Next overwrite position once the buffer is full.
-    next: usize,
-}
-
-impl LatencyRing {
-    fn push(&mut self, v: f64) {
-        if self.buf.len() < LATENCY_RESERVOIR {
-            self.buf.push(v);
-        } else {
-            self.buf[self.next] = v;
-            self.next = (self.next + 1) % LATENCY_RESERVOIR;
-        }
-    }
+struct Inner {
+    /// End-to-end request latencies (submit → response), milliseconds —
+    /// the most recent [`LATENCY_RESERVOIR`] samples (shared
+    /// [`cobs::metrics::Reservoir`] ring).
+    latencies_ms: Reservoir,
+    /// Executed batch sizes → count.
+    batch_sizes: BTreeMap<usize, u64>,
+    submitted: u64,
+    completed: u64,
+    rejected: u64,
+    failed: u64,
+    coalesced: u64,
 }
 
 /// Shared recorder the server and its workers write into.
 pub struct MetricsRecorder {
     started: Instant,
-    /// End-to-end request latencies (submit → response), milliseconds —
-    /// the most recent [`LATENCY_RESERVOIR`] samples.
-    latencies_ms: Mutex<LatencyRing>,
-    /// Executed batch sizes → count.
-    batch_sizes: Mutex<BTreeMap<usize, u64>>,
-    completed: AtomicU64,
-    rejected: AtomicU64,
-    failed: AtomicU64,
-    coalesced: AtomicU64,
+    inner: Mutex<Inner>,
 }
 
 impl Default for MetricsRecorder {
@@ -54,58 +55,87 @@ impl MetricsRecorder {
     pub fn new() -> Self {
         Self {
             started: Instant::now(),
-            latencies_ms: Mutex::new(LatencyRing {
-                buf: Vec::new(),
-                next: 0,
+            inner: Mutex::new(Inner {
+                latencies_ms: Reservoir::new(LATENCY_RESERVOIR),
+                batch_sizes: BTreeMap::new(),
+                submitted: 0,
+                completed: 0,
+                rejected: 0,
+                failed: 0,
+                coalesced: 0,
             }),
-            batch_sizes: Mutex::new(BTreeMap::new()),
-            completed: AtomicU64::new(0),
-            rejected: AtomicU64::new(0),
-            failed: AtomicU64::new(0),
-            coalesced: AtomicU64::new(0),
         }
+    }
+
+    /// Record a request admitted past validation. Every submitted request
+    /// ends in exactly one of completed / failed / rejected.
+    pub fn record_submitted(&self) {
+        self.inner.lock().submitted += 1;
+        cobs::counter!("serve.requests.submitted").inc();
     }
 
     /// Record one completed request (cache hits included: they are real
     /// responses with real latencies).
     pub fn record_completion(&self, latency: Duration) {
-        self.completed.fetch_add(1, Ordering::Relaxed);
-        self.latencies_ms.lock().push(latency.as_secs_f64() * 1e3);
+        let ms = latency.as_secs_f64() * 1e3;
+        {
+            let mut inner = self.inner.lock();
+            inner.completed += 1;
+            inner.latencies_ms.push(ms);
+        }
+        cobs::counter!("serve.requests.completed").inc();
+        cobs::histogram!("serve.latency_seconds").record_duration(latency);
     }
 
     /// Record one executed model batch of `size` requests.
     pub fn record_batch(&self, size: usize) {
-        *self.batch_sizes.lock().entry(size).or_insert(0) += 1;
+        *self.inner.lock().batch_sizes.entry(size).or_insert(0) += 1;
+        cobs::histogram!("serve.batch_size").record(size as f64);
     }
 
     /// Record an admission rejection (`Overloaded`).
     pub fn record_rejection(&self) {
-        self.rejected.fetch_add(1, Ordering::Relaxed);
+        self.inner.lock().rejected += 1;
+        cobs::counter!("serve.requests.rejected").inc();
     }
 
     /// Record a request that reached a replica but failed.
     pub fn record_failure(&self) {
-        self.failed.fetch_add(1, Ordering::Relaxed);
+        self.inner.lock().failed += 1;
+        cobs::counter!("serve.requests.failed").inc();
     }
 
     /// Record a request coalesced onto an identical in-flight computation.
     pub fn record_coalesced(&self) {
-        self.coalesced.fetch_add(1, Ordering::Relaxed);
+        self.inner.lock().coalesced += 1;
+        cobs::counter!("serve.requests.coalesced").inc();
     }
 
-    /// Snapshot the counters into an immutable [`ServeMetrics`].
+    /// Snapshot the counters into an immutable [`ServeMetrics`] — one
+    /// lock acquisition, so every field describes the same instant.
     /// `cache_stats` is `(hits, misses)` from the forecast cache.
     pub fn snapshot(&self, cache_stats: (u64, u64)) -> ServeMetrics {
-        let mut lat = self.latencies_ms.lock().buf.clone();
+        let (mut lat, batch_histogram, submitted, completed, rejected, failed, coalesced) = {
+            let inner = self.inner.lock();
+            (
+                inner.latencies_ms.samples().to_vec(),
+                inner.batch_sizes.iter().map(|(&k, &v)| (k, v)).collect(),
+                inner.submitted,
+                inner.completed,
+                inner.rejected,
+                inner.failed,
+                inner.coalesced,
+            )
+        };
         lat.sort_by(|a, b| a.partial_cmp(b).expect("latencies are finite"));
-        let completed = self.completed.load(Ordering::Relaxed);
         let elapsed = self.started.elapsed().as_secs_f64();
         let (hits, misses) = cache_stats;
         ServeMetrics {
+            submitted,
             completed,
-            rejected: self.rejected.load(Ordering::Relaxed),
-            failed: self.failed.load(Ordering::Relaxed),
-            coalesced: self.coalesced.load(Ordering::Relaxed),
+            rejected,
+            failed,
+            coalesced,
             cache_hits: hits,
             cache_misses: misses,
             cache_hit_rate: if hits + misses == 0 {
@@ -126,12 +156,7 @@ impl MetricsRecorder {
             } else {
                 0.0
             },
-            batch_histogram: self
-                .batch_sizes
-                .lock()
-                .iter()
-                .map(|(&k, &v)| (k, v))
-                .collect(),
+            batch_histogram,
         }
     }
 }
@@ -156,6 +181,9 @@ fn percentile(sorted: &[f64], q: f64) -> f64 {
 /// Immutable metrics snapshot.
 #[derive(Clone, Debug)]
 pub struct ServeMetrics {
+    /// Requests admitted past validation (cache hits included). Once
+    /// in-flight work drains, `completed + failed + rejected == submitted`.
+    pub submitted: u64,
     /// Requests answered (computed or cache-served).
     pub completed: u64,
     /// Requests rejected by admission control.
@@ -281,13 +309,16 @@ mod tests {
     fn snapshot_aggregates() {
         let m = MetricsRecorder::new();
         for i in 1..=10 {
+            m.record_submitted();
             m.record_completion(Duration::from_millis(i));
         }
         m.record_batch(4);
         m.record_batch(4);
         m.record_batch(2);
+        m.record_submitted();
         m.record_rejection();
         let s = m.snapshot((3, 7));
+        assert_eq!(s.submitted, 11);
         assert_eq!(s.completed, 10);
         assert_eq!(s.rejected, 1);
         assert!((s.cache_hit_rate - 0.3).abs() < 1e-12);
@@ -295,5 +326,38 @@ mod tests {
         assert!((s.mean_batch_size() - 10.0 / 3.0).abs() < 1e-9);
         assert!(s.p50_ms >= 5.0 && s.p50_ms <= 6.0);
         assert!(s.throughput_rps > 0.0);
+    }
+
+    #[test]
+    fn totals_reconcile_under_concurrent_recording() {
+        // N threads each record a submitted request and finish it on one
+        // of the three terminal paths. After joining, every snapshot must
+        // satisfy completed + failed + rejected == submitted — the
+        // single-lock snapshot can never catch a half-applied update.
+        let m = std::sync::Arc::new(MetricsRecorder::new());
+        let threads = 8;
+        let per_thread = 500u64;
+        std::thread::scope(|s| {
+            for t in 0..threads {
+                let m = std::sync::Arc::clone(&m);
+                s.spawn(move || {
+                    for i in 0..per_thread {
+                        m.record_submitted();
+                        match (t + i) % 3 {
+                            0 => m.record_completion(Duration::from_micros(i + 1)),
+                            1 => m.record_failure(),
+                            _ => m.record_rejection(),
+                        }
+                    }
+                });
+            }
+        });
+        let s = m.snapshot((0, 0));
+        assert_eq!(s.submitted, threads * per_thread);
+        assert_eq!(
+            s.completed + s.failed + s.rejected,
+            s.submitted,
+            "terminal outcomes must cover every submitted request: {s:?}"
+        );
     }
 }

@@ -48,6 +48,11 @@ pub(crate) type ResponseTx = Sender<Result<Arc<Vec<Snapshot>>, ServeError>>;
 pub(crate) struct PendingRequest {
     pub window: Vec<Snapshot>,
     pub key: CacheKey,
+    /// When the leader entered the micro-batcher (queue-wait span).
+    pub enqueued: Instant,
+    /// The leading submitter's trace, carried across the batcher so the
+    /// replica can attribute queue wait and batch compute to it.
+    pub trace: Option<cobs::TraceHandle>,
 }
 
 /// A waiter on an in-flight computation: its own submit time (so latency
@@ -56,6 +61,19 @@ pub(crate) struct PendingRequest {
 pub(crate) struct Waiter {
     pub submitted: Instant,
     pub tx: ResponseTx,
+    /// This client's trace; its root span closes when the response is
+    /// sent (any terminal path).
+    pub trace: Option<cobs::TraceHandle>,
+}
+
+impl Waiter {
+    /// Close this client's trace root (the request reached a terminal
+    /// state). Idempotent, no-op without a trace.
+    pub fn close_trace(&self) {
+        if let Some(t) = &self.trace {
+            t.close();
+        }
+    }
 }
 
 /// Single-flight registry: one computation per distinct in-flight
@@ -300,16 +318,47 @@ fn replica_main(
             continue;
         }
         metrics.record_batch(batch.len());
+        // Queue wait per member: enqueue → replica pickup. Recorded both
+        // as a registry histogram and, for traced requests, an
+        // explicit-bounds span under the request's root.
+        let picked_up = Instant::now();
+        for p in &batch {
+            let waited = picked_up.saturating_duration_since(p.enqueued);
+            cobs::histogram!("serve.queue_wait_seconds").record_duration(waited);
+            if let Some(t) = &p.trace {
+                t.record("queue.wait", None, p.enqueued, picked_up);
+            }
+        }
         let windows: Vec<&[Snapshot]> = batch.iter().map(|p| p.window.as_slice()).collect();
         // Gate the forward so tensor compute never oversubscribes the
         // physical cores, then guard against panics in the tensor stack:
         // a panic must fail this batch's waiters, not kill the worker
         // (which would hang them forever and blackhole in-flight keys).
         let permit = gate.acquire();
-        let outcome = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
-            surrogate.predict_batch(&windows)
-        }));
+        // The first traced member's trace becomes this thread's active
+        // trace for the forward, so profiled backend kernels nest under
+        // its replica.predict_batch span; other traced members get the
+        // same interval recorded as a shared-batch span below.
+        let lead_trace = batch.iter().find_map(|p| p.trace.clone());
+        let fwd_start = Instant::now();
+        let outcome = {
+            let _enter = lead_trace.as_ref().map(|t| cobs::trace::enter(t, t.root()));
+            let _span = cobs::span!("replica.predict_batch");
+            std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                surrogate.predict_batch(&windows)
+            }))
+        };
+        let fwd_end = Instant::now();
         drop(permit);
+        cobs::histogram!("serve.replica_compute_seconds")
+            .record_duration(fwd_end.saturating_duration_since(fwd_start));
+        for p in &batch {
+            if let Some(t) = &p.trace {
+                if lead_trace.as_ref().map(cobs::TraceHandle::id) != Some(t.id()) {
+                    t.record("replica.predict_batch.shared", None, fwd_start, fwd_end);
+                }
+            }
+        }
         match outcome {
             Ok(Ok(results)) => {
                 for (pending, snaps) in batch.into_iter().zip(results) {
@@ -322,6 +371,9 @@ fn replica_main(
                     // waiter; a dropped handle just means nobody waits.
                     for w in inflight.take(&pending.key) {
                         metrics.record_completion(w.submitted.elapsed());
+                        // Close before sending: once the client's wait()
+                        // returns, its trace must already be complete.
+                        w.close_trace();
                         let _ = w.tx.send(Ok(Arc::clone(&value)));
                     }
                 }
@@ -353,6 +405,7 @@ fn fail_batch(
     for pending in batch {
         for w in inflight.take(&pending.key) {
             metrics.record_failure();
+            w.close_trace();
             let _ = w.tx.send(Err(err.clone()));
         }
     }

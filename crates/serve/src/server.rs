@@ -85,9 +85,17 @@ pub struct ResponseHandle {
     rx: mpsc::Receiver<Result<Arc<Vec<Snapshot>>, ServeError>>,
     from_cache: bool,
     coalesced: bool,
+    trace_id: Option<cobs::TraceId>,
 }
 
 impl ResponseHandle {
+    /// The request's trace id when tracing is enabled
+    /// (`cobs::trace::set_enabled` / `COASTAL_TRACE=1`); resolve it to a
+    /// span tree with `cobs::trace::lookup`.
+    pub fn trace_id(&self) -> Option<cobs::TraceId> {
+        self.trace_id
+    }
+
     /// True when the response was served from the forecast cache (it is
     /// then the first computation of this request widened back from the
     /// cache's f16-at-rest payload — equal to within f16 rounding).
@@ -190,6 +198,7 @@ impl ForecastServer {
                 for p in batch {
                     for w in inflight.take(&p.key) {
                         metrics.record_failure();
+                        w.close_trace();
                         let _ = w.tx.send(Err(ServeError::Shutdown));
                     }
                 }
@@ -235,25 +244,58 @@ impl ForecastServer {
     /// `Shutdown`).
     pub fn submit(&self, req: ForecastRequest) -> Result<ResponseHandle, ServeError> {
         let submitted = Instant::now();
-        self.validate(&req)?;
+        // Mint a per-request trace when tracing is on; it follows the
+        // request through the batcher into its replica, and its root span
+        // closes on whichever terminal path the request takes.
+        let trace = cobs::trace::enabled().then(|| cobs::trace::start("forecast"));
+        let trace_id = trace.as_ref().map(cobs::TraceHandle::id);
+        let _enter = trace.as_ref().map(|t| cobs::trace::enter(t, t.root()));
+
+        let validated = {
+            let _s = cobs::span!("submit.validate");
+            self.validate(&req)
+        };
+        if let Err(e) = validated {
+            if let Some(t) = &trace {
+                t.close();
+            }
+            return Err(e);
+        }
+        // Counted only past validation: every submitted request ends in
+        // exactly one of completed / failed / rejected.
+        self.metrics.record_submitted();
         let key = req.cache_key();
 
         let (tx, rx) = mpsc::channel();
-        if let Some(hit) = self.cache.get(&key) {
+        let probe = {
+            let _s = cobs::span!("submit.cache_probe");
+            self.cache.get(&key)
+        };
+        if let Some(hit) = probe {
             self.metrics.record_completion(submitted.elapsed());
+            if let Some(t) = &trace {
+                t.close();
+            }
             let _ = tx.send(Ok(hit));
             return Ok(ResponseHandle {
                 rx,
                 from_cache: true,
                 coalesced: false,
+                trace_id,
             });
         }
 
         // Single-flight: identical concurrent requests share one
         // computation. Only the leader enqueues; joiners wait on the
         // same in-flight entry.
-        match self.inflight.join_or_lead(key, Waiter { submitted, tx }) {
+        let waiter = Waiter {
+            submitted,
+            tx,
+            trace: trace.clone(),
+        };
+        match self.inflight.join_or_lead(key, waiter) {
             Admission::Joined => {
+                let _s = cobs::span!("submit.coalesce");
                 self.metrics.record_coalesced();
                 // A high-priority duplicate lends its urgency to the
                 // queued leader: the shared computation must not wait
@@ -265,6 +307,7 @@ impl ForecastServer {
                     rx,
                     from_cache: false,
                     coalesced: true,
+                    trace_id,
                 });
             }
             Admission::Leader => {
@@ -278,12 +321,14 @@ impl ForecastServer {
                     let value = Ok(hit);
                     for w in self.inflight.take(&key) {
                         self.metrics.record_completion(w.submitted.elapsed());
+                        w.close_trace();
                         let _ = w.tx.send(value.clone());
                     }
                     return Ok(ResponseHandle {
                         rx,
                         from_cache: true,
                         coalesced: false,
+                        trace_id,
                     });
                 }
             }
@@ -292,21 +337,38 @@ impl ForecastServer {
         let pending = PendingRequest {
             window: req.window,
             key,
+            enqueued: Instant::now(),
+            trace: trace.clone(),
         };
-        match self.batcher.push(pending, req.priority) {
-            Ok(()) => Ok(ResponseHandle {
-                rx,
-                from_cache: false,
-                coalesced: false,
-            }),
+        let pushed = {
+            let _s = cobs::span!("submit.enqueue");
+            self.batcher.push(pending, req.priority)
+        };
+        match pushed {
+            Ok(()) => {
+                cobs::gauge!("serve.queue_depth").set(self.batcher.depth() as f64);
+                Ok(ResponseHandle {
+                    rx,
+                    from_cache: false,
+                    coalesced: false,
+                    trace_id,
+                })
+            }
             Err(e) => {
                 // Release the in-flight entry (ourselves plus any waiter
                 // that joined in the race window), propagating the error.
+                // Terminal accounting is per waiter — each was counted
+                // submitted, so each needs exactly one outcome for
+                // `completed + failed + rejected == submitted` to hold.
+                let overloaded = matches!(e, ServeError::Overloaded { .. });
                 for waiter in self.inflight.take(&key) {
+                    if overloaded {
+                        self.metrics.record_rejection();
+                    } else {
+                        self.metrics.record_failure();
+                    }
+                    waiter.close_trace();
                     let _ = waiter.tx.send(Err(e.clone()));
-                }
-                if matches!(e, ServeError::Overloaded { .. }) {
-                    self.metrics.record_rejection();
                 }
                 Err(e)
             }

@@ -622,3 +622,146 @@ fn multi_worker_distinct_throughput_does_not_collapse() {
         multi / one
     );
 }
+
+/// Serializes tests that toggle the process-global trace switch.
+static TRACE_GATE: std::sync::Mutex<()> = std::sync::Mutex::new(());
+
+#[test]
+fn serve_totals_reconcile_end_to_end() {
+    let c = ctx();
+    let mut server = ForecastServer::new(
+        c.spec.clone(),
+        ServeConfig {
+            workers: 1,
+            max_batch: 2,
+            max_wait: Duration::from_millis(1),
+            queue_capacity: 2,
+            cache_capacity: 4,
+            ..Default::default()
+        },
+    );
+    // Mixed traffic against a deliberately tiny deployment: distinct
+    // requests (some of which trip the bounded queue), duplicates (which
+    // coalesce onto in-flight leaders), and repeats (which hit the
+    // cache). Every admission outcome must land in exactly one terminal
+    // counter.
+    let mut handles = Vec::new();
+    let mut rejected_at_submit = 0u64;
+    for round in 0..4 {
+        for i in 0..6 {
+            // Reuse a few keys so coalescing and cache hits both occur.
+            let idx = if round % 2 == 0 { i } else { i % 3 };
+            match server.submit(request(idx)) {
+                Ok(h) => handles.push(h),
+                Err(ServeError::Overloaded { .. }) => rejected_at_submit += 1,
+                Err(e) => panic!("unexpected rejection: {e}"),
+            }
+        }
+    }
+    // Waiters joined onto an overloaded leader surface the error at
+    // wait(); either way the request already reached a terminal counter.
+    for h in handles {
+        let _ = h.wait();
+    }
+    server.shutdown();
+    let m = server.metrics();
+    assert!(rejected_at_submit > 0, "tiny queue must reject under flood");
+    assert!(m.completed > 0, "most of the flood completes");
+    assert_eq!(
+        m.completed + m.failed + m.rejected,
+        m.submitted,
+        "terminal counters must partition admissions: {m:?}"
+    );
+}
+
+#[test]
+fn traced_forecast_records_full_span_tree() {
+    let c = ctx();
+    let _gate = TRACE_GATE.lock().unwrap();
+    cobs::trace::set_enabled(true);
+    let server = ForecastServer::new(
+        c.spec.clone(),
+        ServeConfig {
+            workers: 1,
+            max_batch: 4,
+            max_wait: Duration::from_millis(1),
+            cache_capacity: 8,
+            ..Default::default()
+        },
+    );
+
+    // Cold request: admission → queue → replica, all on one trace.
+    let h = server.submit(request(0)).expect("admitted");
+    let tid = h.trace_id().expect("tracing enabled mints a trace id");
+    h.wait().expect("answered");
+    let t = cobs::trace::lookup(tid).expect("trace retained in registry");
+    let rendered = t.render();
+    for needle in [
+        "forecast",
+        "submit.validate",
+        "submit.cache_probe",
+        "queue.wait",
+        "replica.predict_batch",
+    ] {
+        assert!(
+            rendered.contains(needle),
+            "span {needle:?} missing from trace:\n{rendered}"
+        );
+    }
+    assert!(
+        t.span_seconds(t.root()).is_some(),
+        "root span closed by the time wait() returns:\n{rendered}"
+    );
+
+    // Warm repeat: the cache hit still gets a (short) closed trace.
+    let h2 = server.submit(request(0)).expect("admitted");
+    let tid2 = h2.trace_id().expect("trace minted on the hit path too");
+    assert_ne!(tid, tid2, "each submission gets its own trace");
+    h2.wait().expect("answered from cache");
+    let t2 = cobs::trace::lookup(tid2).expect("trace retained");
+    assert!(
+        t2.span_seconds(t2.root()).is_some(),
+        "cache-hit path closes the root before responding"
+    );
+    assert!(
+        t2.render().contains("submit.cache_probe"),
+        "hit path records its probe: {}",
+        t2.render()
+    );
+    cobs::trace::set_enabled(false);
+}
+
+#[test]
+fn span_stack_survives_panic_unwind_in_worker_thread() {
+    let _gate = TRACE_GATE.lock().unwrap();
+    cobs::trace::set_enabled(true);
+    let t = cobs::trace::start("forecast");
+    let handle = t.clone();
+    // Mirror replica_main's structure exactly: a pool worker enters the
+    // request's trace, opens the compute span inside catch_unwind, and
+    // keeps serving after the model panics.
+    std::thread::Builder::new()
+        .name("serve-replica-test".into())
+        .spawn(move || {
+            let _enter = cobs::trace::enter(&handle, handle.root());
+            let unwound = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                let _span = cobs::trace::span("replica.predict_batch");
+                panic!("kernel exploded mid-batch");
+            }));
+            assert!(unwound.is_err());
+            // The guard's Drop ran during unwinding, so the next span
+            // must attach back under the root, not under the dead span.
+            let _span = cobs::trace::span("replica.predict_batch");
+        })
+        .unwrap()
+        .join()
+        .unwrap();
+    t.close();
+    let rendered = t.render();
+    assert!(
+        rendered.contains("replica.predict_batch x2"),
+        "both compute spans must be siblings under the root \
+         (panicked + recovered), aggregated in render:\n{rendered}"
+    );
+    cobs::trace::set_enabled(false);
+}

@@ -21,9 +21,11 @@
 //!    go parallel.
 
 mod blocked;
+mod profiled;
 mod scalar;
 
 pub use blocked::Blocked;
+pub use profiled::{maybe_profile, profile_requested, Profiled};
 pub use scalar::ScalarRef;
 
 use std::cell::RefCell;
@@ -559,12 +561,12 @@ thread_local! {
 fn env_default() -> Arc<dyn Backend> {
     static D: OnceLock<Arc<dyn Backend>> = OnceLock::new();
     D.get_or_init(|| {
-        match std::env::var("COASTAL_BACKEND").as_deref() {
+        maybe_profile(match std::env::var("COASTAL_BACKEND").as_deref() {
             Ok("scalar") | Ok("scalar_ref") | Ok("ref") => Arc::new(ScalarRef),
             // Unknown names fall back to the fast path: kernels must never
             // silently disappear because of a typo'd env var.
             _ => Arc::new(Blocked::from_env()) as Arc<dyn Backend>,
-        }
+        })
     })
     .clone()
 }
@@ -589,8 +591,8 @@ pub fn set_global(b: Arc<dyn Backend>) {
 /// Look up a backend by name (`"scalar"` / `"blocked"`).
 pub fn by_name(name: &str) -> Result<Arc<dyn Backend>, String> {
     match name {
-        "scalar" | "scalar_ref" | "ref" => Ok(Arc::new(ScalarRef)),
-        "blocked" | "default" | "fast" => Ok(Arc::new(Blocked::from_env())),
+        "scalar" | "scalar_ref" | "ref" => Ok(maybe_profile(Arc::new(ScalarRef))),
+        "blocked" | "default" | "fast" => Ok(maybe_profile(Arc::new(Blocked::from_env()))),
         other => Err(format!(
             "unknown backend '{other}' (expected 'scalar' or 'blocked')"
         )),
@@ -633,9 +635,11 @@ impl BackendChoice {
         match self {
             BackendChoice::Auto => current(),
             BackendChoice::Blocked => BLOCKED
-                .get_or_init(|| Arc::new(Blocked::from_env()))
+                .get_or_init(|| maybe_profile(Arc::new(Blocked::from_env())))
                 .clone(),
-            BackendChoice::Scalar => SCALAR.get_or_init(|| Arc::new(ScalarRef)).clone(),
+            BackendChoice::Scalar => SCALAR
+                .get_or_init(|| maybe_profile(Arc::new(ScalarRef)))
+                .clone(),
         }
     }
 

@@ -117,12 +117,19 @@ impl Linear {
                 y
             }
             QuantWeight::F16(fw) => {
+                // Decompress + f32 GEMM composite, attributed as one
+                // f16-tier kernel (the inner matmul also shows up as
+                // kernel.matmul.f32 when profiling is on).
+                let _span = cobs::span!("kernel.linear.f16");
+                let start = std::time::Instant::now();
                 let w = Tensor::from_vec(fw.decompress(), &[self.in_features, self.out_features]);
                 let xf = x_t.reshaped(&[rows, self.in_features]);
-                match &bias {
+                let y = match &bias {
                     Some(b) => xf.matmul_bias(&w, b),
                     None => xf.matmul(&w),
-                }
+                };
+                cobs::histogram!("kernel.linear.f16").record_duration(start.elapsed());
+                y
             }
         };
         if let Some(op) = act {

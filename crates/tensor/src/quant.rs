@@ -306,8 +306,10 @@ pub fn select_tier(w: &[f32], k: usize, n: usize, threshold: f32) -> (QuantWeigh
     }
     let rel = max_err / max_ref.max(1e-12);
     if rel <= threshold {
+        cobs::counter!("quant.tier.int8").inc();
         (QuantWeight::Int8(q), rel)
     } else {
+        cobs::counter!("quant.tier.f16_fallback").inc();
         (QuantWeight::F16(F16Weight::compress(w, k, n)), rel)
     }
 }

@@ -9,6 +9,7 @@ pub use ccore as core;
 pub use censemble as ensemble;
 pub use cgrid as grid;
 pub use chpc as hpc;
+pub use cobs as obs;
 pub use cocean as ocean;
 pub use cphysics as physics;
 pub use cpipeline as pipeline;
