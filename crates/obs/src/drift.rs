@@ -1,0 +1,326 @@
+//! Physics-drift watchdog core: windowed monitoring of per-member
+//! physics verdict pass-rate and ζ (free-surface) summary statistics
+//! against a calibration baseline.
+//!
+//! The source paper's deployment story leans on verification: the
+//! surrogate is trusted only while its episodes pass the mass-residual
+//! check, and failing episodes fall back to the physics model. That is a
+//! *per-episode* guarantee. This module adds the *fleet-level* guarantee:
+//! if the surrogate as a whole drifts out of the envelope it was
+//! calibrated in (distribution shift, a bad weight push, quantization
+//! gone stale), the windowed pass-rate and ζ statistics move, and the
+//! monitor emits escalation events that the serving layer turns into
+//! precision-ladder steps and ultimately ROMS-fallback routing
+//! (`cserve`'s `DriftGovernor`).
+//!
+//! The monitor itself is dependency-free and unit-testable: feed it
+//! `(passed, ζ_mean, ζ_extreme)` per member, read [`DriftEvent`]s out.
+//! Windows are counted in members (not seconds) because drift is a
+//! property of the model's output distribution, not of wall time.
+
+use std::collections::VecDeque;
+
+/// Calibration-time reference statistics, captured on a healthy
+/// surrogate over a representative member population.
+#[derive(Clone, Copy, Debug)]
+pub struct DriftBaseline {
+    /// Fraction of members whose whole episode passed verification.
+    pub pass_rate: f64,
+    /// Mean over members of the episode-mean ζ (meters).
+    pub zeta_mean: f64,
+    /// Mean over members of the episode-extreme |ζ| (meters).
+    pub zeta_extreme: f64,
+}
+
+impl DriftBaseline {
+    /// Compute a baseline from calibration members.
+    pub fn from_members<I: IntoIterator<Item = (bool, f64, f64)>>(members: I) -> Self {
+        let (mut n, mut passed, mut mean, mut extreme) = (0u64, 0u64, 0.0, 0.0);
+        for (p, zm, zx) in members {
+            n += 1;
+            passed += p as u64;
+            mean += zm;
+            extreme += zx;
+        }
+        let n = n.max(1) as f64;
+        Self {
+            pass_rate: passed as f64 / n,
+            zeta_mean: mean / n,
+            zeta_extreme: extreme / n,
+        }
+    }
+}
+
+/// Thresholds and window sizing.
+#[derive(Clone, Copy, Debug)]
+pub struct DriftConfig {
+    /// Member observations per evaluation window.
+    pub window: usize,
+    /// A window breaches when its pass rate falls more than this below
+    /// the baseline pass rate.
+    pub max_pass_rate_drop: f64,
+    /// A window breaches when |window ζ-mean − baseline ζ-mean| exceeds
+    /// this (meters).
+    pub max_mean_drift: f64,
+    /// A window breaches when |window ζ-extreme − baseline ζ-extreme|
+    /// exceeds this (meters).
+    pub max_extreme_drift: f64,
+    /// Consecutive breaching windows before an escalation fires.
+    pub trip_windows: usize,
+    /// Consecutive clean windows before a recovery fires.
+    pub recover_windows: usize,
+}
+
+impl Default for DriftConfig {
+    fn default() -> Self {
+        Self {
+            window: 32,
+            max_pass_rate_drop: 0.15,
+            max_mean_drift: 0.05,
+            max_extreme_drift: 0.25,
+            trip_windows: 2,
+            recover_windows: 4,
+        }
+    }
+}
+
+/// What a completed window showed.
+#[derive(Clone, Debug)]
+pub struct WindowStats {
+    pub pass_rate: f64,
+    pub zeta_mean: f64,
+    pub zeta_extreme: f64,
+    /// Human-readable breach descriptions (empty = clean window).
+    pub breaches: Vec<String>,
+}
+
+/// Emitted by [`DriftMonitor::observe`] when streak thresholds cross.
+#[derive(Clone, Debug)]
+pub enum DriftEvent {
+    /// `trip_windows` consecutive windows breached: step down the ladder.
+    Escalate(WindowStats),
+    /// `recover_windows` consecutive windows were clean: step back up.
+    Recover(WindowStats),
+}
+
+/// The windowed drift monitor. Not thread-safe by itself — the serving
+/// layer wraps it in a lock (`cserve::DriftGovernor`).
+pub struct DriftMonitor {
+    cfg: DriftConfig,
+    baseline: DriftBaseline,
+    /// Current partial window of `(passed, ζ_mean, ζ_extreme)`.
+    buf: VecDeque<(bool, f64, f64)>,
+    bad_streak: usize,
+    good_streak: usize,
+    windows_evaluated: u64,
+}
+
+impl DriftMonitor {
+    pub fn new(baseline: DriftBaseline, cfg: DriftConfig) -> Self {
+        assert!(cfg.window >= 1, "drift window must be >= 1");
+        Self {
+            cfg,
+            baseline,
+            buf: VecDeque::new(),
+            bad_streak: 0,
+            good_streak: 0,
+            windows_evaluated: 0,
+        }
+    }
+
+    pub fn baseline(&self) -> DriftBaseline {
+        self.baseline
+    }
+
+    pub fn config(&self) -> DriftConfig {
+        self.cfg
+    }
+
+    pub fn windows_evaluated(&self) -> u64 {
+        self.windows_evaluated
+    }
+
+    /// Feed one member's outcome. Returns an event when this observation
+    /// completes a window whose streak crosses a threshold.
+    pub fn observe(
+        &mut self,
+        passed: bool,
+        zeta_mean: f64,
+        zeta_extreme: f64,
+    ) -> Option<DriftEvent> {
+        self.buf.push_back((passed, zeta_mean, zeta_extreme));
+        if self.buf.len() < self.cfg.window {
+            return None;
+        }
+        let stats = self.evaluate_window();
+        self.buf.clear();
+        self.windows_evaluated += 1;
+
+        crate::gauge!("drift.window_pass_rate").set(stats.pass_rate);
+        crate::gauge!("drift.zeta_mean_drift")
+            .set((stats.zeta_mean - self.baseline.zeta_mean).abs());
+        crate::gauge!("drift.zeta_extreme_drift")
+            .set((stats.zeta_extreme - self.baseline.zeta_extreme).abs());
+
+        if stats.breaches.is_empty() {
+            self.bad_streak = 0;
+            self.good_streak += 1;
+            if self.good_streak >= self.cfg.recover_windows {
+                self.good_streak = 0;
+                return Some(DriftEvent::Recover(stats));
+            }
+        } else {
+            self.good_streak = 0;
+            self.bad_streak += 1;
+            crate::counter!("drift.windows_breached").inc();
+            if self.bad_streak >= self.cfg.trip_windows {
+                self.bad_streak = 0;
+                return Some(DriftEvent::Escalate(stats));
+            }
+        }
+        None
+    }
+
+    fn evaluate_window(&self) -> WindowStats {
+        let n = self.buf.len() as f64;
+        let pass_rate = self.buf.iter().filter(|m| m.0).count() as f64 / n;
+        let zeta_mean = self.buf.iter().map(|m| m.1).sum::<f64>() / n;
+        let zeta_extreme = self.buf.iter().map(|m| m.2).sum::<f64>() / n;
+        let mut breaches = Vec::new();
+        let drop = self.baseline.pass_rate - pass_rate;
+        if drop > self.cfg.max_pass_rate_drop {
+            breaches.push(format!(
+                "pass rate {pass_rate:.3} fell {drop:.3} below baseline {:.3} (max {:.3})",
+                self.baseline.pass_rate, self.cfg.max_pass_rate_drop
+            ));
+        }
+        let mean_drift = (zeta_mean - self.baseline.zeta_mean).abs();
+        if mean_drift > self.cfg.max_mean_drift {
+            breaches.push(format!(
+                "zeta mean drift {mean_drift:.4} m exceeds {:.4} m",
+                self.cfg.max_mean_drift
+            ));
+        }
+        let extreme_drift = (zeta_extreme - self.baseline.zeta_extreme).abs();
+        if extreme_drift > self.cfg.max_extreme_drift {
+            breaches.push(format!(
+                "zeta extreme drift {extreme_drift:.4} m exceeds {:.4} m",
+                self.cfg.max_extreme_drift
+            ));
+        }
+        WindowStats {
+            pass_rate,
+            zeta_mean,
+            zeta_extreme,
+            breaches,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn baseline() -> DriftBaseline {
+        DriftBaseline {
+            pass_rate: 1.0,
+            zeta_mean: 0.10,
+            zeta_extreme: 0.80,
+        }
+    }
+
+    fn cfg() -> DriftConfig {
+        DriftConfig {
+            window: 4,
+            trip_windows: 2,
+            recover_windows: 2,
+            ..DriftConfig::default()
+        }
+    }
+
+    #[test]
+    fn healthy_stream_never_escalates() {
+        let mut m = DriftMonitor::new(baseline(), cfg());
+        for i in 0..64 {
+            let ev = m.observe(true, 0.10, 0.80);
+            match ev {
+                None | Some(DriftEvent::Recover(_)) => {}
+                Some(DriftEvent::Escalate(s)) => panic!("escalated at {i}: {s:?}"),
+            }
+        }
+        assert_eq!(m.windows_evaluated(), 16);
+    }
+
+    #[test]
+    fn pass_rate_collapse_escalates_after_trip_windows() {
+        let mut m = DriftMonitor::new(baseline(), cfg());
+        let mut events = Vec::new();
+        // 8 members = 2 windows of total verification failure.
+        for _ in 0..8 {
+            if let Some(e) = m.observe(false, 0.10, 0.80) {
+                events.push(e);
+            }
+        }
+        assert_eq!(events.len(), 1, "{events:?}");
+        let DriftEvent::Escalate(s) = &events[0] else {
+            panic!("{events:?}");
+        };
+        assert_eq!(s.pass_rate, 0.0);
+        assert!(s.breaches.iter().any(|b| b.contains("pass rate")), "{s:?}");
+    }
+
+    #[test]
+    fn zeta_drift_alone_escalates() {
+        let mut m = DriftMonitor::new(baseline(), cfg());
+        // Members still pass verification but the surface drifted 30 cm.
+        let mut escalated = false;
+        for _ in 0..8 {
+            if let Some(DriftEvent::Escalate(s)) = m.observe(true, 0.40, 0.80) {
+                assert!(s.breaches.iter().any(|b| b.contains("zeta mean")), "{s:?}");
+                escalated = true;
+            }
+        }
+        assert!(escalated);
+    }
+
+    #[test]
+    fn single_bad_window_does_not_trip() {
+        let mut m = DriftMonitor::new(baseline(), cfg());
+        for _ in 0..4 {
+            assert!(m.observe(false, 0.10, 0.80).is_none());
+        }
+        // Clean window resets the bad streak.
+        for _ in 0..4 {
+            m.observe(true, 0.10, 0.80);
+        }
+        for _ in 0..4 {
+            assert!(
+                m.observe(false, 0.10, 0.80).is_none(),
+                "streak must restart after a clean window"
+            );
+        }
+    }
+
+    #[test]
+    fn recovery_fires_after_consecutive_clean_windows() {
+        let mut m = DriftMonitor::new(baseline(), cfg());
+        for _ in 0..8 {
+            m.observe(false, 0.10, 0.80); // escalate
+        }
+        let mut recovered = false;
+        for _ in 0..8 {
+            if let Some(DriftEvent::Recover(_)) = m.observe(true, 0.10, 0.80) {
+                recovered = true;
+            }
+        }
+        assert!(recovered);
+    }
+
+    #[test]
+    fn baseline_from_members_averages() {
+        let b = DriftBaseline::from_members(vec![(true, 0.1, 0.5), (false, 0.3, 1.5)]);
+        assert_eq!(b.pass_rate, 0.5);
+        assert!((b.zeta_mean - 0.2).abs() < 1e-12);
+        assert!((b.zeta_extreme - 1.0).abs() < 1e-12);
+    }
+}

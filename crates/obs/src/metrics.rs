@@ -95,13 +95,13 @@ impl Gauge {
 /// Log-bucketed histogram geometry: two buckets per octave (√2 steps)
 /// starting at [`HIST_MIN`]. 96 buckets cover `1e-9 · 2^48 ≈ 2.8e5`, so a
 /// seconds-unit histogram spans nanoseconds to ~3 days.
-const HIST_BUCKETS: usize = 96;
+pub(crate) const HIST_BUCKETS: usize = 96;
 const HIST_MIN: f64 = 1e-9;
 const HIST_SUB: f64 = 2.0; // buckets per octave
 
 /// Bucket index of `v` (bucket 0 collects everything ≤ [`HIST_MIN`],
 /// the last bucket everything beyond the covered range).
-fn bucket_of(v: f64) -> usize {
+pub(crate) fn bucket_of(v: f64) -> usize {
     if v.is_nan() || v <= HIST_MIN {
         // NaN and non-positive values land in bucket 0 rather than
         // poisoning the distribution.
@@ -112,7 +112,7 @@ fn bucket_of(v: f64) -> usize {
 }
 
 /// Upper edge of bucket `i` (inclusive; `f64::INFINITY` for the last).
-fn bucket_upper(i: usize) -> f64 {
+pub(crate) fn bucket_upper(i: usize) -> f64 {
     if i + 1 >= HIST_BUCKETS {
         f64::INFINITY
     } else {
@@ -300,6 +300,9 @@ pub struct Registry {
     counters: Mutex<BTreeMap<&'static str, Arc<Counter>>>,
     gauges: Mutex<BTreeMap<&'static str, Arc<Gauge>>>,
     histograms: Mutex<BTreeMap<&'static str, Arc<Histogram>>>,
+    /// Help text per series name, emitted as `# HELP` lines in the
+    /// Prometheus exposition (last [`Registry::describe`] wins).
+    help: Mutex<BTreeMap<&'static str, &'static str>>,
 }
 
 fn lock<T>(m: &Mutex<T>) -> std::sync::MutexGuard<'_, T> {
@@ -324,9 +327,20 @@ impl Registry {
         Arc::clone(lock(&self.histograms).entry(name).or_default())
     }
 
+    /// Attach help text to the series `name` (any kind). Surfaced as a
+    /// `# HELP` line in the Prometheus exposition, with backslashes and
+    /// newlines escaped per the format. Idempotent; last call wins.
+    pub fn describe(&self, name: &'static str, help: &'static str) {
+        lock(&self.help).insert(name, help);
+    }
+
     /// Freeze every registered series.
     pub fn snapshot(&self) -> MetricsSnapshot {
         MetricsSnapshot {
+            help: lock(&self.help)
+                .iter()
+                .map(|(&k, &v)| (k.to_string(), v.to_string()))
+                .collect(),
             counters: lock(&self.counters)
                 .iter()
                 .map(|(&k, v)| (k.to_string(), v.get()))
@@ -387,6 +401,8 @@ pub struct MetricsSnapshot {
     pub counters: BTreeMap<String, u64>,
     pub gauges: BTreeMap<String, f64>,
     pub histograms: BTreeMap<String, HistogramSnapshot>,
+    /// Help text per original series name ([`Registry::describe`]).
+    pub help: BTreeMap<String, String>,
 }
 
 fn json_f64(v: f64) -> String {
@@ -409,6 +425,21 @@ fn prom_name(name: &str) -> String {
             }
         })
         .collect()
+}
+
+/// Escape `# HELP` text per the exposition format: backslash and newline
+/// become the two-character sequences `\\` and `\n` so the line stays one
+/// physical line and round-trips through a conforming parser.
+fn prom_escape_help(help: &str) -> String {
+    let mut out = String::with_capacity(help.len());
+    for c in help.chars() {
+        match c {
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            _ => out.push(c),
+        }
+    }
+    out
 }
 
 impl MetricsSnapshot {
@@ -462,19 +493,29 @@ impl MetricsSnapshot {
         out
     }
 
-    /// Prometheus text exposition format (cumulative `le` buckets).
+    /// Prometheus text exposition format (cumulative `le` buckets), with
+    /// `# HELP` lines for every series registered via
+    /// [`Registry::describe`].
     pub fn to_prometheus(&self) -> String {
+        let help_line = |out: &mut String, k: &str, n: &str| {
+            if let Some(h) = self.help.get(k) {
+                out.push_str(&format!("# HELP {n} {}\n", prom_escape_help(h)));
+            }
+        };
         let mut out = String::new();
         for (k, v) in &self.counters {
             let n = prom_name(k);
+            help_line(&mut out, k, &n);
             out.push_str(&format!("# TYPE {n} counter\n{n} {v}\n"));
         }
         for (k, v) in &self.gauges {
             let n = prom_name(k);
+            help_line(&mut out, k, &n);
             out.push_str(&format!("# TYPE {n} gauge\n{n} {}\n", json_f64(*v)));
         }
         for (k, h) in &self.histograms {
             let n = prom_name(k);
+            help_line(&mut out, k, &n);
             out.push_str(&format!("# TYPE {n} histogram\n"));
             let mut cum = 0u64;
             for (le, c) in h.nonzero_buckets() {
@@ -609,6 +650,73 @@ mod tests {
         assert!(prom.contains("# TYPE unit_latency_seconds histogram"));
         assert!(prom.contains("unit_latency_seconds_count 2"), "{prom}");
         assert!(prom.contains("le=\"+Inf\"}} 2".replace("}}", "}").as_str()));
+    }
+
+    #[test]
+    fn prometheus_exposition_conforms() {
+        // Format-conformance over a registry exercising every series kind
+        // plus hostile help text: each # HELP precedes its # TYPE, help
+        // backslashes/newlines are escaped onto one physical line, metric
+        // names use the legal charset, sample lines are `name[{labels}]
+        // value`, and histogram buckets are cumulative and end at +Inf.
+        let r = Registry::new();
+        r.counter("conf.requests").add(3);
+        r.describe("conf.requests", "requests with a \\ backslash\nand newline");
+        r.gauge("conf.depth").set(1.0);
+        r.describe("conf.depth", "queue depth");
+        let h = r.histogram("conf.latency_seconds");
+        for v in [0.001, 0.002, 0.004, 0.5] {
+            h.record(v);
+        }
+        r.describe("conf.latency_seconds", "latency");
+        let prom = r.snapshot().to_prometheus();
+
+        let help_at = prom.find("# HELP conf_requests").unwrap();
+        let type_at = prom.find("# TYPE conf_requests counter").unwrap();
+        assert!(help_at < type_at, "{prom}");
+        assert!(
+            prom.contains("# HELP conf_requests requests with a \\\\ backslash\\nand newline\n"),
+            "help escaping broken:\n{prom}"
+        );
+        assert!(prom.contains("# HELP conf_latency_seconds latency\n"));
+
+        let name_ok = |n: &str| {
+            !n.is_empty()
+                && !n.starts_with(|c: char| c.is_ascii_digit())
+                && n.chars()
+                    .all(|c| c.is_ascii_alphanumeric() || c == '_' || c == ':')
+        };
+        let mut inf_cum = None;
+        let mut last_cum = 0u64;
+        for line in prom.lines() {
+            assert!(!line.is_empty(), "blank line in exposition");
+            if line.starts_with('#') {
+                let mut parts = line.splitn(4, ' ');
+                assert_eq!(parts.next(), Some("#"));
+                let kind = parts.next().unwrap();
+                assert!(kind == "HELP" || kind == "TYPE", "{line}");
+                assert!(name_ok(parts.next().unwrap()), "{line}");
+                continue;
+            }
+            // Sample line: name or name{le="..."} then one float value.
+            let (series, value) = line.rsplit_once(' ').expect("sample line");
+            let base = series.split('{').next().unwrap();
+            assert!(name_ok(base), "bad metric name in {line}");
+            assert!(
+                value == "+Inf" || value.parse::<f64>().is_ok(),
+                "unparseable value in {line}"
+            );
+            if let Some(le) = series.strip_prefix("conf_latency_seconds_bucket{le=\"") {
+                let cum: u64 = value.parse().unwrap();
+                assert!(cum >= last_cum, "buckets not cumulative: {line}");
+                last_cum = cum;
+                if le.starts_with("+Inf") {
+                    inf_cum = Some(cum);
+                }
+            }
+        }
+        assert_eq!(inf_cum, Some(4), "+Inf bucket must equal count");
+        assert!(prom.ends_with('\n'));
     }
 
     #[test]

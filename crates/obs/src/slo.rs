@@ -1,0 +1,528 @@
+//! Declarative SLOs evaluated with multi-window burn-rate math.
+//!
+//! An [`SloSpec`] names an objective — a target fraction of *good*
+//! requests, where good is either "not an error" (availability) or
+//! "answered within [`SloSpec::latency_threshold`]" (latency). The error
+//! budget is `1 − objective`; the **burn rate** over a window is the
+//! window's observed error rate divided by the budget, so burn 1.0 spends
+//! the budget exactly at the sustainable pace and burn 14.4 exhausts a
+//! 30-day budget in 50 hours (the classic page threshold).
+//!
+//! Alerts use the **multi-window** rule: a severity fires only when the
+//! burn rate exceeds its threshold over *both* a fast and a slow window.
+//! The slow window keeps one noisy minute from paging; the fast window
+//! makes the alert reset quickly once the bleeding stops. The per-spec
+//! [`AlertState`] machine escalates `ok → warning → page` immediately when
+//! both windows agree, and de-escalates one level per evaluation once
+//! both burn rates fall below the warning threshold (hysteresis: a
+//! flapping error rate ratchets down slowly, not instantly).
+//!
+//! Time is injected via the [`Clock`] trait: production uses
+//! [`SystemClock`] (monotonic), tests use [`ManualClock`] and never
+//! sleep. Window counts live in coarse time-bucket rings, so recording is
+//! O(1) and memory is O(slow_window / bucket) per spec.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+use std::time::Instant;
+
+/// Source of monotone time in seconds (injectable for tests).
+pub trait Clock: Send + Sync {
+    fn now_seconds(&self) -> f64;
+}
+
+/// Monotonic wall clock, anchored at construction.
+pub struct SystemClock {
+    anchor: Instant,
+}
+
+impl Default for SystemClock {
+    fn default() -> Self {
+        Self {
+            anchor: Instant::now(),
+        }
+    }
+}
+
+impl Clock for SystemClock {
+    fn now_seconds(&self) -> f64 {
+        self.anchor.elapsed().as_secs_f64()
+    }
+}
+
+/// Test clock advanced by hand.
+#[derive(Default)]
+pub struct ManualClock {
+    bits: AtomicU64,
+}
+
+impl ManualClock {
+    pub fn new(t: f64) -> Self {
+        let c = Self::default();
+        c.set(t);
+        c
+    }
+
+    pub fn set(&self, t: f64) {
+        self.bits.store(t.to_bits(), Ordering::Relaxed);
+    }
+
+    pub fn advance(&self, dt: f64) {
+        self.set(self.now_seconds() + dt);
+    }
+}
+
+impl Clock for ManualClock {
+    fn now_seconds(&self) -> f64 {
+        f64::from_bits(self.bits.load(Ordering::Relaxed))
+    }
+}
+
+// ------------------------------------------------------------------ spec
+
+/// One service-level objective.
+#[derive(Clone, Copy, Debug)]
+pub struct SloSpec {
+    pub name: &'static str,
+    /// Target good fraction (e.g. `0.999` = 99.9%).
+    pub objective: f64,
+    /// `None`: availability (good = request succeeded). `Some(thr)`:
+    /// latency (good = succeeded *and* answered within `thr` seconds).
+    pub latency_threshold: Option<f64>,
+    /// Fast alert window, seconds.
+    pub fast_window: f64,
+    /// Slow alert window, seconds.
+    pub slow_window: f64,
+    /// Burn rate (over both windows) that pages.
+    pub page_burn: f64,
+    /// Burn rate (over both windows) that warns.
+    pub warn_burn: f64,
+}
+
+impl SloSpec {
+    /// Availability SLO with the classic fast/slow pairing scaled to a
+    /// serving process (60 s fast / 12 min slow).
+    pub fn availability(name: &'static str, objective: f64) -> Self {
+        Self {
+            name,
+            objective,
+            latency_threshold: None,
+            fast_window: 60.0,
+            slow_window: 720.0,
+            page_burn: 14.4,
+            warn_burn: 6.0,
+        }
+    }
+
+    /// Latency SLO: `objective` of requests answered within `threshold`
+    /// seconds.
+    pub fn latency(name: &'static str, threshold: f64, objective: f64) -> Self {
+        Self {
+            latency_threshold: Some(threshold),
+            ..Self::availability(name, objective)
+        }
+    }
+
+    /// Error budget (bad fraction allowed), floored away from zero so a
+    /// 100% objective cannot divide by zero.
+    pub fn budget(&self) -> f64 {
+        (1.0 - self.objective).max(1e-9)
+    }
+}
+
+/// Alert severity, ordered.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord)]
+pub enum AlertState {
+    Ok,
+    Warning,
+    Page,
+}
+
+impl AlertState {
+    pub fn as_str(self) -> &'static str {
+        match self {
+            AlertState::Ok => "ok",
+            AlertState::Warning => "warning",
+            AlertState::Page => "page",
+        }
+    }
+
+    fn step_down(self) -> Self {
+        match self {
+            AlertState::Page => AlertState::Warning,
+            _ => AlertState::Ok,
+        }
+    }
+}
+
+// --------------------------------------------------------------- buckets
+
+/// Coarse time-bucketed good/bad counts. Slot `abs % len` holds the
+/// counts of absolute bucket `abs`; a slot is lazily reset when a newer
+/// absolute bucket claims it, so no timer thread is needed.
+struct Buckets {
+    width: f64,
+    abs: Vec<u64>,
+    good: Vec<u64>,
+    bad: Vec<u64>,
+}
+
+const EMPTY: u64 = u64::MAX;
+
+impl Buckets {
+    fn new(fast_window: f64, slow_window: f64) -> Self {
+        // ≥12 buckets across the fast window keeps its edge quantization
+        // under ~8%; the ring must span the slow window plus one bucket.
+        let width = (fast_window / 12.0).max(1e-3);
+        let len = (slow_window / width).ceil() as usize + 2;
+        Self {
+            width,
+            abs: vec![EMPTY; len],
+            good: vec![0; len],
+            bad: vec![0; len],
+        }
+    }
+
+    fn record(&mut self, now: f64, good: bool) {
+        let abs = (now.max(0.0) / self.width) as u64;
+        let slot = (abs as usize) % self.abs.len();
+        if self.abs[slot] != abs {
+            self.abs[slot] = abs;
+            self.good[slot] = 0;
+            self.bad[slot] = 0;
+        }
+        if good {
+            self.good[slot] += 1;
+        } else {
+            self.bad[slot] += 1;
+        }
+    }
+
+    /// `(good, bad)` over the last `window` seconds ending at `now`.
+    fn counts(&self, now: f64, window: f64) -> (u64, u64) {
+        let cur = (now.max(0.0) / self.width) as u64;
+        let span = (window / self.width).ceil() as u64;
+        let min = cur.saturating_sub(span);
+        let (mut g, mut b) = (0, 0);
+        for slot in 0..self.abs.len() {
+            let abs = self.abs[slot];
+            if abs != EMPTY && abs >= min && abs <= cur {
+                g += self.good[slot];
+                b += self.bad[slot];
+            }
+        }
+        (g, b)
+    }
+}
+
+// --------------------------------------------------------------- tracker
+
+/// Evaluated state of one SLO at one instant.
+#[derive(Clone, Debug)]
+pub struct SloStatus {
+    pub name: &'static str,
+    pub state: AlertState,
+    pub fast_burn: f64,
+    pub slow_burn: f64,
+    /// `(good, bad)` over the slow window.
+    pub counts: (u64, u64),
+}
+
+impl SloStatus {
+    pub fn to_json(&self) -> String {
+        format!(
+            "{{\"name\": \"{}\", \"state\": \"{}\", \"burn_fast\": {:.3}, \
+             \"burn_slow\": {:.3}, \"good\": {}, \"bad\": {}}}",
+            self.name,
+            self.state.as_str(),
+            self.fast_burn,
+            self.slow_burn,
+            self.counts.0,
+            self.counts.1
+        )
+    }
+}
+
+struct TrackerInner {
+    buckets: Buckets,
+    state: AlertState,
+}
+
+/// One SLO's counters plus its alert state machine.
+pub struct SloTracker {
+    pub spec: SloSpec,
+    inner: Mutex<TrackerInner>,
+    /// Leaked-once gauge names (`slo.<name>.{burn_fast,burn_slow,state}`).
+    gauges: (&'static str, &'static str, &'static str),
+}
+
+fn leak(s: String) -> &'static str {
+    Box::leak(s.into_boxed_str())
+}
+
+impl SloTracker {
+    pub fn new(spec: SloSpec) -> Self {
+        let gauges = (
+            leak(format!("slo.{}.burn_fast", spec.name)),
+            leak(format!("slo.{}.burn_slow", spec.name)),
+            leak(format!("slo.{}.state", spec.name)),
+        );
+        let reg = crate::metrics::global();
+        reg.describe(
+            gauges.0,
+            "Fast-window error-budget burn rate (error rate / budget)",
+        );
+        reg.describe(
+            gauges.1,
+            "Slow-window error-budget burn rate (error rate / budget)",
+        );
+        reg.describe(gauges.2, "SLO alert state: 0 = ok, 1 = warning, 2 = page");
+        // Intern the gauges now so the series are scrapeable (at their
+        // resting values) before the first `evaluate` runs.
+        reg.gauge(gauges.0).set(0.0);
+        reg.gauge(gauges.1).set(0.0);
+        reg.gauge(gauges.2).set(AlertState::Ok as u8 as f64);
+        Self {
+            spec,
+            inner: Mutex::new(TrackerInner {
+                buckets: Buckets::new(spec.fast_window, spec.slow_window),
+                state: AlertState::Ok,
+            }),
+            gauges,
+        }
+    }
+
+    fn lock(&self) -> std::sync::MutexGuard<'_, TrackerInner> {
+        self.inner.lock().unwrap_or_else(|e| e.into_inner())
+    }
+
+    pub fn record(&self, now: f64, good: bool) {
+        self.lock().buckets.record(now, good);
+    }
+
+    /// `(fast, slow)` burn rates at `now`. Windows with no samples burn
+    /// at 0 (no data is not an outage — absence alerting is a separate
+    /// concern from budget burn).
+    pub fn burn_rates(&self, now: f64) -> (f64, f64) {
+        let inner = self.lock();
+        let rate = |(g, b): (u64, u64)| {
+            let n = g + b;
+            if n == 0 {
+                0.0
+            } else {
+                b as f64 / n as f64 / self.spec.budget()
+            }
+        };
+        (
+            rate(inner.buckets.counts(now, self.spec.fast_window)),
+            rate(inner.buckets.counts(now, self.spec.slow_window)),
+        )
+    }
+
+    /// Step the alert state machine and export gauges.
+    pub fn evaluate(&self, now: f64) -> SloStatus {
+        let mut inner = self.lock();
+        let rate = |(g, b): (u64, u64)| {
+            let n = g + b;
+            if n == 0 {
+                0.0
+            } else {
+                b as f64 / n as f64 / self.spec.budget()
+            }
+        };
+        let counts = inner.buckets.counts(now, self.spec.slow_window);
+        let fast = rate(inner.buckets.counts(now, self.spec.fast_window));
+        let slow = rate(counts);
+        let both_over = |thr: f64| fast >= thr && slow >= thr;
+        inner.state = if both_over(self.spec.page_burn) {
+            AlertState::Page
+        } else if both_over(self.spec.warn_burn) {
+            // Escalating to warning is immediate; an active page holds
+            // until the burn drops below the warning threshold.
+            inner.state.max(AlertState::Warning)
+        } else {
+            // Recovery ratchets down one level per evaluation.
+            inner.state.step_down()
+        };
+        let status = SloStatus {
+            name: self.spec.name,
+            state: inner.state,
+            fast_burn: fast,
+            slow_burn: slow,
+            counts,
+        };
+        drop(inner);
+        crate::metrics::global().gauge(self.gauges.0).set(fast);
+        crate::metrics::global().gauge(self.gauges.1).set(slow);
+        crate::metrics::global()
+            .gauge(self.gauges.2)
+            .set(status.state as u8 as f64);
+        status
+    }
+}
+
+// ---------------------------------------------------------------- engine
+
+/// A set of SLOs fed from one request stream.
+pub struct SloEngine {
+    clock: Arc<dyn Clock>,
+    trackers: Vec<SloTracker>,
+}
+
+impl SloEngine {
+    pub fn new(clock: Arc<dyn Clock>, specs: Vec<SloSpec>) -> Self {
+        Self {
+            clock,
+            trackers: specs.into_iter().map(SloTracker::new).collect(),
+        }
+    }
+
+    /// The serving defaults: 99.9% availability plus 99% of requests
+    /// under 250 ms, on the system clock.
+    pub fn standard() -> Self {
+        Self::new(
+            Arc::new(SystemClock::default()),
+            vec![
+                SloSpec::availability("availability", 0.999),
+                SloSpec::latency("latency_p99", 0.250, 0.99),
+            ],
+        )
+    }
+
+    /// Feed one finished request into every SLO: availability SLOs count
+    /// `ok`, latency SLOs count `ok && latency ≤ threshold`.
+    pub fn record_request(&self, latency_seconds: f64, ok: bool) {
+        let now = self.clock.now_seconds();
+        for t in &self.trackers {
+            let good = match t.spec.latency_threshold {
+                None => ok,
+                Some(thr) => ok && latency_seconds <= thr,
+            };
+            t.record(now, good);
+        }
+    }
+
+    /// Evaluate every SLO at the clock's now (steps state machines and
+    /// exports gauges).
+    pub fn evaluate(&self) -> Vec<SloStatus> {
+        let now = self.clock.now_seconds();
+        self.trackers.iter().map(|t| t.evaluate(now)).collect()
+    }
+
+    /// The most severe state across SLOs (evaluating them all).
+    pub fn worst_state(&self) -> AlertState {
+        self.evaluate()
+            .iter()
+            .map(|s| s.state)
+            .max()
+            .unwrap_or(AlertState::Ok)
+    }
+
+    /// `/healthz` fragment: every SLO's status as a JSON array.
+    pub fn health_json(&self) -> String {
+        let statuses = self.evaluate();
+        let mut out = String::from("[");
+        for (i, s) in statuses.iter().enumerate() {
+            if i > 0 {
+                out.push_str(", ");
+            }
+            out.push_str(&s.to_json());
+        }
+        out.push(']');
+        out
+    }
+
+    pub fn trackers(&self) -> &[SloTracker] {
+        &self.trackers
+    }
+
+    pub fn clock(&self) -> &Arc<dyn Clock> {
+        &self.clock
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn spec() -> SloSpec {
+        SloSpec::availability("unit_avail", 0.99) // budget 1%
+    }
+
+    /// Feed `n` requests with `bad` failures spread across `[t0, t1)`.
+    fn feed(t: &SloTracker, t0: f64, t1: f64, n: usize, bad: usize) {
+        for i in 0..n {
+            let now = t0 + (t1 - t0) * i as f64 / n as f64;
+            t.record(now, i >= bad);
+        }
+    }
+
+    #[test]
+    fn burn_rate_matches_error_rate_over_budget() {
+        let t = SloTracker::new(spec());
+        // 10% errors against a 1% budget → burn ≈ 10.
+        feed(&t, 0.0, 50.0, 200, 20);
+        let (fast, slow) = t.burn_rates(50.0);
+        assert!((fast - 10.0).abs() < 2.0, "fast burn {fast}");
+        assert!((slow - 10.0).abs() < 2.0, "slow burn {slow}");
+    }
+
+    #[test]
+    fn multi_window_pages_only_when_both_agree() {
+        let t = SloTracker::new(spec());
+        // A long healthy history fills the slow window...
+        feed(&t, 0.0, 700.0, 7000, 0);
+        // ...then 30 s of 100% errors: fast window sees burn 100, but the
+        // slow window still averages ≈ 4 — no page yet.
+        feed(&t, 700.0, 730.0, 300, 300);
+        let s = t.evaluate(730.0);
+        assert!(s.fast_burn >= 14.4, "fast {s:?}");
+        assert!(s.state < AlertState::Page, "one bad window paged: {s:?}");
+        // Sustained bleeding pushes the slow window over too.
+        feed(&t, 730.0, 1150.0, 4200, 4200);
+        let s = t.evaluate(1150.0);
+        assert_eq!(s.state, AlertState::Page, "{s:?}");
+    }
+
+    #[test]
+    fn state_machine_recovers_one_step_per_evaluation() {
+        let t = SloTracker::new(spec());
+        feed(&t, 0.0, 720.0, 720, 720); // all bad → page
+        assert_eq!(t.evaluate(720.0).state, AlertState::Page);
+        // Silence: both windows drain past 720 + slow_window.
+        let quiet = 720.0 + t.spec.slow_window + 10.0;
+        feed(&t, quiet, quiet + 60.0, 600, 0);
+        assert_eq!(t.evaluate(quiet + 60.0).state, AlertState::Warning);
+        assert_eq!(t.evaluate(quiet + 61.0).state, AlertState::Ok);
+    }
+
+    #[test]
+    fn latency_slo_classifies_by_threshold() {
+        let clock = Arc::new(ManualClock::new(0.0));
+        let engine = SloEngine::new(
+            Arc::clone(&clock) as Arc<dyn Clock>,
+            vec![SloSpec::latency("unit_lat", 0.100, 0.9)], // 10% budget
+        );
+        for i in 0..100 {
+            clock.advance(0.5);
+            // 40% of requests breach the 100 ms threshold.
+            let lat = if i % 5 < 2 { 0.200 } else { 0.010 };
+            engine.record_request(lat, true);
+        }
+        let s = engine.evaluate();
+        assert_eq!(s.len(), 1);
+        // 40% violations / 10% budget = burn 4.
+        assert!((s[0].fast_burn - 4.0).abs() < 1.0, "{:?}", s[0]);
+        let health = engine.health_json();
+        assert!(health.contains("\"name\": \"unit_lat\""), "{health}");
+    }
+
+    #[test]
+    fn old_buckets_age_out_of_both_windows() {
+        let t = SloTracker::new(spec());
+        feed(&t, 0.0, 60.0, 600, 600); // a disaster, long ago
+        let later = 2000.0; // > slow_window past the disaster
+        let (fast, slow) = t.burn_rates(later);
+        assert_eq!((fast, slow), (0.0, 0.0));
+    }
+}

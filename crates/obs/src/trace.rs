@@ -181,7 +181,10 @@ impl TraceHandle {
 
     /// Render the span tree as indented text. Groups of same-named
     /// childless siblings collapse into one `name ×count (total)` line so
-    /// per-kernel spans don't flood the output.
+    /// per-kernel spans don't flood the output. Spans with children also
+    /// print their **self time** (total minus time covered by direct
+    /// children), so a profile tree distinguishes "slow here" from "slow
+    /// below".
     pub fn render(&self) -> String {
         let d = lock(&self.data);
         let mut out = format!("trace {} [{}]\n", self.id, d.label);
@@ -213,17 +216,38 @@ impl TraceHandle {
             out: &mut String,
         ) {
             let s = &d.spans[idx];
+            let span_ns = |i: usize| {
+                let s = &d.spans[i];
+                s.end_ns.unwrap_or(s.start_ns).saturating_sub(s.start_ns)
+            };
             let dur = match s.end_ns {
                 Some(e) => fmt_dur(e.saturating_sub(s.start_ns)),
                 None => "(open)".into(),
             };
-            out.push_str(&format!(
-                "{:indent$}{} {}\n",
-                "",
-                s.name,
-                dur,
-                indent = depth * 2
-            ));
+            // Self time = total minus direct-child time. Children of one
+            // span run sequentially on a thread (guards nest), so the sum
+            // is the covered interval; explicit-bounds spans recorded from
+            // other threads can exceed the parent, hence the saturation.
+            if children[idx].is_empty() {
+                out.push_str(&format!(
+                    "{:indent$}{} {}\n",
+                    "",
+                    s.name,
+                    dur,
+                    indent = depth * 2
+                ));
+            } else {
+                let child_ns: u64 = children[idx].iter().map(|&c| span_ns(c)).sum();
+                let self_ns = span_ns(idx).saturating_sub(child_ns);
+                out.push_str(&format!(
+                    "{:indent$}{} {} (self {})\n",
+                    "",
+                    s.name,
+                    dur,
+                    fmt_dur(self_ns),
+                    indent = depth * 2
+                ));
+            }
             // Partition this span's children: aggregate runs of same-named
             // childless spans, recurse into the rest in start order.
             let kids = &children[idx];
@@ -539,6 +563,38 @@ mod tests {
                     assert!(s.end_ns.is_some(), "{} left open", s.name);
                 }
             }
+        });
+    }
+
+    #[test]
+    fn render_prints_self_time_on_parents_only() {
+        with_tracing(|| {
+            let t = start("req");
+            {
+                let _e = enter(&t, t.root());
+                let _a = span("parent");
+                {
+                    let _b = span("child");
+                    std::thread::sleep(Duration::from_millis(5));
+                }
+            }
+            t.close();
+            let r = t.render();
+            // Parents (root + "parent") carry a self-time annotation;
+            // the leaf does not.
+            let parent_line = r.lines().find(|l| l.contains("parent")).unwrap();
+            assert!(parent_line.contains("(self "), "{r}");
+            let child_line = r.lines().find(|l| l.contains("child")).unwrap();
+            assert!(!child_line.contains("(self "), "{r}");
+            // The child's sleep dominates: parent self-time is far below
+            // its total, i.e. "slow below", not "slow here".
+            let total_ms = t.span_seconds(SpanId(1)).unwrap() * 1e3;
+            assert!(total_ms >= 5.0, "{r}");
+            let self_part = parent_line.split("(self ").nth(1).unwrap();
+            assert!(
+                self_part.contains("us") || self_part.starts_with("0."),
+                "parent self-time should be tiny: {parent_line}"
+            );
         });
     }
 

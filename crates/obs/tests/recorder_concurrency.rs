@@ -1,0 +1,146 @@
+//! Flight-recorder concurrency: eight threads hammer one small ring so
+//! it wraps thousands of times. The retained records must never be torn
+//! (every field of a record belongs to the same logical request), the
+//! ring must respect its capacity, and the recorder must stay internally
+//! consistent when a freeze lands mid-storm.
+
+use std::sync::Arc;
+
+use cobs::recorder::{AnomalyPolicy, FlightRecorder, Outcome};
+
+const THREADS: usize = 8;
+const PER_THREAD: usize = 2_000;
+
+/// Labels are per-thread so a record's consistency is checkable from the
+/// outside: thread t always records latency `t + k/1000` with its own
+/// label, cache flag `t % 2 == 0`, coalesce flag `t % 3 == 0`.
+const LABELS: [&str; THREADS] = [
+    "req-0", "req-1", "req-2", "req-3", "req-4", "req-5", "req-6", "req-7",
+];
+
+fn thread_of_label(label: &str) -> usize {
+    LABELS
+        .iter()
+        .position(|&l| l == label)
+        .expect("known label")
+}
+
+#[test]
+fn ring_wrap_under_eight_threads_keeps_records_untorn() {
+    // Tiny capacity against 16k records → the ring wraps ~250×. Spike
+    // detection is disarmed (factor ∞ is not expressible; a huge factor
+    // is) so the storm never freezes the ring mid-test.
+    let rec = Arc::new(FlightRecorder::new(
+        64,
+        AnomalyPolicy {
+            latency_spike_factor: 1e18,
+            min_samples: u64::MAX,
+        },
+    ));
+    std::thread::scope(|s| {
+        for (t, label) in LABELS.iter().enumerate() {
+            let rec = Arc::clone(&rec);
+            s.spawn(move || {
+                for k in 0..PER_THREAD {
+                    rec.record(
+                        label,
+                        Outcome::Ok,
+                        t as f64 + k as f64 * 1e-3,
+                        t.is_multiple_of(2),
+                        t.is_multiple_of(3),
+                        None,
+                    );
+                }
+            });
+        }
+    });
+
+    assert_eq!(rec.len(), 64, "ring must hold exactly its capacity");
+    let records = rec.records();
+    let mut last_seq = None;
+    for r in &records {
+        // Torn-record check: every field must be the one its writer
+        // thread always pairs with its label.
+        let t = thread_of_label(r.label);
+        assert!(
+            r.latency_seconds >= t as f64 && r.latency_seconds < t as f64 + 2.0,
+            "latency {} torn across threads for {}",
+            r.latency_seconds,
+            r.label
+        );
+        assert_eq!(
+            r.from_cache,
+            t.is_multiple_of(2),
+            "cache flag torn for {}",
+            r.label
+        );
+        assert_eq!(
+            r.coalesced,
+            t.is_multiple_of(3),
+            "coalesce flag torn for {}",
+            r.label
+        );
+        assert_eq!(r.outcome, Outcome::Ok);
+        // Sequence numbers must be unique and ascending through the ring.
+        if let Some(prev) = last_seq {
+            assert!(r.seq > prev, "non-monotone seqs: {prev} then {}", r.seq);
+        }
+        last_seq = Some(r.seq);
+    }
+    // The ring holds the newest records: all 16k were admitted.
+    assert_eq!(
+        records.last().unwrap().seq,
+        (THREADS * PER_THREAD - 1) as u64
+    );
+    // The dump renders every record without panicking and stays valid
+    // enough to hand to an artifact uploader.
+    let dump = rec.dump_json();
+    assert!(dump.starts_with('{') && dump.ends_with('}'));
+    assert!(dump.contains("\"frozen\": false"));
+}
+
+#[test]
+fn freeze_during_concurrent_storm_snapshots_a_consistent_ring() {
+    let rec = Arc::new(FlightRecorder::new(
+        128,
+        AnomalyPolicy {
+            latency_spike_factor: 1e18,
+            min_samples: u64::MAX,
+        },
+    ));
+    std::thread::scope(|s| {
+        for (t, label) in LABELS.iter().enumerate() {
+            let rec = Arc::clone(&rec);
+            s.spawn(move || {
+                for k in 0..PER_THREAD {
+                    rec.record(
+                        label,
+                        Outcome::Ok,
+                        t as f64 + k as f64 * 1e-3,
+                        false,
+                        false,
+                        None,
+                    );
+                }
+            });
+        }
+        // Freeze from a ninth thread mid-storm.
+        let rec_f = Arc::clone(&rec);
+        s.spawn(move || {
+            while rec_f.len() < 128 {
+                std::hint::spin_loop();
+            }
+            rec_f.freeze("mid-storm incident");
+        });
+    });
+    assert!(rec.is_frozen());
+    assert_eq!(rec.freeze_reason().as_deref(), Some("mid-storm incident"));
+    let records = rec.records();
+    assert_eq!(records.len(), 128, "frozen ring keeps exactly capacity");
+    for w in records.windows(2) {
+        assert!(w[0].seq < w[1].seq, "frozen ring must be seq-ordered");
+    }
+    // Everything recorded after the freeze was counted, not silently lost.
+    let dump = rec.dump_json();
+    assert!(dump.contains("\"dropped_while_frozen\": "), "{dump:.200}");
+}

@@ -1,0 +1,88 @@
+//! Property tests for the burn-rate window math: burn must be monotone
+//! in the error rate, fast and slow windows must agree at steady state,
+//! and the burn/budget identity must hold across objectives.
+
+use cobs::slo::{SloSpec, SloTracker};
+use proptest::prelude::*;
+
+/// Feed `n` requests uniformly across `[t0, t1)` at a steady error rate:
+/// bad samples are interleaved evenly (Bresenham accumulation), so every
+/// sub-window of the stream sees error rate ≈ `err` — the steady-state
+/// regime the multi-window rule assumes.
+fn feed(t: &SloTracker, t0: f64, t1: f64, n: usize, err: f64) {
+    for i in 0..n {
+        let now = t0 + (t1 - t0) * i as f64 / n as f64;
+        let bad = ((i + 1) as f64 * err).floor() > (i as f64 * err).floor();
+        t.record(now, !bad);
+    }
+}
+
+proptest! {
+    /// More errors never burn less: for the same traffic shape, a higher
+    /// error rate yields burn rates at least as high in both windows.
+    #[test]
+    fn burn_is_monotone_in_error_rate(err_lo in 0.0f64..0.5, bump in 0.05f64..0.5) {
+        let err_hi = (err_lo + bump).min(1.0);
+        let spec = SloSpec::availability("prop_mono", 0.99);
+        let a = SloTracker::new(spec);
+        let b = SloTracker::new(spec);
+        // Identical timing, different error rates, spanning both windows.
+        feed(&a, 0.0, 800.0, 4000, err_lo);
+        feed(&b, 0.0, 800.0, 4000, err_hi);
+        let (fa, sa) = a.burn_rates(800.0);
+        let (fb, sb) = b.burn_rates(800.0);
+        // The fast window holds ≥ 300 samples, so interleaving
+        // quantization perturbs its burn by ≤ 2/300/0.01 ≈ 0.7 — far
+        // under the ≥ 5.0 burn gap the bump guarantees.
+        prop_assert!(fb >= fa + 1.0, "fast burn not monotone: {} vs {}", fa, fb);
+        prop_assert!(sb >= sa + 1.0, "slow burn not monotone: {} vs {}", sa, sb);
+    }
+
+    /// At steady state (a constant error rate sustained for longer than
+    /// the slow window), the fast and slow windows measure the same
+    /// process and must agree — within the coarse-bucket quantization at
+    /// the window edges.
+    #[test]
+    fn fast_and_slow_agree_at_steady_state(err in 0.0f64..1.0, objective in 0.9f64..0.999) {
+        let spec = SloSpec::availability("prop_steady", objective);
+        let t = SloTracker::new(spec);
+        // Sustain the rate past the slow window, densely enough that the
+        // fast window always holds ≥ 1000 samples.
+        let horizon = spec.slow_window + 100.0;
+        feed(&t, 0.0, horizon, 16_000, err);
+        let (fast, slow) = t.burn_rates(horizon);
+        let expected = err / spec.budget();
+        // Edge buckets quantize the window by ~1 bucket out of 12 plus a
+        // ±2-sample interleaving wobble on ≥1000 samples.
+        let tol = 0.2 * expected + 0.002 / spec.budget() + 0.1;
+        prop_assert!((fast - expected).abs() <= tol, "fast {} vs {}", fast, expected);
+        prop_assert!((slow - expected).abs() <= tol, "slow {} vs {}", slow, expected);
+        prop_assert!((fast - slow).abs() <= 2.0 * tol, "windows disagree: {} vs {}", fast, slow);
+    }
+
+    /// Burn equals error-rate ÷ budget: scaling the budget down scales
+    /// the burn up by the same factor (the identity alerting relies on).
+    #[test]
+    fn burn_scales_inversely_with_budget(err in 0.05f64..0.95) {
+        let tight = SloTracker::new(SloSpec::availability("prop_tight", 0.999));
+        let loose = SloTracker::new(SloSpec::availability("prop_loose", 0.99));
+        feed(&tight, 0.0, 800.0, 8000, err);
+        feed(&loose, 0.0, 800.0, 8000, err);
+        let (_, s_tight) = tight.burn_rates(800.0);
+        let (_, s_loose) = loose.burn_rates(800.0);
+        // budgets 0.001 vs 0.01 → tight burns 10× the loose burn.
+        prop_assert!(s_loose > 0.0);
+        let ratio = s_tight / s_loose;
+        prop_assert!((ratio - 10.0).abs() < 0.5, "budget scaling broken: {}", ratio);
+    }
+
+    /// A window that saw no traffic burns at zero, never NaN — regardless
+    /// of when it is asked.
+    #[test]
+    fn empty_windows_burn_zero(at in 0.0f64..1.0e6) {
+        let t = SloTracker::new(SloSpec::availability("prop_empty", 0.999));
+        let (fast, slow) = t.burn_rates(at);
+        prop_assert_eq!(fast, 0.0);
+        prop_assert_eq!(slow, 0.0);
+    }
+}

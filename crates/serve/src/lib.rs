@@ -26,6 +26,16 @@
 //! - [`ServeMetrics`] — p50/p95/p99 latency, throughput, batch-size
 //!   histogram, cache hit rate.
 //!
+//! The **ops plane** rides on the same stack: every terminal request
+//! outcome feeds the global flight recorder and a per-server burn-rate
+//! [SLO engine](cobs::slo), and [`ForecastServer::serve_ops`] starts a
+//! std-only HTTP server ([`OpsServer`]) exposing `/metrics` (Prometheus),
+//! `/metrics.json`, `/healthz`, `/readyz` and `/debug/traces`. The
+//! [`DriftGovernor`] closes the loop on model quality: windowed physics
+//! pass-rate / ζ drift steps serving down the precision ladder
+//! (int8 → f16 → f32) and finally to ROMS-fallback routing, all visible
+//! on `/healthz`.
+//!
 //! ```no_run
 //! use ccore::{train_surrogate, Scenario};
 //! use cserve::{ForecastRequest, ForecastServer, ServeConfig};
@@ -44,7 +54,9 @@
 pub mod batcher;
 pub mod cache;
 pub mod error;
+pub mod governor;
 pub mod metrics;
+pub mod ops;
 mod replica;
 pub mod request;
 pub mod server;
@@ -52,6 +64,8 @@ pub mod server;
 pub use batcher::{BatcherConfig, MicroBatcher};
 pub use cache::ForecastCache;
 pub use error::ServeError;
+pub use governor::{DriftGovernor, GovernorAction, ServeRoute};
 pub use metrics::{MetricsRecorder, ServeMetrics};
+pub use ops::{OpsServer, OpsState};
 pub use request::{ForecastRequest, Priority};
 pub use server::{ForecastServer, ResponseHandle, ServeConfig};

@@ -12,11 +12,21 @@
 //! registry (`serve.requests.*`, `serve.latency_seconds`,
 //! `serve.batch_size`), so serving counters appear in the same JSON /
 //! Prometheus dump as trainer, ensemble, and kernel telemetry.
+//!
+//! The terminal recording methods are additionally the ops plane's feed
+//! point: every completion/failure/rejection flows into the global
+//! [flight recorder](cobs::recorder) and this server's
+//! [SLO engine](cobs::slo) (both on by default), so `/debug/traces`,
+//! `/healthz` and the burn-rate gauges describe real traffic with no
+//! extra instrumentation at call sites.
 
 use std::collections::BTreeMap;
+use std::sync::Arc;
 use std::time::{Duration, Instant};
 
 use cobs::metrics::Reservoir;
+use cobs::recorder::Outcome;
+use cobs::slo::SloEngine;
 use parking_lot::Mutex;
 
 /// Latency samples kept for percentile estimation. Bounded so a
@@ -43,6 +53,9 @@ struct Inner {
 pub struct MetricsRecorder {
     started: Instant,
     inner: Mutex<Inner>,
+    /// Burn-rate SLOs fed by the terminal paths below (the serving
+    /// defaults: availability plus p99 latency), scraped via `/healthz`.
+    slo: Arc<SloEngine>,
 }
 
 impl Default for MetricsRecorder {
@@ -53,6 +66,47 @@ impl Default for MetricsRecorder {
 
 impl MetricsRecorder {
     pub fn new() -> Self {
+        // Help text for every serving series this recorder feeds, so the
+        // `/metrics` exposition carries `# HELP` lines in any process
+        // that builds a server — not only ones that also happen to
+        // construct a governor or evaluate an SLO.
+        let reg = cobs::global();
+        reg.describe(
+            "serve.requests.submitted",
+            "Forecast requests admitted past validation",
+        );
+        reg.describe(
+            "serve.requests.completed",
+            "Forecast requests answered successfully (cache hits included)",
+        );
+        reg.describe(
+            "serve.requests.rejected",
+            "Forecast requests shed at admission (queue at capacity)",
+        );
+        reg.describe(
+            "serve.requests.failed",
+            "Forecast requests that reached a replica and failed",
+        );
+        reg.describe(
+            "serve.requests.coalesced",
+            "Forecast requests coalesced onto an identical in-flight computation",
+        );
+        reg.describe("serve.cache.hits", "Forecast cache hits");
+        reg.describe("serve.cache.misses", "Forecast cache misses");
+        reg.describe(
+            "serve.latency_seconds",
+            "End-to-end forecast latency, submit to response",
+        );
+        reg.describe("serve.batch_size", "Executed model batch sizes");
+        reg.describe(
+            "serve.queue_wait_seconds",
+            "Time requests spend queued before a replica picks them up",
+        );
+        reg.describe(
+            "serve.replica_compute_seconds",
+            "Model forward time per executed batch",
+        );
+        reg.describe("serve.queue_depth", "Current admission queue depth");
         Self {
             started: Instant::now(),
             inner: Mutex::new(Inner {
@@ -64,7 +118,28 @@ impl MetricsRecorder {
                 failed: 0,
                 coalesced: 0,
             }),
+            slo: Arc::new(SloEngine::standard()),
         }
+    }
+
+    /// This server's SLO engine (surfaced on the ops plane's `/healthz`).
+    pub fn slo(&self) -> &Arc<SloEngine> {
+        &self.slo
+    }
+
+    /// Feed the ops plane: the global flight recorder plus the SLO
+    /// engine. One call per terminal outcome, from the record_* methods.
+    fn feed_ops(
+        &self,
+        outcome: Outcome,
+        latency: Duration,
+        from_cache: bool,
+        coalesced: bool,
+        trace: Option<&cobs::TraceHandle>,
+    ) {
+        let secs = latency.as_secs_f64();
+        cobs::recorder::global().record("forecast", outcome, secs, from_cache, coalesced, trace);
+        self.slo.record_request(secs, outcome == Outcome::Ok);
     }
 
     /// Record a request admitted past validation. Every submitted request
@@ -75,8 +150,15 @@ impl MetricsRecorder {
     }
 
     /// Record one completed request (cache hits included: they are real
-    /// responses with real latencies).
-    pub fn record_completion(&self, latency: Duration) {
+    /// responses with real latencies). `from_cache`/`coalesced`/`trace`
+    /// flow into the flight recorder's [`cobs::recorder::RequestRecord`].
+    pub fn record_completion(
+        &self,
+        latency: Duration,
+        from_cache: bool,
+        coalesced: bool,
+        trace: Option<&cobs::TraceHandle>,
+    ) {
         let ms = latency.as_secs_f64() * 1e3;
         {
             let mut inner = self.inner.lock();
@@ -85,6 +167,7 @@ impl MetricsRecorder {
         }
         cobs::counter!("serve.requests.completed").inc();
         cobs::histogram!("serve.latency_seconds").record_duration(latency);
+        self.feed_ops(Outcome::Ok, latency, from_cache, coalesced, trace);
     }
 
     /// Record one executed model batch of `size` requests.
@@ -93,16 +176,19 @@ impl MetricsRecorder {
         cobs::histogram!("serve.batch_size").record(size as f64);
     }
 
-    /// Record an admission rejection (`Overloaded`).
-    pub fn record_rejection(&self) {
+    /// Record an admission rejection (`Overloaded`). `latency` is
+    /// submit → rejection (the client-observed wait for the error).
+    pub fn record_rejection(&self, latency: Duration, trace: Option<&cobs::TraceHandle>) {
         self.inner.lock().rejected += 1;
         cobs::counter!("serve.requests.rejected").inc();
+        self.feed_ops(Outcome::Rejected, latency, false, false, trace);
     }
 
     /// Record a request that reached a replica but failed.
-    pub fn record_failure(&self) {
+    pub fn record_failure(&self, latency: Duration, trace: Option<&cobs::TraceHandle>) {
         self.inner.lock().failed += 1;
         cobs::counter!("serve.requests.failed").inc();
+        self.feed_ops(Outcome::Failed, latency, false, false, trace);
     }
 
     /// Record a request coalesced onto an identical in-flight computation.
@@ -243,7 +329,7 @@ mod tests {
         // whole sample.
         let m = MetricsRecorder::new();
         for i in 0..LATENCY_RESERVOIR {
-            m.record_completion(Duration::from_micros(1 + i as u64));
+            m.record_completion(Duration::from_micros(1 + i as u64), false, false, None);
         }
         let s = m.snapshot((0, 0));
         assert_eq!(s.completed, LATENCY_RESERVOIR as u64);
@@ -261,10 +347,10 @@ mod tests {
         // is gone entirely, so p99 must reflect the recent window.
         let m = MetricsRecorder::new();
         for _ in 0..LATENCY_RESERVOIR {
-            m.record_completion(Duration::from_millis(1000));
+            m.record_completion(Duration::from_millis(1000), false, false, None);
         }
         for i in 0..LATENCY_RESERVOIR {
-            m.record_completion(Duration::from_micros(1 + i as u64));
+            m.record_completion(Duration::from_micros(1 + i as u64), false, false, None);
         }
         let s = m.snapshot((0, 0));
         assert_eq!(s.completed, 2 * LATENCY_RESERVOIR as u64);
@@ -293,10 +379,10 @@ mod tests {
         // ring layout.
         let m = MetricsRecorder::new();
         for _ in 0..LATENCY_RESERVOIR {
-            m.record_completion(Duration::from_millis(10));
+            m.record_completion(Duration::from_millis(10), false, false, None);
         }
         for _ in 0..LATENCY_RESERVOIR / 4 {
-            m.record_completion(Duration::from_millis(1));
+            m.record_completion(Duration::from_millis(1), false, false, None);
         }
         let s = m.snapshot((0, 0));
         assert!(s.p50_ms <= s.p95_ms && s.p95_ms <= s.p99_ms);
@@ -310,13 +396,13 @@ mod tests {
         let m = MetricsRecorder::new();
         for i in 1..=10 {
             m.record_submitted();
-            m.record_completion(Duration::from_millis(i));
+            m.record_completion(Duration::from_millis(i), false, false, None);
         }
         m.record_batch(4);
         m.record_batch(4);
         m.record_batch(2);
         m.record_submitted();
-        m.record_rejection();
+        m.record_rejection(Duration::ZERO, None);
         let s = m.snapshot((3, 7));
         assert_eq!(s.submitted, 11);
         assert_eq!(s.completed, 10);
@@ -344,9 +430,14 @@ mod tests {
                     for i in 0..per_thread {
                         m.record_submitted();
                         match (t + i) % 3 {
-                            0 => m.record_completion(Duration::from_micros(i + 1)),
-                            1 => m.record_failure(),
-                            _ => m.record_rejection(),
+                            0 => m.record_completion(
+                                Duration::from_micros(i + 1),
+                                false,
+                                false,
+                                None,
+                            ),
+                            1 => m.record_failure(Duration::ZERO, None),
+                            _ => m.record_rejection(Duration::ZERO, None),
                         }
                     }
                 });

@@ -369,11 +369,20 @@ fn replica_main(
                     cache.insert(pending.key, Arc::clone(&value));
                     // Fan the one computation out to every coalesced
                     // waiter; a dropped handle just means nobody waits.
-                    for w in inflight.take(&pending.key) {
-                        metrics.record_completion(w.submitted.elapsed());
-                        // Close before sending: once the client's wait()
-                        // returns, its trace must already be complete.
+                    // Waiters are in arrival order, so index 0 is the
+                    // leader and the rest coalesced onto its computation.
+                    for (i, w) in inflight.take(&pending.key).into_iter().enumerate() {
+                        // Close before recording/sending: the flight
+                        // recorder renders the span tree at record time,
+                        // and once the client's wait() returns its trace
+                        // must already be complete.
                         w.close_trace();
+                        metrics.record_completion(
+                            w.submitted.elapsed(),
+                            false,
+                            i > 0,
+                            w.trace.as_ref(),
+                        );
                         let _ = w.tx.send(Ok(Arc::clone(&value)));
                     }
                 }
@@ -404,8 +413,8 @@ fn fail_batch(
 ) {
     for pending in batch {
         for w in inflight.take(&pending.key) {
-            metrics.record_failure();
             w.close_trace();
+            metrics.record_failure(w.submitted.elapsed(), w.trace.as_ref());
             let _ = w.tx.send(Err(err.clone()));
         }
     }

@@ -129,6 +129,7 @@ pub struct ForecastServer {
     t_out: usize,
     mesh: (usize, usize, usize),
     scenario_id: Option<u64>,
+    queue_capacity: usize,
     batcher: Arc<MicroBatcher<PendingRequest>>,
     cache: Arc<ForecastCache>,
     inflight: Arc<InflightRegistry>,
@@ -197,8 +198,8 @@ impl ForecastServer {
                 // every admitted request during the shutdown race.
                 for p in batch {
                     for w in inflight.take(&p.key) {
-                        metrics.record_failure();
                         w.close_trace();
+                        metrics.record_failure(w.submitted.elapsed(), w.trace.as_ref());
                         let _ = w.tx.send(Err(ServeError::Shutdown));
                     }
                 }
@@ -231,6 +232,7 @@ impl ForecastServer {
             t_out,
             mesh,
             scenario_id: cfg.scenario_id,
+            queue_capacity: cfg.queue_capacity,
             batcher,
             cache,
             inflight,
@@ -272,10 +274,13 @@ impl ForecastServer {
             self.cache.get(&key)
         };
         if let Some(hit) = probe {
-            self.metrics.record_completion(submitted.elapsed());
+            // Close before recording: the flight recorder renders the
+            // span tree at record time.
             if let Some(t) = &trace {
                 t.close();
             }
+            self.metrics
+                .record_completion(submitted.elapsed(), true, false, trace.as_ref());
             let _ = tx.send(Ok(hit));
             return Ok(ResponseHandle {
                 rx,
@@ -319,9 +324,14 @@ impl ForecastServer {
                 // hit/miss counters at one count per client lookup.
                 if let Some(hit) = self.cache.peek(&key) {
                     let value = Ok(hit);
-                    for w in self.inflight.take(&key) {
-                        self.metrics.record_completion(w.submitted.elapsed());
+                    for (i, w) in self.inflight.take(&key).into_iter().enumerate() {
                         w.close_trace();
+                        self.metrics.record_completion(
+                            w.submitted.elapsed(),
+                            true,
+                            i > 0, // waiters past the leader coalesced onto it
+                            w.trace.as_ref(),
+                        );
                         let _ = w.tx.send(value.clone());
                     }
                     return Ok(ResponseHandle {
@@ -362,12 +372,14 @@ impl ForecastServer {
                 // `completed + failed + rejected == submitted` to hold.
                 let overloaded = matches!(e, ServeError::Overloaded { .. });
                 for waiter in self.inflight.take(&key) {
-                    if overloaded {
-                        self.metrics.record_rejection();
-                    } else {
-                        self.metrics.record_failure();
-                    }
                     waiter.close_trace();
+                    if overloaded {
+                        self.metrics
+                            .record_rejection(waiter.submitted.elapsed(), waiter.trace.as_ref());
+                    } else {
+                        self.metrics
+                            .record_failure(waiter.submitted.elapsed(), waiter.trace.as_ref());
+                    }
                     let _ = waiter.tx.send(Err(e.clone()));
                 }
                 Err(e)
@@ -435,6 +447,38 @@ impl ForecastServer {
     /// Pending (queued, unbatched) requests right now.
     pub fn queue_depth(&self) -> usize {
         self.batcher.depth()
+    }
+
+    /// This server's burn-rate SLO engine (fed by every terminal request
+    /// outcome; scraped via the ops plane's `/healthz`).
+    pub fn slo(&self) -> &Arc<cobs::slo::SloEngine> {
+        self.metrics.slo()
+    }
+
+    /// Ops-plane state wired to this server: ready (the constructor's
+    /// readiness barrier has passed by the time `self` exists), live
+    /// queue depth against the admission bound, and the SLO engine.
+    /// Attach a drift governor with [`crate::OpsState::with_governor`]
+    /// before binding if the deployment runs one.
+    pub fn ops_state(&self) -> crate::OpsState {
+        let batcher = Arc::clone(&self.batcher);
+        crate::OpsState {
+            ready: Arc::new(std::sync::atomic::AtomicBool::new(true)),
+            queue_depth: Arc::new(move || batcher.depth()),
+            queue_capacity: self.queue_capacity,
+            slo: Some(Arc::clone(self.metrics.slo())),
+            governor: None,
+        }
+    }
+
+    /// Start the ops-plane HTTP server (`/metrics`, `/metrics.json`,
+    /// `/healthz`, `/readyz`, `/debug/traces`) for this deployment.
+    /// Returns the running server; drop or `shutdown()` to stop it.
+    pub fn serve_ops<A: std::net::ToSocketAddrs>(
+        &self,
+        addr: A,
+    ) -> std::io::Result<crate::OpsServer> {
+        crate::OpsServer::bind(addr, self.ops_state())
     }
 
     /// Snapshot the serving metrics.

@@ -7,8 +7,12 @@
 //!
 //! 1. the request's **span tree** — admission → queue wait → replica
 //!    forward, with the named backend kernels nested under the batch
-//!    forward (matmul, layernorm, qlinear, …);
-//! 2. the global registry as a **Prometheus** text dump.
+//!    forward (matmul, layernorm, qlinear, …). Parent spans carry a
+//!    `(self …)` annotation: total minus the time covered by direct
+//!    children, so inter-kernel time (batch assembly, dispatch, result
+//!    scatter) is visible instead of vanishing into the parent total;
+//! 2. the global registry as a **Prometheus** text dump, `# HELP` and
+//!    `# TYPE` lines included.
 //!
 //! Run with:
 //! `COASTAL_PROFILE=1 cargo run --release --example trace_forecast`

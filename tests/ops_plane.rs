@@ -1,0 +1,182 @@
+//! Drift watchdog end-to-end: calibrate a baseline on a healthy
+//! surrogate, seed a degraded surrogate (biased free surface), and watch
+//! the governor walk the precision ladder int8 → f16 → f32 and force
+//! ROMS-fallback routing — with the incident visible on `/healthz` and in
+//! the flight-recorder dump.
+
+use std::io::{Read, Write};
+use std::net::{SocketAddr, TcpStream};
+use std::sync::atomic::Ordering;
+use std::sync::Arc;
+use std::time::Duration;
+
+use coastal::obs::drift::{DriftBaseline, DriftConfig};
+use coastal::physics::{Verifier, VerifierConfig};
+use coastal::serve::{DriftGovernor, GovernorAction, OpsServer, OpsState, ServeRoute};
+use coastal::tensor::quant::Precision;
+use coastal::{train_surrogate, Scenario};
+use cocean::Snapshot;
+
+/// `(passed, ζ_mean, ζ_extreme)` for one member episode: the verifier's
+/// verdict over the whole episode plus free-surface summary statistics.
+fn member_stats(
+    verifier: &Verifier,
+    initial: &Snapshot,
+    forecast: &[Snapshot],
+) -> (bool, f64, f64) {
+    let verdicts = verifier.check_episode(initial, forecast);
+    let passed = !verdicts.is_empty() && verdicts.iter().all(|v| v.passed);
+    let (mut sum, mut n, mut extreme) = (0.0f64, 0usize, 0.0f64);
+    for s in forecast {
+        for &z in &s.zeta {
+            sum += z as f64;
+            n += 1;
+            extreme = extreme.max((z as f64).abs());
+        }
+    }
+    (passed, sum / n.max(1) as f64, extreme)
+}
+
+fn http_get(addr: SocketAddr, path: &str) -> (u16, String) {
+    let mut stream = TcpStream::connect(addr).expect("connect ops server");
+    stream
+        .set_read_timeout(Some(Duration::from_secs(10)))
+        .unwrap();
+    write!(stream, "GET {path} HTTP/1.1\r\nHost: test\r\n\r\n").unwrap();
+    let mut raw = String::new();
+    stream.read_to_string(&mut raw).expect("read response");
+    let status = raw.split_whitespace().nth(1).unwrap().parse().unwrap();
+    let body = raw
+        .split_once("\r\n\r\n")
+        .map(|(_, b)| b.to_string())
+        .unwrap_or_default();
+    (status, body)
+}
+
+#[test]
+fn degraded_surrogate_walks_precision_ladder_into_roms_fallback() {
+    let mut sc = Scenario::small();
+    sc.epochs = 2;
+    let grid = sc.grid();
+    let archive = sc.simulate_archive(&grid, 0, 40);
+    let trained = train_surrogate(&sc, &grid, &archive);
+    let verifier = Verifier::new(&grid, VerifierConfig::default());
+
+    // Calibration: healthy member episodes over sliding windows.
+    let len = sc.t_out + 1;
+    let healthy: Vec<(bool, f64, f64)> = (0..8)
+        .map(|i| {
+            let window = &archive[i..i + len];
+            let forecast = trained.predict_episode(window);
+            member_stats(&verifier, &window[0], &forecast)
+        })
+        .collect();
+    let baseline = DriftBaseline::from_members(healthy.iter().copied());
+
+    // Seeded degradation: a +1 m free-surface bias — the signature of a
+    // drifted/corrupted surrogate (stale quantization, bad weight push).
+    // It blows the ζ-mean drift gate and breaks mass conservation.
+    let degraded: Vec<(bool, f64, f64)> = (0..8)
+        .map(|i| {
+            let window = &archive[i..i + len];
+            let mut forecast = trained.predict_episode(window);
+            for s in &mut forecast {
+                for z in &mut s.zeta {
+                    *z += 1.0;
+                }
+            }
+            member_stats(&verifier, &window[0], &forecast)
+        })
+        .collect();
+
+    // Thresholds sized so the natural tide-phase spread between healthy
+    // sliding windows stays clean while the seeded 1 m bias always
+    // breaches: windows of 4 members quantize pass rates to 0.25 steps,
+    // and window ζ-means track the tide phase within centimeters.
+    let cfg = DriftConfig {
+        window: 4,
+        max_pass_rate_drop: 0.6,
+        max_mean_drift: 0.25,
+        max_extreme_drift: 10.0,
+        trip_windows: 2,
+        recover_windows: 2,
+    };
+    let governor = Arc::new(DriftGovernor::new(
+        baseline,
+        cfg,
+        vec![Precision::Int8, Precision::F16, Precision::F32],
+    ));
+    let state = OpsState::default().with_governor(Arc::clone(&governor));
+    state.ready.store(true, Ordering::Release);
+    let ops = OpsServer::bind("127.0.0.1:0", OpsState::clone(&state)).expect("bind ops");
+    let addr = ops.local_addr();
+
+    // Healthy members keep the fast tier.
+    for &(p, m, x) in &healthy {
+        assert!(governor.observe_member(p, m, x).is_none());
+    }
+    assert_eq!(governor.route(), ServeRoute::Surrogate(Precision::Int8));
+    let (status, body) = http_get(addr, "/healthz");
+    assert_eq!(status, 200, "{body}");
+    assert!(body.contains("\"route\": \"int8\""), "{body}");
+
+    // The degraded stream trips escalations down the whole ladder: each
+    // (trip_windows × window) = 8 degraded members steps one rung.
+    let mut steps = Vec::new();
+    for round in 0..3 {
+        for &(p, m, x) in &degraded {
+            if let Some(a) = governor.observe_member(p, m, x) {
+                steps.push(a);
+            }
+        }
+        assert_eq!(steps.len(), round + 1, "one escalation per 2 windows");
+    }
+    assert!(matches!(
+        steps[0],
+        GovernorAction::SteppedDown {
+            from: ServeRoute::Surrogate(Precision::Int8),
+            to: ServeRoute::Surrogate(Precision::F16),
+        }
+    ));
+    assert!(matches!(
+        steps[2],
+        GovernorAction::SteppedDown {
+            to: ServeRoute::RomsFallback,
+            ..
+        }
+    ));
+    assert_eq!(governor.route(), ServeRoute::RomsFallback);
+
+    // The page is visible on /healthz (503 + route), and the incident
+    // froze the flight recorder with the escalation as the reason.
+    let (status, body) = http_get(addr, "/healthz");
+    assert_eq!(status, 503, "ROMS fallback must page: {body}");
+    assert!(body.contains("\"status\": \"page\""), "{body}");
+    assert!(body.contains("\"route\": \"roms_fallback\""), "{body}");
+    assert!(body.contains("drift escalation"), "{body}");
+
+    assert!(coastal::obs::recorder::global().is_frozen());
+    let (status, dump) = http_get(addr, "/debug/traces");
+    assert_eq!(status, 200);
+    assert!(dump.contains("\"frozen\": true"), "{dump:.300}");
+    assert!(dump.contains("drift escalation"), "{dump:.300}");
+
+    // Recovery: healthy members walk it back up one rung per recovery.
+    coastal::obs::recorder::global().thaw();
+    let mut ups = 0;
+    for _ in 0..16 {
+        if governor.level() == 0 {
+            break;
+        }
+        for &(p, m, x) in &healthy {
+            if let Some(a) = governor.observe_member(p, m, x) {
+                assert!(matches!(a, GovernorAction::SteppedUp { .. }));
+                ups += 1;
+            }
+        }
+    }
+    assert_eq!(ups, 3, "three recoveries back to the fast tier");
+    assert_eq!(governor.route(), ServeRoute::Surrogate(Precision::Int8));
+    let (status, body) = http_get(addr, "/healthz");
+    assert_eq!(status, 200, "{body}");
+}
